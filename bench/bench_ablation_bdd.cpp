@@ -1,0 +1,59 @@
+// Ablation (Team 1's appendix): BDD don't-care minimization on adders.
+// Reproduces the appendix findings: (i) the MSB-first interleaved variable
+// order is what makes adders learnable; (ii) one-sided matching reaches
+// ~98% on 2-word adders; (iii) naive two-sided matching collapses to ~50%.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "learn/bdd.hpp"
+#include "oracle/suite.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Ablation: BDD DC-minimization on adders");
+
+  oracle::SuiteOptions so;
+  so.rows_per_split = cfg.train_rows;
+
+  struct Config {
+    const char* name;
+    learn::BddLearnerOptions options;
+  };
+  std::vector<Config> configs;
+  {
+    learn::BddLearnerOptions one_sided;
+    configs.push_back({"one-sided, interleaved", one_sided});
+    learn::BddLearnerOptions natural = one_sided;
+    natural.msb_first_interleaved = false;
+    configs.push_back({"one-sided, natural order", natural});
+    learn::BddLearnerOptions two_sided = one_sided;
+    two_sided.use_two_sided = true;
+    configs.push_back({"+naive two-sided", two_sided});
+    learn::BddLearnerOptions with_compl = two_sided;
+    with_compl.use_complement = true;
+    configs.push_back({"+complemented two-sided", with_compl});
+  }
+
+  // ex01/ex03 = 2nd MSB of 16/32-bit adders (<= 64 inputs fits the BDD cap).
+  for (const int id : {0, 1, 2, 3}) {
+    const auto bench_case = oracle::make_benchmark(id, so);
+    std::printf("%s (%s, %zu inputs)\n", bench_case.name.c_str(),
+                bench_case.category.c_str(), bench_case.num_inputs);
+    for (const auto& config : configs) {
+      learn::BddLearner learner(config.options, "bdd");
+      core::Rng rng(7);
+      const auto model =
+          learner.fit(bench_case.train, bench_case.valid, rng);
+      const double test =
+          learn::circuit_accuracy(model.circuit, bench_case.test);
+      std::printf("  %-28s train %6.2f%%  test %6.2f%%  nodes %u\n",
+                  config.name, 100 * model.train_acc, 100 * test,
+                  model.circuit.num_ands());
+    }
+  }
+  std::printf(
+      "\n(paper: one-sided matching ~98%% on 2-word adders; naive two-sided "
+      "fails to ~50%%)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation (Team 6's observation): LUT size sweep k in {2..6} under both
+// wiring schemes. The paper states 4-input LUTs gave the best average
+// accuracy across the suite, and that simply growing width/depth does not
+// help (the network drifts toward constants).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "learn/lutnet.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Ablation: LUT-network k and wiring");
+  auto suite = bench::load_suite(cfg);
+  // A representative slice keeps this ablation affordable at full scale.
+  std::vector<oracle::Benchmark> slice;
+  for (auto& b : suite) {
+    if (b.id % 5 == 0) {
+      slice.push_back(std::move(b));
+    }
+  }
+
+  std::printf("%-8s %-14s %12s\n", "k", "wiring", "avg test acc");
+  for (const auto wiring :
+       {learn::LutWiring::kRandom, learn::LutWiring::kUniqueRandom}) {
+    for (int k = 2; k <= 6; ++k) {
+      double acc = 0;
+      for (const auto& b : slice) {
+        core::Rng rng(b.id * 10 + k);
+        learn::LutNetOptions lo;
+        lo.lut_inputs = k;
+        lo.num_layers = 2;
+        lo.luts_per_layer = 64;
+        lo.wiring = wiring;
+        const learn::LutNetwork net = learn::LutNetwork::fit(b.train, lo, rng);
+        acc += data::accuracy(net.predict(b.test), b.test.labels());
+      }
+      std::printf("%-8d %-14s %11.2f%%\n", k,
+                  wiring == learn::LutWiring::kRandom ? "random" : "unique",
+                  100 * acc / slice.size());
+    }
+  }
+
+  std::printf("\nwidth/depth growth drift check (k=4, random wiring)\n");
+  std::printf("%-8s %-8s %12s %12s\n", "layers", "width", "avg test acc",
+              "onset frac");
+  for (const int layers : {1, 2, 4, 8}) {
+    double acc = 0;
+    double onset = 0;
+    for (const auto& b : slice) {
+      core::Rng rng(b.id * 100 + layers);
+      learn::LutNetOptions lo;
+      lo.num_layers = layers;
+      lo.luts_per_layer = 128;
+      const learn::LutNetwork net = learn::LutNetwork::fit(b.train, lo, rng);
+      const auto pred = net.predict(b.test);
+      acc += data::accuracy(pred, b.test.labels());
+      onset += static_cast<double>(pred.count()) / b.test.num_rows();
+    }
+    std::printf("%-8d %-8d %11.2f%% %11.2f%%\n", layers, 128,
+                100 * acc / slice.size(), 100 * onset / slice.size());
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablations over the tree-family design choices DESIGN.md calls out:
+// DT depth sweep (Team 10 fixed 8; Team 5 explored 10/20), forest size
+// (Team 1 explored 4..16 estimators; Team 8 fixed 17), boosting rounds
+// (Team 7 fixed 125), and the fringe-feature iteration cap (Team 3).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "learn/boosting.hpp"
+#include "learn/dt.hpp"
+#include "learn/forest.hpp"
+#include "learn/fringe.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Ablation: tree-family hyper-parameters");
+  auto all = bench::load_suite(cfg);
+  std::vector<oracle::Benchmark> slice;
+  for (auto& b : all) {
+    if (b.id % 5 == 2) {
+      slice.push_back(std::move(b));
+    }
+  }
+
+  std::printf("DT depth sweep\n%-8s %12s %10s\n", "depth", "avg test acc",
+              "avg ANDs");
+  for (const std::size_t depth : {4u, 6u, 8u, 10u, 14u, 0u}) {
+    double acc = 0;
+    double size = 0;
+    for (const auto& b : slice) {
+      core::Rng rng(b.id);
+      learn::DtOptions dt;
+      dt.max_depth = depth;
+      const auto m = learn::DtLearner(dt, "dt").fit(b.train, b.valid, rng);
+      acc += learn::circuit_accuracy(m.circuit, b.test);
+      size += m.circuit.num_ands();
+    }
+    std::printf("%-8s %11.2f%% %10.1f\n",
+                depth == 0 ? "inf" : std::to_string(depth).c_str(),
+                100 * acc / slice.size(), size / slice.size());
+  }
+
+  std::printf("\nforest size sweep (depth 8)\n%-8s %12s %10s\n", "trees",
+              "avg test acc", "avg ANDs");
+  for (const std::size_t trees : {1u, 5u, 9u, 17u, 25u}) {
+    double acc = 0;
+    double size = 0;
+    for (const auto& b : slice) {
+      core::Rng rng(b.id * 3 + 1);
+      learn::ForestOptions fo;
+      fo.num_trees = trees;
+      fo.tree.max_depth = 8;
+      const auto m = learn::ForestLearner(fo, "rf").fit(b.train, b.valid, rng);
+      acc += learn::circuit_accuracy(m.circuit, b.test);
+      size += m.circuit.num_ands();
+    }
+    std::printf("%-8zu %11.2f%% %10.1f\n", trees, 100 * acc / slice.size(),
+                size / slice.size());
+  }
+
+  std::printf("\nboosting rounds sweep (depth 4)\n%-8s %12s %10s\n", "rounds",
+              "avg test acc", "avg ANDs");
+  for (const std::size_t rounds : {5u, 15u, 45u, 125u}) {
+    double acc = 0;
+    double size = 0;
+    for (const auto& b : slice) {
+      core::Rng rng(b.id * 7 + 5);
+      learn::BoostOptions bo;
+      bo.num_trees = rounds;
+      bo.max_depth = 4;
+      const auto m = learn::BoostLearner(bo, "xgb").fit(b.train, b.valid, rng);
+      acc += learn::circuit_accuracy(m.circuit, b.test);
+      size += m.circuit.num_ands();
+    }
+    std::printf("%-8zu %11.2f%% %10.1f\n", rounds, 100 * acc / slice.size(),
+                size / slice.size());
+  }
+
+  std::printf("\nfringe iteration cap (Team 3)\n%-8s %12s %10s\n", "iters",
+              "avg test acc", "avg ANDs");
+  for (const int iters : {0, 1, 2, 4, 8}) {
+    double acc = 0;
+    double size = 0;
+    for (const auto& b : slice) {
+      core::Rng rng(b.id * 11 + 3);
+      learn::FringeOptions fo;
+      fo.max_iterations = iters;
+      fo.dt.min_samples_leaf = 3;
+      const auto m = learn::FringeLearner(fo, "fr").fit(b.train, b.valid, rng);
+      acc += learn::circuit_accuracy(m.circuit, b.test);
+      size += m.circuit.num_ands();
+    }
+    std::printf("%-8d %11.2f%% %10.1f\n", iters, 100 * acc / slice.size(),
+                size / slice.size());
+  }
+  return 0;
+}

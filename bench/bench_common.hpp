@@ -1,0 +1,132 @@
+#pragma once
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper. They all
+// respect LSML_SCALE (smoke / fast / full; see core::ScaleConfig) and print
+// the active configuration first so recorded outputs are self-describing.
+//
+// Team runs are expensive, so they are cached on disk per scale+seed:
+// bench_table3 populates the cache and the Fig. 2/3/4 benches reuse it
+// (recomputing only if the cache is missing).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "oracle/suite.hpp"
+#include "portfolio/contest.hpp"
+#include "portfolio/team.hpp"
+
+namespace lsml::bench {
+
+inline core::ScaleConfig announce(const std::string& name) {
+  const core::ScaleConfig cfg = core::scale_from_env();
+  std::cout << "== " << name << " ==\n"
+            << "scale=" << cfg.name() << " rows/split=" << cfg.train_rows
+            << " benchmarks=" << cfg.num_benchmarks
+            << " (LSML_SCALE=smoke|fast|full)\n\n";
+  return cfg;
+}
+
+inline std::vector<oracle::Benchmark> load_suite(const core::ScaleConfig& cfg) {
+  oracle::SuiteOptions options;
+  options.rows_per_split = cfg.train_rows;
+  return oracle::make_suite(options, static_cast<int>(cfg.num_benchmarks));
+}
+
+inline std::string runs_cache_path(const core::ScaleConfig& cfg) {
+  return ".lsml_team_runs_" + cfg.name() + ".csv";
+}
+
+inline void save_runs(const std::vector<portfolio::TeamRun>& runs,
+                      const std::string& path) {
+  std::ofstream os(path);
+  for (const auto& run : runs) {
+    for (const auto& r : run.results) {
+      os << run.team << ',' << r.benchmark_id << ',' << r.benchmark << ','
+         << r.train_acc << ',' << r.valid_acc << ',' << r.test_acc << ','
+         << r.num_ands << ',' << r.num_levels << ",\"" << r.method << "\"\n";
+    }
+  }
+}
+
+inline bool load_runs(std::vector<portfolio::TeamRun>* runs,
+                      const std::string& path, std::size_t num_benchmarks) {
+  std::ifstream is(path);
+  if (!is) {
+    return false;
+  }
+  std::vector<portfolio::TeamRun> loaded;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    portfolio::BenchmarkResult r;
+    int team = 0;
+    char comma = 0;
+    if (!(ls >> team >> comma >> r.benchmark_id >> comma)) {
+      return false;
+    }
+    std::getline(ls, r.benchmark, ',');
+    ls >> r.train_acc >> comma >> r.valid_acc >> comma >> r.test_acc >>
+        comma >> r.num_ands >> comma >> r.num_levels >> comma;
+    std::getline(ls, r.method);
+    if (loaded.empty() || loaded.back().team != team) {
+      portfolio::TeamRun run;
+      run.team = team;
+      loaded.push_back(run);
+    }
+    loaded.back().results.push_back(r);
+  }
+  for (const auto& run : loaded) {
+    if (run.results.size() != num_benchmarks) {
+      return false;  // stale cache from another configuration
+    }
+  }
+  if (loaded.size() != 10) {
+    return false;
+  }
+  *runs = std::move(loaded);
+  return true;
+}
+
+/// Loads cached team runs or computes them (all ten teams over the suite).
+inline std::vector<portfolio::TeamRun> team_runs(
+    const core::ScaleConfig& cfg, const std::vector<oracle::Benchmark>& suite,
+    bool verbose = true) {
+  std::vector<portfolio::TeamRun> runs;
+  const std::string path = runs_cache_path(cfg);
+  if (load_runs(&runs, path, suite.size())) {
+    if (verbose) {
+      std::cout << "(loaded cached team runs from " << path << ")\n\n";
+    }
+    return runs;
+  }
+  portfolio::TeamOptions team_options;
+  team_options.scale = cfg.scale;
+  for (const int t : portfolio::all_team_numbers()) {
+    if (verbose) {
+      std::cout << "running team " << t << " over " << suite.size()
+                << " benchmarks..." << std::endl;
+    }
+    const auto team = portfolio::make_team(t, team_options);
+    runs.push_back(portfolio::run_suite(*team, t, suite, 2020));
+  }
+  save_runs(runs, path);
+  return runs;
+}
+
+/// Prints a numeric series as an aligned two-column table.
+inline void print_series(const std::string& xlabel, const std::string& ylabel,
+                         const std::vector<double>& xs,
+                         const std::vector<double>& ys) {
+  std::printf("%-14s %-14s\n", xlabel.c_str(), ylabel.c_str());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%-14.2f %-14.4f\n", xs[i], ys[i]);
+  }
+}
+
+}  // namespace lsml::bench

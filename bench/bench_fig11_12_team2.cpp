@@ -1,0 +1,61 @@
+// Figs. 11 & 12 (Team 2): J48-style decision trees vs PART-style rule
+// lists — accuracy and AIG size on the ten benchmarks where the two
+// classifiers diverge the most. The paper's point: neither dominates, which
+// is why Team 2 kept both.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "learn/dt.hpp"
+#include "learn/rules.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Figs. 11/12: J48 vs PART divergence");
+  const auto suite = bench::load_suite(cfg);
+
+  struct Entry {
+    const oracle::Benchmark* bench;
+    double j48_acc, part_acc;
+    std::uint32_t j48_size, part_size;
+  };
+  std::vector<Entry> entries;
+  for (const auto& b : suite) {
+    core::Rng rng(300 + b.id);
+    learn::DtOptions dt;
+    dt.min_samples_leaf = 2;  // WEKA's -M 2 default
+    const auto j48 = learn::DtLearner(dt, "j48").fit(b.train, b.valid, rng);
+    const auto part =
+        learn::RuleListLearner({}, "part").fit(b.train, b.valid, rng);
+    entries.push_back(
+        Entry{&b, learn::circuit_accuracy(j48.circuit, b.test),
+              learn::circuit_accuracy(part.circuit, b.test),
+              j48.circuit.num_ands(), part.circuit.num_ands()});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return std::abs(a.j48_acc - a.part_acc) > std::abs(b.j48_acc - b.part_acc);
+  });
+
+  std::printf("ten most divergent benchmarks\n");
+  std::printf("%-6s %-16s | %8s %8s %7s | %8s %8s\n", "bench", "category",
+              "J48", "PART", "delta", "sz_J48", "sz_PART");
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, entries.size()); ++i) {
+    const Entry& e = entries[i];
+    std::printf("%-6s %-16s | %7.2f%% %7.2f%% %6.2f%% | %8u %8u\n",
+                e.bench->name.c_str(), e.bench->category.c_str(),
+                100 * e.j48_acc, 100 * e.part_acc,
+                100 * std::abs(e.j48_acc - e.part_acc), e.j48_size,
+                e.part_size);
+  }
+  double j48_avg = 0;
+  double part_avg = 0;
+  for (const auto& e : entries) {
+    j48_avg += e.j48_acc;
+    part_avg += e.part_acc;
+  }
+  std::printf("\naverage accuracy: J48 %.2f%%  PART %.2f%%\n",
+              100 * j48_avg / entries.size(), 100 * part_avg / entries.size());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 21 (Team 4): per-benchmark validation accuracy and node count after
+// feature selection + model training + subspace expansion + node-
+// constrained search. Paper shape: high accuracy on most benchmarks with
+// node counts well under 5000, failures concentrated on the hard
+// arithmetic cases regardless of input count.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "portfolio/team.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Fig. 21: Team 4 per-benchmark results");
+  const auto suite = bench::load_suite(cfg);
+
+  portfolio::TeamOptions options;
+  options.scale = cfg.scale;
+  const auto team4 = portfolio::make_team(4, options);
+
+  std::printf("%-6s %-16s %12s %8s  %s\n", "bench", "category", "valid acc",
+              "#nodes", "winning config");
+  double acc = 0;
+  double nodes = 0;
+  for (const auto& b : suite) {
+    core::Rng rng(400 + b.id);
+    const auto model = team4->fit(b.train, b.valid, rng);
+    acc += model.valid_acc;
+    nodes += model.circuit.num_ands();
+    std::printf("%-6s %-16s %11.2f%% %8u  %s\n", b.name.c_str(),
+                b.category.c_str(), 100 * model.valid_acc,
+                model.circuit.num_ands(), model.method.c_str());
+  }
+  std::printf("\naverages: %.2f%% validation accuracy, %.1f nodes\n",
+              100 * acc / suite.size(), nodes / suite.size());
+  return 0;
+}

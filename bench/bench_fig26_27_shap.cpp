@@ -1,0 +1,68 @@
+// Figs. 26 & 27 (Team 7): feature-importance patterns from the boosted
+// trees. Fig. 26 contrasts correlation coefficients (no pattern) with
+// SHAP-style importance (clear MSB-weighted pattern) on a multiplier MSB;
+// Fig. 27 shows the two operand words of a comparator with opposite
+// polarities and magnitudes growing toward the MSBs.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "feature/selection.hpp"
+#include "learn/boosting.hpp"
+#include "oracle/suite.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Figs. 26/27: SHAP-like importances");
+  const bool fast = cfg.scale != core::Scale::kFull;
+
+  oracle::SuiteOptions so;
+  so.rows_per_split = cfg.train_rows;
+
+  learn::BoostOptions bo;
+  bo.num_trees = fast ? 40 : 125;
+  bo.max_depth = fast ? 4 : 5;
+
+  {
+    // Fig. 26: ex25 = MSB-side bit of the 32x32 multiplier.
+    const auto bench_case = oracle::make_benchmark(25, so);
+    core::Rng rng(1);
+    const auto model = learn::GradientBoosted::fit(bench_case.train, bo, rng);
+    const auto corr = feature::correlation_scores(bench_case.train);
+    const auto shap = model.mean_abs_contributions(bench_case.train);
+    std::printf("Fig. 26 (%s, %zu inputs): bit, corr-coef, mean|SHAP|\n",
+                bench_case.name.c_str(), bench_case.num_inputs);
+    for (std::size_t i = 0; i < bench_case.num_inputs; ++i) {
+      std::printf("%4zu %10.4f %10.4f\n", i, corr[i], shap[i]);
+    }
+    // The pattern check: importance of the top quarter of each word should
+    // dominate the bottom quarter.
+    const std::size_t k = bench_case.num_inputs / 2;
+    double msb_mass = 0;
+    double lsb_mass = 0;
+    for (std::size_t i = 0; i < k / 4; ++i) {
+      lsb_mass += shap[i] + shap[k + i];
+      msb_mass += shap[k - 1 - i] + shap[2 * k - 1 - i];
+    }
+    std::printf("MSB-quarter mass %.4f vs LSB-quarter mass %.4f\n\n",
+                msb_mass, lsb_mass);
+  }
+  {
+    // Fig. 27: ex35 = 60-bit comparator.
+    const auto bench_case = oracle::make_benchmark(35, so);
+    core::Rng rng(2);
+    const auto model = learn::GradientBoosted::fit(bench_case.train, bo, rng);
+    const auto shap = model.mean_contributions(bench_case.train);
+    std::printf("Fig. 27 (%s, %zu inputs): bit, mean SHAP\n",
+                bench_case.name.c_str(), bench_case.num_inputs);
+    for (std::size_t i = 0; i < bench_case.num_inputs; ++i) {
+      std::printf("%4zu %10.4f\n", i, shap[i]);
+    }
+    const std::size_t k = bench_case.num_inputs / 2;
+    std::printf(
+        "polarity check: a-word MSB %.4f (expect > 0), b-word MSB %.4f "
+        "(expect < 0)\n",
+        shap[k - 1], shap[2 * k - 1]);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figs. 32 & 33 (Team 10): per-benchmark accuracy and AIG size of the
+// depth-8 decision-tree flow with validation-driven training augmentation.
+// Paper: ~84% mean accuracy with only ~140 AND gates on average and no
+// benchmark above 300 nodes — the smallest circuits of the contest.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "portfolio/team.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Figs. 32/33: Team 10 accuracy and size");
+  const auto suite = bench::load_suite(cfg);
+
+  portfolio::TeamOptions options;
+  options.scale = cfg.scale;
+  const auto team10 = portfolio::make_team(10, options);
+
+  std::printf("%-6s %-16s %10s %8s\n", "bench", "category", "test acc",
+              "#ANDs");
+  double acc = 0;
+  double size = 0;
+  std::uint32_t max_size = 0;
+  for (const auto& b : suite) {
+    core::Rng rng(600 + b.id);
+    const auto model = team10->fit(b.train, b.valid, rng);
+    const double test = learn::circuit_accuracy(model.circuit, b.test);
+    acc += test;
+    size += model.circuit.num_ands();
+    max_size = std::max(max_size, model.circuit.num_ands());
+    std::printf("%-6s %-16s %9.2f%% %8u\n", b.name.c_str(),
+                b.category.c_str(), 100 * test, model.circuit.num_ands());
+  }
+  std::printf(
+      "\naverages: %.2f%% test accuracy, %.1f ANDs (max %u; paper: 84%% / "
+      "~140 / <300)\n",
+      100 * acc / suite.size(), size / suite.size(), max_size);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 3: maximum accuracy achieved for each benchmark across all teams.
+// The shape from the paper: most benchmarks reach ~100%, while a group of
+// hard ones (adder/multiplier MSBs, square-rooters, CIFAR comparisons)
+// stays near 50-75%.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Fig. 3: max accuracy per benchmark");
+  const auto suite = bench::load_suite(cfg);
+  const auto runs = bench::team_runs(cfg, suite);
+
+  const auto best = portfolio::max_accuracy_per_benchmark(runs);
+  std::printf("%-6s %-16s %10s\n", "bench", "category", "max acc");
+  int hard = 0;
+  int solved = 0;
+  for (std::size_t b = 0; b < best.size(); ++b) {
+    std::printf("%-6s %-16s %9.2f%%\n", suite[b].name.c_str(),
+                suite[b].category.c_str(), 100.0 * best[b]);
+    hard += best[b] < 0.6 ? 1 : 0;
+    solved += best[b] > 0.99 ? 1 : 0;
+  }
+  std::printf(
+      "\nsummary: %d benchmarks at >99%% accuracy, %d stuck below 60%%\n",
+      solved, hard);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fig. 4: number of benchmarks on which each team achieves the best
+// accuracy / lands within 1% of the best. In the paper, Team 3 wins both
+// counts (42 outright wins) despite Team 1 winning on average accuracy.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Fig. 4: win rates per team");
+  const auto suite = bench::load_suite(cfg);
+  const auto runs = bench::team_runs(cfg, suite);
+
+  const auto rates = portfolio::win_rates(runs);
+  std::printf("%-5s %8s %14s\n", "team", "best", "within top-1%");
+  for (const auto& r : rates) {
+    std::printf("%-5d %8d %14d\n", r.team, r.best, r.within_top1pct);
+  }
+  std::printf(
+      "\n(ties count for every tied team, as in the paper's bar chart)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figs. 5 & 6 (Team 1): per-benchmark test accuracy and AIG size of the
+// three base methods — ESPRESSO, LUT network, random forest. The paper's
+// shape: random forests win on average; the LUT network occasionally wins
+// on CIFAR-like cases; everything fails on adder/multiplier MSBs and
+// square-rooters; ESPRESSO stays small, the LUT network is huge.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "learn/espresso_learner.hpp"
+#include "learn/forest.hpp"
+#include "learn/lutnet.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Figs. 5/6: ESPRESSO vs LUT-net vs RF");
+  const auto suite = bench::load_suite(cfg);
+  const bool fast = cfg.scale != core::Scale::kFull;
+
+  std::printf("%-6s %-16s | %9s %9s %9s | %8s %8s %8s\n", "bench", "category",
+              "espresso", "lutnet", "rf", "sz_esp", "sz_lut", "sz_rf");
+  double avg[3] = {0, 0, 0};
+  for (const auto& b : suite) {
+    core::Rng rng(42 + b.id);
+    sop::EspressoOptions eo;
+    if (fast) {
+      eo.max_onset = 600;
+      eo.max_offset = 1200;
+    }
+    const auto espresso =
+        learn::EspressoLearner(eo, "espresso").fit(b.train, b.valid, rng);
+    learn::LutNetOptions lo;  // the paper's fixed 8x1024x4 at full scale
+    lo.num_layers = fast ? 2 : 8;
+    lo.luts_per_layer = fast ? 64 : 1024;
+    lo.lut_inputs = 4;
+    const auto lutnet =
+        learn::LutNetLearner(lo, "lutnet").fit(b.train, b.valid, rng);
+    learn::ForestOptions fo;
+    fo.num_trees = 9;  // the paper explored 4..16 estimators
+    fo.tree.max_depth = 10;
+    const auto rf = learn::ForestLearner(fo, "rf").fit(b.train, b.valid, rng);
+
+    const double acc[3] = {learn::circuit_accuracy(espresso.circuit, b.test),
+                           learn::circuit_accuracy(lutnet.circuit, b.test),
+                           learn::circuit_accuracy(rf.circuit, b.test)};
+    for (int i = 0; i < 3; ++i) {
+      avg[i] += acc[i];
+    }
+    std::printf("%-6s %-16s | %8.2f%% %8.2f%% %8.2f%% | %8u %8u %8u\n",
+                b.name.c_str(), b.category.c_str(), 100 * acc[0], 100 * acc[1],
+                100 * acc[2], espresso.circuit.num_ands(),
+                lutnet.circuit.num_ands(), rf.circuit.num_ands());
+  }
+  std::printf("\naverages: espresso %.2f%%  lutnet %.2f%%  rf %.2f%%\n",
+              100 * avg[0] / suite.size(), 100 * avg[1] / suite.size(),
+              100 * avg[2] / suite.size());
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table I: the benchmark taxonomy, with sanity statistics per category
+// (input counts and onset balance of the sampled training sets).
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Table I: benchmark suite overview");
+  const auto suite = bench::load_suite(cfg);
+
+  struct CategoryStats {
+    int count = 0;
+    std::size_t min_inputs = ~0ULL;
+    std::size_t max_inputs = 0;
+    double onset = 0.0;
+  };
+  std::map<std::string, CategoryStats> stats;
+  for (const auto& b : suite) {
+    auto& s = stats[b.category];
+    ++s.count;
+    s.min_inputs = std::min(s.min_inputs, b.num_inputs);
+    s.max_inputs = std::max(s.max_inputs, b.num_inputs);
+    s.onset += b.train.label_fraction();
+  }
+  std::printf("%-16s %5s %9s %9s %10s\n", "category", "count", "min_in",
+              "max_in", "onset");
+  for (const auto& [name, s] : stats) {
+    std::printf("%-16s %5d %9zu %9zu %9.1f%%\n", name.c_str(), s.count,
+                s.min_inputs, s.max_inputs, 100.0 * s.onset / s.count);
+  }
+
+  std::printf("\nper-benchmark listing\n");
+  std::printf("%-6s %-16s %8s %8s\n", "name", "category", "inputs", "onset%");
+  for (const auto& b : suite) {
+    std::printf("%-6s %-16s %8zu %7.1f%%\n", b.name.c_str(),
+                b.category.c_str(), b.num_inputs,
+                100.0 * b.train.label_fraction());
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table III: per-team test accuracy / AND gates / levels / overfit,
+// plus the Fig. 1 technique matrix.
+//
+// Paper values (6400-row splits, the authors' implementations):
+//   team 1: 88.69 acc, 2518 gates;  team 7: 87.50, 1168;  team 8: 87.32;
+//   team 10: 80.25 acc with only 140 gates;  team 6: 62.40.
+// The shape to check: portfolio teams (1/7/8/3) on top, the DT-only team 10
+// far smaller than everyone, the pure LUT-network team 6 at the bottom.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Table III: team leaderboard");
+  const auto suite = bench::load_suite(cfg);
+  const auto runs = bench::team_runs(cfg, suite);
+
+  std::cout << portfolio::format_leaderboard(runs) << "\n";
+
+  std::cout << "Fig. 1: representations used by each team\n";
+  std::printf("%-5s %-5s %-6s %-4s %-4s %-4s %-6s\n", "team", "SOP", "DT/RF",
+              "NN", "LUT", "CGP", "match");
+  for (const auto& row : portfolio::technique_matrix()) {
+    std::printf("%-5d %-5s %-6s %-4s %-4s %-4s %-6s\n", row.team,
+                row.sop ? "x" : "", row.dt_rf ? "x" : "", row.nn ? "x" : "",
+                row.lut ? "x" : "", row.cgp ? "x" : "",
+                row.matching ? "x" : "");
+  }
+
+  std::cout << "\nper-team chosen methods (first 10 benchmarks)\n";
+  for (const auto& run : runs) {
+    std::printf("team %2d:", run.team);
+    for (std::size_t b = 0; b < std::min<std::size_t>(10, run.results.size());
+         ++b) {
+      std::printf(" %s", run.results[b].method.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

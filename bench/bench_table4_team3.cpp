@@ -1,0 +1,85 @@
+// Table IV (Team 3): DT vs fringe-DT vs NN vs LUT-Net vs 3-model ensemble.
+// Paper values: DT 80.15% / 304 nodes, Fr-DT 85.23% / 241, NN 80.90% /
+// 10981, LUT-Net 72.68% / 64004, ensemble 87.25% / 1550. The shape: Fr-DT
+// beats DT on both accuracy and size, the NN is competitive but huge,
+// LUT-Net trails, the ensemble is best.
+
+#include <cstdio>
+
+#include "aig/aig_opt.hpp"
+#include "bench_common.hpp"
+#include "learn/dt.hpp"
+#include "learn/fringe.hpp"
+#include "learn/lutnet.hpp"
+#include "learn/mlp.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Table IV: Team 3's method comparison");
+  const auto suite = bench::load_suite(cfg);
+  const bool fast = cfg.scale != core::Scale::kFull;
+
+  struct Row {
+    std::string name;
+    double train = 0, valid = 0, test = 0, size = 0;
+    int count = 0;
+  };
+  std::vector<Row> rows(5);
+  rows[0].name = "DT";
+  rows[1].name = "Fr-DT";
+  rows[2].name = "NN";
+  rows[3].name = "LUT-Net";
+  rows[4].name = "ensemble";
+
+  for (const auto& bench_case : suite) {
+    core::Rng rng(1000 + bench_case.id);
+    std::vector<learn::TrainedModel> models;
+
+    learn::DtOptions dt;
+    dt.min_samples_leaf = 3;
+    models.push_back(learn::DtLearner(dt, "dt").fit(bench_case.train,
+                                                    bench_case.valid, rng));
+    learn::FringeOptions fr;
+    fr.dt.min_samples_leaf = 3;
+    fr.max_iterations = fast ? 4 : 8;
+    models.push_back(learn::FringeLearner(fr, "fr").fit(
+        bench_case.train, bench_case.valid, rng));
+    learn::MlpOptions mlp;
+    mlp.hidden = {24, 12};
+    mlp.epochs = fast ? 8 : 24;
+    models.push_back(learn::MlpLearner(mlp, "nn").fit(bench_case.train,
+                                                      bench_case.valid, rng));
+    learn::LutNetOptions lut;
+    lut.num_layers = 2;
+    lut.luts_per_layer = fast ? 48 : 256;
+    models.push_back(learn::LutNetLearner(lut, "lutnet").fit(
+        bench_case.train, bench_case.valid, rng));
+
+    // Ensemble: majority of the three Team 3 members (DT, Fr-DT, NN).
+    aig::Aig ensemble(static_cast<std::uint32_t>(bench_case.num_inputs));
+    const aig::Lit a = aig::append_aig(ensemble, models[0].circuit);
+    const aig::Lit b = aig::append_aig(ensemble, models[1].circuit);
+    const aig::Lit c = aig::append_aig(ensemble, models[2].circuit);
+    ensemble.add_output(ensemble.maj3(a, b, c));
+    models.push_back(learn::finish_model(ensemble.cleanup(), "ens",
+                                         bench_case.train, bench_case.valid));
+
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      rows[m].train += models[m].train_acc;
+      rows[m].valid += models[m].valid_acc;
+      rows[m].test +=
+          learn::circuit_accuracy(models[m].circuit, bench_case.test);
+      rows[m].size += models[m].circuit.num_ands();
+      ++rows[m].count;
+    }
+  }
+
+  std::printf("%-10s %12s %12s %12s %12s\n", "method", "train acc",
+              "valid acc", "test acc", "avg size");
+  for (const auto& r : rows) {
+    std::printf("%-10s %11.2f%% %11.2f%% %11.2f%% %12.1f\n", r.name.c_str(),
+                100.0 * r.train / r.count, 100.0 * r.valid / r.count,
+                100.0 * r.test / r.count, r.size / r.count);
+  }
+  return 0;
+}

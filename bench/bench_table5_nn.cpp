@@ -1,0 +1,52 @@
+// Table V (Team 3): accuracy degradation of the NN pipeline —
+// initial float network -> after connection pruning -> after neuron-to-LUT
+// synthesis. Paper: 87.30/83.14/82.87 -> 89.06/82.60/81.88 ->
+// 82.64/80.91/80.90 (train/valid/test); i.e. pruning costs little
+// generalization and synthesis costs a further ~1-2%.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "learn/mlp.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("Table V: NN accuracy degradation");
+  const auto suite = bench::load_suite(cfg);
+  const bool fast = cfg.scale != core::Scale::kFull;
+
+  learn::MlpStageAccuracy total;
+  int count = 0;
+  for (const auto& b : suite) {
+    learn::MlpOptions options;
+    options.hidden = {24, 12};
+    options.epochs = fast ? 8 : 24;
+    options.prune_max_fanin = 12;
+    core::Rng rng(500 + b.id);
+    const auto s =
+        learn::mlp_staged_accuracy(b.train, b.valid, b.test, options, rng);
+    total.initial_train += s.initial_train;
+    total.initial_valid += s.initial_valid;
+    total.initial_test += s.initial_test;
+    total.pruned_train += s.pruned_train;
+    total.pruned_valid += s.pruned_valid;
+    total.pruned_test += s.pruned_test;
+    total.synth_train += s.synth_train;
+    total.synth_valid += s.synth_valid;
+    total.synth_test += s.synth_test;
+    ++count;
+  }
+  const auto pct = [&](double v) { return 100.0 * v / count; };
+  std::printf("%-16s %12s %12s %12s\n", "NN config", "train acc", "valid acc",
+              "test acc");
+  std::printf("%-16s %11.2f%% %11.2f%% %11.2f%%\n", "initial",
+              pct(total.initial_train), pct(total.initial_valid),
+              pct(total.initial_test));
+  std::printf("%-16s %11.2f%% %11.2f%% %11.2f%%\n", "after pruning",
+              pct(total.pruned_train), pct(total.pruned_valid),
+              pct(total.pruned_test));
+  std::printf("%-16s %11.2f%% %11.2f%% %11.2f%%\n", "after synthesis",
+              pct(total.synth_train), pct(total.synth_valid),
+              pct(total.synth_test));
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Table VI (Team 5): census of which configuration wins each benchmark —
+// decision tool (DT / RF / NN-expression), feature-selection method
+// (KBest / Percentile / none) and scoring function (chi2 / corr / MI).
+// Paper: DT wins 55, RF 28, NN 17; KBest 48, Percentile 11, none 41;
+// chi2 is the most useful scorer.
+
+#include <cstdio>
+#include <map>
+
+#include "aig/aig_build.hpp"
+#include "bench_common.hpp"
+#include "feature/selection.hpp"
+#include "learn/dt.hpp"
+#include "learn/forest.hpp"
+#include "tt/truth_table.hpp"
+
+namespace {
+
+using namespace lsml;
+
+struct Candidate {
+  std::string tool;
+  std::string selection;
+  std::string scorer;
+  double valid_acc = -1.0;
+};
+
+aig::Aig tree_over_columns(const learn::DecisionTree& tree,
+                           const std::vector<std::size_t>& feats,
+                           std::size_t num_inputs) {
+  aig::Aig g(static_cast<std::uint32_t>(num_inputs));
+  std::vector<aig::Lit> leaves;
+  for (std::size_t v : feats) {
+    leaves.push_back(g.pi(static_cast<std::uint32_t>(v)));
+  }
+  g.add_output(tree.to_lit(g, leaves));
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = bench::announce("Table VI: Team 5 winning-config census");
+  const auto suite = bench::load_suite(cfg);
+
+  std::map<std::string, int> tool_wins;
+  std::map<std::string, int> selection_wins;
+  std::map<std::string, int> scorer_wins;
+
+  for (const auto& b : suite) {
+    core::Rng rng(900 + b.id);
+    const auto chi2 = feature::chi2_scores(b.train);
+    const auto corr = feature::correlation_scores(b.train);
+    const auto mi = feature::mutual_information(b.train);
+
+    std::vector<std::pair<std::string, const std::vector<double>*>> scorers{
+        {"chi2", &chi2}, {"corr", &corr}, {"mutual_info", &mi}};
+
+    Candidate best;
+    const auto consider = [&](const Candidate& c) {
+      if (c.valid_acc > best.valid_acc) {
+        best = c;
+      }
+    };
+
+    const auto eval_featset = [&](const std::vector<std::size_t>& feats,
+                                  const std::string& selection,
+                                  const std::string& scorer) {
+      const data::Dataset sub = b.train.select_columns(feats);
+      // DT depth 10 (Gini, scikit-style).
+      {
+        learn::DtOptions dt;
+        dt.max_depth = 10;
+        dt.criterion = learn::DtOptions::Criterion::kGini;
+        const auto tree = learn::DecisionTree::fit(sub, dt, rng);
+        const aig::Aig g = tree_over_columns(tree, feats, b.num_inputs);
+        consider({"DT", selection, scorer,
+                  learn::circuit_accuracy(g, b.valid)});
+      }
+      // RF with 3 trees (their 5000-gate-driven limit).
+      {
+        learn::ForestOptions fo;
+        fo.num_trees = 3;
+        fo.tree.max_depth = 10;
+        fo.tree.criterion = learn::DtOptions::Criterion::kGini;
+        const auto rf = learn::RandomForest::fit(sub, fo, rng);
+        // Rebuild over the full input space via the tree lit mapping.
+        aig::Aig g(static_cast<std::uint32_t>(b.num_inputs));
+        std::vector<aig::Lit> leaves;
+        for (std::size_t v : feats) {
+          leaves.push_back(g.pi(static_cast<std::uint32_t>(v)));
+        }
+        std::vector<aig::Lit> outs;
+        for (const auto& tree : rf.trees()) {
+          outs.push_back(tree.to_lit(g, leaves));
+        }
+        g.add_output(g.maj3(outs[0], outs[1], outs[2]));
+        consider({"RF", selection, scorer,
+                  learn::circuit_accuracy(g, b.valid)});
+      }
+    };
+
+    // No feature selection.
+    std::vector<std::size_t> all(b.num_inputs);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      all[i] = i;
+    }
+    eval_featset(all, "none", "none");
+    // KBest / Percentile over each scorer.
+    for (const auto& [sname, scores] : scorers) {
+      eval_featset(
+          feature::select_k_best(*scores, std::max<std::size_t>(
+                                              4, b.num_inputs / 2)),
+          "KBest", sname);
+      eval_featset(feature::select_percentile(*scores, 25.0), "Percentile",
+                   sname);
+    }
+    // NN-guided 4-feature expression search substitute: best 4 by MI,
+    // exhaustive 2-level expression = best 4-var truth table on train.
+    {
+      const auto feats = feature::select_k_best(mi, 4);
+      const data::Dataset sub = b.train.select_columns(feats);
+      // Count label agreement per 4-bit pattern; pick the majority table.
+      std::uint32_t ones[16] = {0};
+      std::uint32_t total[16] = {0};
+      for (std::size_t r = 0; r < sub.num_rows(); ++r) {
+        std::uint32_t p = 0;
+        for (std::size_t i = 0; i < 4 && i < sub.num_inputs(); ++i) {
+          p |= static_cast<std::uint32_t>(sub.input(r, i)) << i;
+        }
+        ++total[p];
+        ones[p] += sub.label(r) ? 1 : 0;
+      }
+      tt::TruthTable f(4);
+      for (std::uint64_t p = 0; p < 16; ++p) {
+        f.set(p, 2 * ones[p] > total[p]);
+      }
+      aig::Aig g(static_cast<std::uint32_t>(b.num_inputs));
+      std::vector<aig::Lit> leaves;
+      for (std::size_t v : feats) {
+        leaves.push_back(g.pi(static_cast<std::uint32_t>(v)));
+      }
+      while (leaves.size() < 4) {
+        leaves.push_back(aig::kLitFalse);
+      }
+      g.add_output(aig::from_truth_table(g, f, leaves));
+      consider({"NN", "KBest", "mutual_info",
+                learn::circuit_accuracy(g, b.valid)});
+    }
+
+    ++tool_wins[best.tool];
+    ++selection_wins[best.selection];
+    ++scorer_wins[best.scorer];
+  }
+
+  std::printf("%-18s %-14s %s\n", "characteristic", "parameter", "# wins");
+  for (const auto& [k, v] : tool_wins) {
+    std::printf("%-18s %-14s %d\n", "decision tool", k.c_str(), v);
+  }
+  for (const auto& [k, v] : selection_wins) {
+    std::printf("%-18s %-14s %d\n", "feature selection", k.c_str(), v);
+  }
+  for (const auto& [k, v] : scorer_wins) {
+    std::printf("%-18s %-14s %d\n", "scoring function", k.c_str(), v);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Approximate logic synthesis: the paper's closing question is whether ML
+// can trade exactness for area when exactness is not needed. This example
+// shows both directions on one function:
+//   (a) exact-circuit approximation (Team 1's simulation-guided constant
+//       replacement) sweeping the node budget, and
+//   (b) learned circuits of growing capacity (DT depth sweep),
+// printing accuracy-vs-size for each.
+
+#include <cstdio>
+
+#include "aig/aig_approx.hpp"
+#include "aig/aig_build.hpp"
+#include "learn/dt.hpp"
+#include "oracle/suite.hpp"
+
+int main() {
+  using namespace lsml;
+
+  // Target: the 2nd MSB of a 16-bit adder (ex01) — exactly representable
+  // with ~100 gates, hard to learn from samples.
+  oracle::SuiteOptions so;
+  so.rows_per_split = 2000;
+  const oracle::Benchmark bench = oracle::make_benchmark(1, so);
+
+  // (a) Start from the exact adder circuit and approximate it down.
+  aig::Aig exact(static_cast<std::uint32_t>(bench.num_inputs));
+  {
+    std::vector<aig::Lit> a;
+    std::vector<aig::Lit> b;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      a.push_back(exact.pi(i));
+      b.push_back(exact.pi(16 + i));
+    }
+    exact.add_output(aig::ripple_adder(exact, a, b)[15]);
+    exact = exact.cleanup();
+  }
+  std::printf("exact circuit: %u ANDs, test accuracy %.2f%%\n\n",
+              exact.num_ands(),
+              100 * learn::circuit_accuracy(exact, bench.test));
+
+  std::printf("(a) approximating the exact circuit\n");
+  std::printf("%-10s %10s %12s\n", "budget", "ANDs", "test acc");
+  core::Rng rng(1);
+  for (const std::uint32_t budget : {80u, 60u, 40u, 25u, 12u, 6u, 2u}) {
+    aig::ApproxOptions ao;
+    ao.node_budget = budget;
+    const aig::Aig approx = aig::approximate_to_budget(exact, ao, rng);
+    std::printf("%-10u %10u %11.2f%%\n", budget, approx.num_ands(),
+                100 * learn::circuit_accuracy(approx, bench.test));
+  }
+
+  std::printf("\n(b) learning circuits of growing capacity\n");
+  std::printf("%-10s %10s %12s\n", "depth", "ANDs", "test acc");
+  for (const std::size_t depth : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    learn::DtOptions options;
+    options.max_depth = depth;
+    learn::DtLearner learner(options, "dt");
+    core::Rng lrng(2);
+    const auto model = learner.fit(bench.train, bench.valid, lrng);
+    std::printf("%-10zu %10u %11.2f%%\n", depth, model.circuit.num_ands(),
+                100 * learn::circuit_accuracy(model.circuit, bench.test));
+  }
+  std::printf(
+      "\nBoth curves show the paper's point: a small accuracy sacrifice "
+      "buys a much smaller circuit.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Contest flow: run several team strategies on a slice of the benchmark
+// suite and print a mini leaderboard — the paper's Table III in miniature.
+
+#include <cstdio>
+#include <iostream>
+
+#include "oracle/suite.hpp"
+#include "portfolio/contest.hpp"
+#include "portfolio/team.hpp"
+
+int main() {
+  using namespace lsml;
+
+  // A slice of the suite spanning all three domains of Table I:
+  // arithmetic (comparator, adder MSB), random logic, symmetric, ML-like.
+  oracle::SuiteOptions suite_options;
+  suite_options.rows_per_split = 1000;
+  std::vector<oracle::Benchmark> suite;
+  for (const int id : {0, 31, 52, 74, 76, 82}) {
+    suite.push_back(oracle::make_benchmark(id, suite_options));
+    std::cout << "generated " << suite.back().name << " ("
+              << suite.back().category << ")\n";
+  }
+
+  portfolio::TeamOptions team_options;
+  team_options.scale = core::Scale::kSmoke;  // trimmed grids for the demo
+
+  std::vector<portfolio::TeamRun> runs;
+  for (const int t : {2, 7, 8, 10}) {
+    std::cout << "running team " << t << "...\n";
+    const auto team = portfolio::make_team(t, team_options);
+    runs.push_back(portfolio::run_suite(*team, t, suite, 99));
+  }
+
+  std::cout << "\n" << portfolio::format_leaderboard(runs);
+
+  std::cout << "\nwhat each team picked per benchmark:\n";
+  for (const auto& run : runs) {
+    std::printf("team %2d:", run.team);
+    for (const auto& r : run.results) {
+      std::printf("  %s=%s(%u)", r.benchmark.c_str(), r.method.c_str(),
+                  r.num_ands);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Standard-function matching: "the most important method in the contest"
+// (Team 1). Samples several benchmark functions and shows which ones the
+// matcher identifies — and that the resulting circuits are exact.
+
+#include <cstdio>
+
+#include "learn/matching.hpp"
+#include "oracle/suite.hpp"
+
+int main() {
+  using namespace lsml;
+  oracle::SuiteOptions so;
+  so.rows_per_split = 1500;
+
+  std::printf("%-6s %-16s %-28s %8s %10s\n", "bench", "category",
+              "matched as", "ANDs", "test acc");
+  // Adder MSB, comparator, parity, symmetric, a multiplier bit, and two
+  // that must NOT match (random cone, CIFAR-like).
+  for (const int id : {0, 30, 74, 76, 21, 52, 92}) {
+    const oracle::Benchmark bench = oracle::make_benchmark(id, so);
+    const auto match = learn::match_standard_function(bench.train, {});
+    if (match) {
+      std::printf("%-6s %-16s %-28s %8u %9.2f%%\n", bench.name.c_str(),
+                  bench.category.c_str(), match->what.c_str(),
+                  match->circuit.num_ands(),
+                  100 * learn::circuit_accuracy(match->circuit, bench.test));
+    } else {
+      std::printf("%-6s %-16s %-28s %8s %10s\n", bench.name.c_str(),
+                  bench.category.c_str(), "(no match -> fall back to ML)",
+                  "-", "-");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,235 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace lsml::aig {
+
+Aig::Aig(std::uint32_t num_pis) : num_pis_(num_pis) {
+  nodes_.resize(num_pis_ + 1);
+}
+
+Lit Aig::and2(Lit a, Lit b) {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  // Trivial cases.
+  if (a == kLitFalse) {
+    return kLitFalse;
+  }
+  if (a == kLitTrue) {
+    return b;
+  }
+  if (a == b) {
+    return a;
+  }
+  if (a == lit_not(b)) {
+    return kLitFalse;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  if (auto it = strash_.find(key); it != strash_.end()) {
+    return make_lit(it->second, false);
+  }
+  assert(lit_var(a) < nodes_.size() && lit_var(b) < nodes_.size());
+  const auto var = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{a, b});
+  strash_.emplace(key, var);
+  return make_lit(var, false);
+}
+
+Lit Aig::xor2(Lit a, Lit b) {
+  // a ^ b = !(!(a & !b) & !(!a & b))
+  return lit_not(and2(lit_not(and2(a, lit_not(b))), lit_not(and2(lit_not(a), b))));
+}
+
+Lit Aig::mux(Lit s, Lit t, Lit e) {
+  return lit_not(and2(lit_not(and2(s, t)), lit_not(and2(lit_not(s), e))));
+}
+
+Lit Aig::maj3(Lit a, Lit b, Lit c) {
+  return or2(and2(a, b), or2(and2(a, c), and2(b, c)));
+}
+
+std::vector<std::uint32_t> Aig::levels() const {
+  std::vector<std::uint32_t> level(nodes_.size(), 0);
+  for (std::uint32_t v = num_pis_ + 1; v < nodes_.size(); ++v) {
+    level[v] = 1 + std::max(level[lit_var(nodes_[v].fanin0)],
+                            level[lit_var(nodes_[v].fanin1)]);
+  }
+  return level;
+}
+
+std::uint32_t Aig::num_levels() const {
+  const auto level = levels();
+  std::uint32_t depth = 0;
+  for (Lit out : outputs_) {
+    depth = std::max(depth, level[lit_var(out)]);
+  }
+  return depth;
+}
+
+std::vector<std::uint32_t> Aig::fanout_counts() const {
+  std::vector<std::uint32_t> refs(nodes_.size(), 0);
+  for (std::uint32_t v = num_pis_ + 1; v < nodes_.size(); ++v) {
+    ++refs[lit_var(nodes_[v].fanin0)];
+    ++refs[lit_var(nodes_[v].fanin1)];
+  }
+  for (Lit out : outputs_) {
+    ++refs[lit_var(out)];
+  }
+  return refs;
+}
+
+std::vector<bool> Aig::eval_row(const std::vector<std::uint8_t>& inputs) const {
+  if (inputs.size() < num_pis_) {
+    throw std::invalid_argument("Aig::eval_row: not enough input values");
+  }
+  std::vector<std::uint8_t> value(nodes_.size(), 0);
+  for (std::uint32_t i = 0; i < num_pis_; ++i) {
+    value[i + 1] = inputs[i] ? 1 : 0;
+  }
+  for (std::uint32_t v = num_pis_ + 1; v < nodes_.size(); ++v) {
+    const Node& n = nodes_[v];
+    const std::uint8_t a = value[lit_var(n.fanin0)] ^ lit_compl(n.fanin0);
+    const std::uint8_t b = value[lit_var(n.fanin1)] ^ lit_compl(n.fanin1);
+    value[v] = a & b;
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (Lit l : outputs_) {
+    out.push_back((value[lit_var(l)] ^ lit_compl(l)) != 0);
+  }
+  return out;
+}
+
+std::vector<core::BitVec> Aig::simulate_nodes(
+    const std::vector<const core::BitVec*>& pi_values) const {
+  if (pi_values.size() < num_pis_) {
+    throw std::invalid_argument("Aig::simulate: not enough PI value vectors");
+  }
+  const std::size_t rows = num_pis_ == 0 ? 0 : pi_values[0]->size();
+  std::vector<core::BitVec> sim(nodes_.size(), core::BitVec(rows));
+  for (std::uint32_t i = 0; i < num_pis_; ++i) {
+    sim[i + 1] = *pi_values[i];
+  }
+  const std::size_t nw = sim[0].num_words();
+  for (std::uint32_t v = num_pis_ + 1; v < nodes_.size(); ++v) {
+    const Node& n = nodes_[v];
+    const std::uint64_t* a = sim[lit_var(n.fanin0)].words();
+    const std::uint64_t* b = sim[lit_var(n.fanin1)].words();
+    std::uint64_t* dst = sim[v].words();
+    const std::uint64_t ca = lit_compl(n.fanin0) ? ~0ULL : 0ULL;
+    const std::uint64_t cb = lit_compl(n.fanin1) ? ~0ULL : 0ULL;
+    for (std::size_t w = 0; w < nw; ++w) {
+      dst[w] = (a[w] ^ ca) & (b[w] ^ cb);
+    }
+    // Tail bits can become garbage through complemented edges; the extract
+    // step below re-masks, so only final outputs need the invariant.
+  }
+  return sim;
+}
+
+std::vector<core::BitVec> Aig::simulate(
+    const std::vector<const core::BitVec*>& pi_values) const {
+  auto sim = simulate_nodes(pi_values);
+  const std::size_t rows = num_pis_ == 0 ? 0 : pi_values[0]->size();
+  std::vector<core::BitVec> out;
+  out.reserve(outputs_.size());
+  for (Lit l : outputs_) {
+    core::BitVec v(rows);
+    const core::BitVec& src = sim[lit_var(l)];
+    for (std::size_t i = 0; i < v.num_words(); ++i) {
+      v.words()[i] = src.word(i);
+    }
+    if (lit_compl(l)) {
+      v.flip();
+    } else {
+      // Re-establish the tail-zero invariant (see simulate_nodes).
+      v.flip();
+      v.flip();
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Aig Aig::cleanup() const {
+  std::vector<std::uint8_t> used(nodes_.size(), 0);
+  // Mark cones of all outputs (reverse topological sweep).
+  for (Lit out : outputs_) {
+    used[lit_var(out)] = 1;
+  }
+  for (std::uint32_t v = static_cast<std::uint32_t>(nodes_.size()) - 1;
+       v > num_pis_; --v) {
+    if (used[v]) {
+      used[lit_var(nodes_[v].fanin0)] = 1;
+      used[lit_var(nodes_[v].fanin1)] = 1;
+    }
+  }
+  Aig result(num_pis_);
+  std::vector<Lit> map(nodes_.size(), kLitFalse);
+  for (std::uint32_t i = 0; i < num_pis_; ++i) {
+    map[i + 1] = result.pi(i);
+  }
+  for (std::uint32_t v = num_pis_ + 1; v < nodes_.size(); ++v) {
+    if (!used[v]) {
+      continue;
+    }
+    const Node& n = nodes_[v];
+    const Lit a = lit_notc(map[lit_var(n.fanin0)], lit_compl(n.fanin0));
+    const Lit b = lit_notc(map[lit_var(n.fanin1)], lit_compl(n.fanin1));
+    map[v] = result.and2(a, b);
+  }
+  for (Lit out : outputs_) {
+    result.add_output(lit_notc(map[lit_var(out)], lit_compl(out)));
+  }
+  return result;
+}
+
+std::uint32_t Aig::cone_size() const {
+  std::vector<std::uint8_t> used(nodes_.size(), 0);
+  for (Lit out : outputs_) {
+    used[lit_var(out)] = 1;
+  }
+  std::uint32_t count = 0;
+  for (std::uint32_t v = static_cast<std::uint32_t>(nodes_.size()) - 1;
+       v > num_pis_; --v) {
+    if (used[v]) {
+      ++count;
+      used[lit_var(nodes_[v].fanin0)] = 1;
+      used[lit_var(nodes_[v].fanin1)] = 1;
+    }
+  }
+  return count;
+}
+
+Lit append_aig(Aig& dst, const Aig& src, std::size_t output_index) {
+  if (src.num_pis() > dst.num_pis()) {
+    throw std::invalid_argument("append_aig: source has more PIs");
+  }
+  std::vector<Lit> map(src.num_nodes(), kLitFalse);
+  for (std::uint32_t i = 0; i < src.num_pis(); ++i) {
+    map[i + 1] = dst.pi(i);
+  }
+  for (std::uint32_t v = src.num_pis() + 1; v < src.num_nodes(); ++v) {
+    const Node& n = src.node(v);
+    map[v] = dst.and2(lit_notc(map[lit_var(n.fanin0)], lit_compl(n.fanin0)),
+                      lit_notc(map[lit_var(n.fanin1)], lit_compl(n.fanin1)));
+  }
+  const Lit out = src.output(output_index);
+  return lit_notc(map[lit_var(out)], lit_compl(out));
+}
+
+double agreement(const Aig& aig,
+                 const std::vector<const core::BitVec*>& pi_values,
+                 const core::BitVec& labels) {
+  const auto out = aig.simulate(pi_values);
+  if (out.empty() || labels.size() == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(out[0].count_equal(labels)) /
+         static_cast<double>(labels.size());
+}
+
+}  // namespace lsml::aig

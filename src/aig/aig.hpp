@@ -1,0 +1,129 @@
+#pragma once
+// And-Inverter Graph (AIG) package.
+//
+// The contest's target representation: a DAG of 2-input AND gates with
+// optionally complemented edges. This implementation provides structural
+// hashing, constant/trivial-case simplification, 64-way parallel bit
+// simulation, level/size queries, and cone-based compaction. Node ids are
+// assigned in topological order (fanins always precede a gate), which every
+// traversal in the library relies on.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bits.hpp"
+
+namespace lsml::aig {
+
+/// Edge literal: 2*var + complement. Literal 0 is constant false, 1 true.
+using Lit = std::uint32_t;
+
+inline constexpr Lit kLitFalse = 0;
+inline constexpr Lit kLitTrue = 1;
+
+[[nodiscard]] inline constexpr Lit make_lit(std::uint32_t var, bool compl_) {
+  return (var << 1) | static_cast<std::uint32_t>(compl_);
+}
+[[nodiscard]] inline constexpr std::uint32_t lit_var(Lit l) { return l >> 1; }
+[[nodiscard]] inline constexpr bool lit_compl(Lit l) { return l & 1u; }
+[[nodiscard]] inline constexpr Lit lit_not(Lit l) { return l ^ 1u; }
+[[nodiscard]] inline constexpr Lit lit_notc(Lit l, bool c) {
+  return l ^ static_cast<Lit>(c);
+}
+
+/// A single AND node; primary inputs and the constant node have no fanins.
+struct Node {
+  Lit fanin0 = 0;
+  Lit fanin1 = 0;
+};
+
+class Aig {
+ public:
+  /// Creates an AIG with `num_pis` primary inputs (vars 1..num_pis).
+  explicit Aig(std::uint32_t num_pis = 0);
+
+  [[nodiscard]] std::uint32_t num_pis() const { return num_pis_; }
+  /// Total node count including constant and PIs.
+  [[nodiscard]] std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  /// Number of AND gates (the contest's size metric).
+  [[nodiscard]] std::uint32_t num_ands() const {
+    return num_nodes() - num_pis_ - 1;
+  }
+  [[nodiscard]] bool is_pi(std::uint32_t var) const {
+    return var >= 1 && var <= num_pis_;
+  }
+  [[nodiscard]] bool is_and(std::uint32_t var) const {
+    return var > num_pis_;
+  }
+  [[nodiscard]] const Node& node(std::uint32_t var) const {
+    return nodes_[var];
+  }
+
+  /// Literal of the i-th primary input, i in [0, num_pis).
+  [[nodiscard]] Lit pi(std::uint32_t i) const { return make_lit(i + 1, false); }
+
+  /// Structurally hashed AND with constant/idempotence simplification.
+  Lit and2(Lit a, Lit b);
+  Lit or2(Lit a, Lit b) { return lit_not(and2(lit_not(a), lit_not(b))); }
+  Lit xor2(Lit a, Lit b);
+  Lit xnor2(Lit a, Lit b) { return lit_not(xor2(a, b)); }
+  /// if s then t else e.
+  Lit mux(Lit s, Lit t, Lit e);
+  Lit maj3(Lit a, Lit b, Lit c);
+
+  void add_output(Lit l) { outputs_.push_back(l); }
+  void set_output(std::size_t i, Lit l) { outputs_[i] = l; }
+  [[nodiscard]] std::size_t num_outputs() const { return outputs_.size(); }
+  [[nodiscard]] Lit output(std::size_t i = 0) const { return outputs_[i]; }
+  [[nodiscard]] const std::vector<Lit>& outputs() const { return outputs_; }
+
+  /// Structural level of every node (PIs at level 0).
+  [[nodiscard]] std::vector<std::uint32_t> levels() const;
+  /// Maximum level over all outputs (the contest's depth metric).
+  [[nodiscard]] std::uint32_t num_levels() const;
+
+  /// Fanout count of every node, counting output uses.
+  [[nodiscard]] std::vector<std::uint32_t> fanout_counts() const;
+
+  /// Evaluates all outputs for one input row (bit i = value of PI i).
+  [[nodiscard]] std::vector<bool> eval_row(
+      const std::vector<std::uint8_t>& inputs) const;
+
+  /// 64-way parallel simulation. `pi_values[i]` holds the values of PI i
+  /// across all simulated rows; returns one BitVec per output.
+  [[nodiscard]] std::vector<core::BitVec> simulate(
+      const std::vector<const core::BitVec*>& pi_values) const;
+
+  /// Per-node simulation values (indexed by var), for approximation passes.
+  [[nodiscard]] std::vector<core::BitVec> simulate_nodes(
+      const std::vector<const core::BitVec*>& pi_values) const;
+
+  /// Returns a compacted copy containing only the cone of the outputs.
+  /// The PI count is preserved (PIs are never removed).
+  [[nodiscard]] Aig cleanup() const;
+
+  /// Number of AND nodes in the cone of the outputs (dangling excluded).
+  [[nodiscard]] std::uint32_t cone_size() const;
+
+ private:
+  std::uint32_t num_pis_ = 0;
+  std::vector<Node> nodes_;  // [0]=const, [1..num_pis]=PIs, rest ANDs
+  std::vector<Lit> outputs_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+};
+
+/// Fraction of rows on which the single-output AIG agrees with `labels`.
+double agreement(const Aig& aig,
+                 const std::vector<const core::BitVec*>& pi_values,
+                 const core::BitVec& labels);
+
+/// Copies `src` (single output) into `dst`, mapping src PI i to dst PI i,
+/// and returns the literal of src's output inside dst. Used to combine
+/// separately-trained circuits into one ensemble AIG.
+Lit append_aig(Aig& dst, const Aig& src, std::size_t output_index = 0);
+
+}  // namespace lsml::aig

@@ -1,0 +1,110 @@
+#include "aig/aig_approx.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+namespace lsml::aig {
+
+Aig replace_with_constant(const Aig& in, std::uint32_t var, bool value) {
+  Aig out(in.num_pis());
+  std::vector<Lit> map(in.num_nodes(), kLitFalse);
+  for (std::uint32_t i = 0; i < in.num_pis(); ++i) {
+    map[i + 1] = out.pi(i);
+  }
+  for (std::uint32_t v = in.num_pis() + 1; v < in.num_nodes(); ++v) {
+    if (v == var) {
+      map[v] = value ? kLitTrue : kLitFalse;
+      continue;
+    }
+    const Node& n = in.node(v);
+    map[v] = out.and2(lit_notc(map[lit_var(n.fanin0)], lit_compl(n.fanin0)),
+                      lit_notc(map[lit_var(n.fanin1)], lit_compl(n.fanin1)));
+  }
+  for (Lit o : in.outputs()) {
+    out.add_output(lit_notc(map[lit_var(o)], lit_compl(o)));
+  }
+  return out.cleanup();
+}
+
+namespace {
+
+// Depth of each node measured from the outputs (0 = drives an output).
+std::vector<std::uint32_t> output_distance(const Aig& g) {
+  constexpr std::uint32_t kInf = ~0u;
+  std::vector<std::uint32_t> dist(g.num_nodes(), kInf);
+  for (Lit o : g.outputs()) {
+    dist[lit_var(o)] = 0;
+  }
+  for (std::uint32_t v = g.num_nodes() - 1; v > g.num_pis(); --v) {
+    if (dist[v] == kInf) {
+      continue;
+    }
+    for (Lit f : {g.node(v).fanin0, g.node(v).fanin1}) {
+      dist[lit_var(f)] = std::min(dist[lit_var(f)], dist[v] + 1);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+Aig approximate_to_budget(const Aig& in, const ApproxOptions& options,
+                          core::Rng& rng) {
+  Aig current = in.cleanup();
+  while (current.num_ands() > options.node_budget) {
+    // Fresh random patterns each round, as in the original flow.
+    std::vector<core::BitVec> patterns(current.num_pis(),
+                                       core::BitVec(options.num_patterns));
+    std::vector<const core::BitVec*> pi_values;
+    pi_values.reserve(patterns.size());
+    for (auto& p : patterns) {
+      p.randomize(rng);
+      pi_values.push_back(&p);
+    }
+    const auto sim = current.simulate_nodes(pi_values);
+    const auto dist = output_distance(current);
+
+    std::uint32_t best_var = 0;
+    std::size_t best_score = 0;
+    bool best_value = false;
+    for (std::uint32_t v = current.num_pis() + 1; v < current.num_nodes();
+         ++v) {
+      if (dist[v] < options.protect_depth) {
+        continue;
+      }
+      // Word-wise popcount; the tail of the last word can hold garbage from
+      // complemented-edge simulation, so mask it explicitly.
+      std::size_t ones = 0;
+      const std::size_t nw = sim[v].num_words();
+      for (std::size_t w = 0; w + 1 < nw; ++w) {
+        ones += static_cast<std::size_t>(std::popcount(sim[v].word(w)));
+      }
+      const std::size_t rem = options.num_patterns & 63;
+      const std::uint64_t tail_mask = rem == 0 ? ~0ULL : ((1ULL << rem) - 1);
+      ones += static_cast<std::size_t>(
+          std::popcount(sim[v].word(nw - 1) & tail_mask));
+      const std::size_t zeros = options.num_patterns - ones;
+      if (zeros >= ones && zeros > best_score) {
+        best_score = zeros;
+        best_var = v;
+        best_value = false;
+      } else if (ones > zeros && ones > best_score) {
+        best_score = ones;
+        best_var = v;
+        best_value = true;
+      }
+    }
+    if (best_var == 0) {
+      break;  // everything is protected; cannot shrink further
+    }
+    Aig next = replace_with_constant(current, best_var, best_value);
+    if (next.num_ands() >= current.num_ands()) {
+      break;  // no structural progress; avoid infinite loop
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+}  // namespace lsml::aig

@@ -1,0 +1,99 @@
+#include "aig/aig_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lsml::aig {
+
+void write_aag(const Aig& aig, std::ostream& os) {
+  const std::uint32_t m = aig.num_nodes() - 1;  // max variable index
+  const std::uint32_t i = aig.num_pis();
+  const std::uint32_t a = aig.num_ands();
+  os << "aag " << m << ' ' << i << " 0 " << aig.num_outputs() << ' ' << a
+     << '\n';
+  for (std::uint32_t k = 0; k < i; ++k) {
+    os << aig.pi(k) << '\n';
+  }
+  for (Lit out : aig.outputs()) {
+    os << out << '\n';
+  }
+  for (std::uint32_t v = i + 1; v <= m; ++v) {
+    const Node& n = aig.node(v);
+    os << make_lit(v, false) << ' ' << n.fanin0 << ' ' << n.fanin1 << '\n';
+  }
+}
+
+void write_aag_file(const Aig& aig, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  write_aag(aig, os);
+}
+
+Aig read_aag(std::istream& is) {
+  std::string magic;
+  std::uint32_t m = 0;
+  std::uint32_t i = 0;
+  std::uint32_t l = 0;
+  std::uint32_t o = 0;
+  std::uint32_t a = 0;
+  if (!(is >> magic >> m >> i >> l >> o >> a) || magic != "aag") {
+    throw std::runtime_error("read_aag: bad header");
+  }
+  if (l != 0) {
+    throw std::runtime_error("read_aag: latches not supported");
+  }
+  if (m != i + a) {
+    throw std::runtime_error("read_aag: non-contiguous variable numbering");
+  }
+  Aig aig(i);
+  std::vector<Lit> pi_lits(i);
+  for (std::uint32_t k = 0; k < i; ++k) {
+    Lit lit = 0;
+    if (!(is >> lit) || lit_compl(lit)) {
+      throw std::runtime_error("read_aag: bad input literal");
+    }
+    pi_lits[k] = lit;
+  }
+  std::vector<Lit> out_lits(o);
+  for (auto& lit : out_lits) {
+    if (!(is >> lit)) {
+      throw std::runtime_error("read_aag: bad output literal");
+    }
+  }
+  // Map from file variable to our literal. PIs are expected in order
+  // 2,4,6,... as AIGER recommends; we remap defensively anyway.
+  std::vector<Lit> map(m + 1, kLitFalse);
+  map[0] = kLitFalse;
+  for (std::uint32_t k = 0; k < i; ++k) {
+    map[lit_var(pi_lits[k])] = aig.pi(k);
+  }
+  for (std::uint32_t k = 0; k < a; ++k) {
+    Lit lhs = 0;
+    Lit rhs0 = 0;
+    Lit rhs1 = 0;
+    if (!(is >> lhs >> rhs0 >> rhs1) || lit_compl(lhs)) {
+      throw std::runtime_error("read_aag: bad and line");
+    }
+    const Lit f0 = lit_notc(map[lit_var(rhs0)], lit_compl(rhs0));
+    const Lit f1 = lit_notc(map[lit_var(rhs1)], lit_compl(rhs1));
+    map[lit_var(lhs)] = aig.and2(f0, f1);
+  }
+  for (Lit lit : out_lits) {
+    aig.add_output(lit_notc(map[lit_var(lit)], lit_compl(lit)));
+  }
+  return aig;
+}
+
+Aig read_aag_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot open: " + path);
+  }
+  return read_aag(is);
+}
+
+}  // namespace lsml::aig

@@ -1,0 +1,23 @@
+#pragma once
+// ASCII AIGER (.aag) reading and writing.
+//
+// The contest exchanged circuits in the AIGER format [Biere et al.]; we
+// support the combinational ASCII subset (no latches), which is what the
+// contest used.
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace lsml::aig {
+
+/// Writes a combinational AIG in ASCII AIGER format.
+void write_aag(const Aig& aig, std::ostream& os);
+void write_aag_file(const Aig& aig, const std::string& path);
+
+/// Parses an ASCII AIGER file. Throws std::runtime_error on malformed input.
+Aig read_aag(std::istream& is);
+Aig read_aag_file(const std::string& path);
+
+}  // namespace lsml::aig

@@ -1,0 +1,25 @@
+#pragma once
+// AIG optimization passes.
+//
+// Stand-in for the ABC `resyn2`-style cleanup every team ran on their
+// synthesized circuits: tree balancing (depth), cut-based rewriting via
+// ISOP resynthesis (size), and dangling-node removal. All passes are
+// verified to preserve functionality in the test suite.
+
+#include "aig/aig.hpp"
+
+namespace lsml::aig {
+
+/// Depth-oriented pass: rebuilds maximal AND trees as balanced trees.
+Aig balance(const Aig& in);
+
+/// Size-oriented pass: for every node, enumerates k-input cuts, evaluates
+/// an ISOP-based resynthesis of the cut function and applies it when the
+/// estimated gain (MFFC size minus new cost) is positive.
+Aig rewrite(const Aig& in, int cut_size = 4, int cuts_per_node = 8);
+
+/// Full pipeline: iterates cleanup/balance/rewrite until no improvement.
+/// Never returns a larger AIG than the cleaned-up input.
+Aig optimize(const Aig& in, int max_rounds = 3);
+
+}  // namespace lsml::aig

@@ -1,0 +1,109 @@
+#include "aig/aig_random.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "aig/aig_build.hpp"
+
+namespace lsml::aig {
+
+double onset_fraction(const Aig& g, std::size_t n, core::Rng& rng) {
+  std::vector<core::BitVec> patterns(g.num_pis(), core::BitVec(n));
+  std::vector<const core::BitVec*> pi_values;
+  pi_values.reserve(patterns.size());
+  for (auto& p : patterns) {
+    p.randomize(rng);
+    pi_values.push_back(&p);
+  }
+  const auto out = g.simulate(pi_values);
+  return static_cast<double>(out[0].count()) / static_cast<double>(n);
+}
+
+namespace {
+
+// Picks a literal biased toward recently created nodes so cones get depth.
+Lit pick_lit(const std::vector<Lit>& pool, core::Rng& rng) {
+  const std::uint64_t a = rng.below(pool.size());
+  const std::uint64_t b = rng.below(pool.size());
+  const Lit base = pool[std::max(a, b)];
+  return lit_notc(base, rng.flip(0.5));
+}
+
+Aig build_attempt(const ConeOptions& options, core::Rng& rng) {
+  Aig g(options.num_inputs);
+  std::vector<Lit> pool;
+  pool.reserve(options.num_inputs + options.num_ands);
+  for (std::uint32_t i = 0; i < options.num_inputs; ++i) {
+    pool.push_back(g.pi(i));
+  }
+
+  if (options.flavor == ConeFlavor::kArith) {
+    // Backbone: add two random sub-words, expose sum bits to the pool.
+    const std::uint32_t half = std::max(2u, options.num_inputs / 2);
+    std::vector<Lit> wa;
+    std::vector<Lit> wb;
+    for (std::uint32_t i = 0; i < half; ++i) {
+      wa.push_back(lit_notc(g.pi(rng.below(options.num_inputs)), rng.flip(0.3)));
+      wb.push_back(lit_notc(g.pi(rng.below(options.num_inputs)), rng.flip(0.3)));
+    }
+    for (Lit s : ripple_adder(g, wa, wb)) {
+      pool.push_back(s);
+    }
+  }
+
+  const double xor_prob =
+      options.flavor == ConeFlavor::kXorRich ? 0.35 : 0.0;
+  while (g.num_ands() < options.num_ands) {
+    const Lit a = pick_lit(pool, rng);
+    const Lit b = pick_lit(pool, rng);
+    const Lit r = (xor_prob > 0.0 && rng.flip(xor_prob)) ? g.xor2(a, b)
+                                                         : g.and2(a, b);
+    if (lit_var(r) != 0) {
+      pool.push_back(r);
+    }
+  }
+  // Output mixes nodes spread across the construction so the cone stays
+  // wide even for large graphs (sampling only the last few nodes tends to
+  // leave most of the structure dangling).
+  std::vector<Lit> top;
+  const std::size_t mix = std::min<std::size_t>(9, pool.size());
+  const std::size_t stride = std::max<std::size_t>(1, pool.size() / (2 * mix));
+  for (std::size_t i = 0; i < mix; ++i) {
+    top.push_back(lit_notc(pool[pool.size() - 1 - i * stride], rng.flip(0.5)));
+  }
+  g.add_output(xor_tree(g, std::move(top)));
+  return g.cleanup();
+}
+
+}  // namespace
+
+Aig random_cone(const ConeOptions& options, core::Rng& rng) {
+  Aig best(options.num_inputs);
+  bool have_best = false;
+  double best_dist = 2.0;
+  for (int attempt = 0; attempt < options.max_tries; ++attempt) {
+    Aig g = build_attempt(options, rng);
+    const bool substantial = g.num_ands() >= options.num_ands / 4;
+    if (!substantial && have_best) {
+      continue;  // collapsed structurally; not an interesting cone
+    }
+    const double onset = onset_fraction(g, options.balance_patterns, rng);
+    const double dist = std::abs(onset - 0.5);
+    // A collapsed attempt is only ever kept as a fallback so the result
+    // always has an output; any substantial attempt replaces it.
+    if (!have_best || dist < best_dist ||
+        (substantial && best.num_ands() < options.num_ands / 4)) {
+      best_dist = substantial ? dist : 2.0;
+      best = std::move(g);
+      have_best = true;
+    }
+    if (substantial && onset >= options.balance_lo &&
+        onset <= options.balance_hi) {
+      return best;
+    }
+  }
+  return best;
+}
+
+}  // namespace lsml::aig

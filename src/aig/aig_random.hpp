@@ -1,0 +1,40 @@
+#pragma once
+// Seeded random logic-cone generation.
+//
+// Substitute for the PicoJava / MCNC i10 / cordic / too_large cones used in
+// benchmarks ex50-ex73 (see DESIGN.md): the contest treated those as
+// arbitrary logic cones with a given input count and a roughly balanced
+// onset/offset, which is exactly what these generators produce.
+
+#include <cstdint>
+
+#include "aig/aig.hpp"
+#include "core/rng.hpp"
+
+namespace lsml::aig {
+
+enum class ConeFlavor {
+  kRandom,   ///< plain random AND/complement structure (i10 / PicoJava-like)
+  kXorRich,  ///< sprinkles XOR nodes (cordic / t481-like substitutes)
+  kArith,    ///< adder-backboned mixing (arithmetic-flavoured cones)
+};
+
+struct ConeOptions {
+  std::uint32_t num_inputs = 32;
+  std::uint32_t num_ands = 600;     ///< construction target (pre-cleanup)
+  ConeFlavor flavor = ConeFlavor::kRandom;
+  double balance_lo = 0.35;         ///< required onset fraction window
+  double balance_hi = 0.65;
+  int max_tries = 200;
+  std::size_t balance_patterns = 4096;
+};
+
+/// Generates a single-output cone meeting the balance requirement; the
+/// attempt whose onset fraction is closest to 1/2 is returned if no attempt
+/// lands inside the window.
+Aig random_cone(const ConeOptions& options, core::Rng& rng);
+
+/// Onset fraction of output 0 under `n` random patterns.
+double onset_fraction(const Aig& g, std::size_t n, core::Rng& rng);
+
+}  // namespace lsml::aig

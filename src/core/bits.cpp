@@ -1,0 +1,187 @@
+#include "core/bits.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace lsml::core {
+
+double Rng::gaussian() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  have_spare_ = true;
+  return u * factor;
+}
+
+BitVec::BitVec(std::size_t n, bool value) : size_(n), words_((n + 63) / 64) {
+  if (value) {
+    fill(true);
+  }
+}
+
+std::size_t BitVec::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+std::size_t BitVec::count_equal(const BitVec& other) const {
+  assert(size_ == other.size_);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    diff += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return size_ - diff;
+}
+
+std::size_t BitVec::count_and(const BitVec& other) const {
+  assert(size_ == other.size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+std::size_t BitVec::count_andnot(const BitVec& other) const {
+  assert(size_ == other.size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total +=
+        static_cast<std::size_t>(std::popcount(words_[i] & ~other.words_[i]));
+  }
+  return total;
+}
+
+std::size_t BitVec::count_and2(const BitVec& a, const BitVec& b) const {
+  assert(size_ == a.size_ && size_ == b.size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(
+        std::popcount(words_[i] & a.words_[i] & b.words_[i]));
+  }
+  return total;
+}
+
+std::size_t BitVec::count_and_andnot(const BitVec& a, const BitVec& b) const {
+  assert(size_ == a.size_ && size_ == b.size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(
+        std::popcount(words_[i] & a.words_[i] & ~b.words_[i]));
+  }
+  return total;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+  assert(size_ == o.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= o.words_[i];
+  }
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+  assert(size_ == o.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= o.words_[i];
+  }
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  assert(size_ == o.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= o.words_[i];
+  }
+  return *this;
+}
+
+void BitVec::flip() {
+  for (auto& w : words_) {
+    w = ~w;
+  }
+  mask_tail();
+}
+
+BitVec BitVec::operator&(const BitVec& o) const {
+  BitVec r = *this;
+  r &= o;
+  return r;
+}
+
+BitVec BitVec::operator|(const BitVec& o) const {
+  BitVec r = *this;
+  r |= o;
+  return r;
+}
+
+BitVec BitVec::operator^(const BitVec& o) const {
+  BitVec r = *this;
+  r ^= o;
+  return r;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec r = *this;
+  r.flip();
+  return r;
+}
+
+void BitVec::fill(bool v) {
+  for (auto& w : words_) {
+    w = v ? ~0ULL : 0ULL;
+  }
+  if (v) {
+    mask_tail();
+  }
+}
+
+void BitVec::randomize(Rng& rng, double p) {
+  if (p == 0.5) {
+    for (auto& w : words_) {
+      w = rng.next();
+    }
+    mask_tail();
+    return;
+  }
+  fill(false);
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (rng.flip(p)) {
+      set(i, true);
+    }
+  }
+}
+
+std::uint64_t BitVec::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+  }
+  return h ^ size_;
+}
+
+void BitVec::mask_tail() {
+  const std::size_t rem = size_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << rem) - 1;
+  }
+}
+
+}  // namespace lsml::core

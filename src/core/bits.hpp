@@ -1,0 +1,89 @@
+#pragma once
+// Packed bit vectors used throughout the library.
+//
+// Datasets store one BitVec per input column and one for the labels, so a
+// learner evaluates candidate splits / simulates circuits 64 rows at a time.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace lsml::core {
+
+/// Fixed-length vector of bits packed into 64-bit words.
+///
+/// Bits beyond size() inside the last word are kept at zero (an invariant
+/// every mutating operation re-establishes), so popcount-style reductions
+/// never need masking.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t n, bool value = false);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t num_words() const { return words_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void set(std::size_t i, bool v) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  [[nodiscard]] const std::uint64_t* words() const { return words_.data(); }
+  [[nodiscard]] std::uint64_t* words() { return words_.data(); }
+  [[nodiscard]] std::uint64_t word(std::size_t w) const { return words_[w]; }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const;
+
+  /// Number of positions where this and other agree. Sizes must match.
+  [[nodiscard]] std::size_t count_equal(const BitVec& other) const;
+
+  /// popcount(this & other).
+  [[nodiscard]] std::size_t count_and(const BitVec& other) const;
+
+  /// popcount(this & ~other).
+  [[nodiscard]] std::size_t count_andnot(const BitVec& other) const;
+
+  /// popcount(this & a & b).
+  [[nodiscard]] std::size_t count_and2(const BitVec& a, const BitVec& b) const;
+
+  /// popcount(this & a & ~b).
+  [[nodiscard]] std::size_t count_and_andnot(const BitVec& a,
+                                             const BitVec& b) const;
+
+  BitVec& operator&=(const BitVec& o);
+  BitVec& operator|=(const BitVec& o);
+  BitVec& operator^=(const BitVec& o);
+  /// Complements all bits (keeps the tail-zero invariant).
+  void flip();
+
+  [[nodiscard]] BitVec operator&(const BitVec& o) const;
+  [[nodiscard]] BitVec operator|(const BitVec& o) const;
+  [[nodiscard]] BitVec operator^(const BitVec& o) const;
+  [[nodiscard]] BitVec operator~() const;
+  bool operator==(const BitVec& o) const = default;
+
+  void fill(bool v);
+  /// Fills with i.i.d. Bernoulli(p) bits.
+  void randomize(Rng& rng, double p = 0.5);
+
+  /// FNV-1a hash of the payload (used to deduplicate sampled rows).
+  [[nodiscard]] std::uint64_t hash() const;
+
+ private:
+  void mask_tail();
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lsml::core

@@ -1,0 +1,60 @@
+#include "core/config.hpp"
+
+#include <cstdlib>
+
+namespace lsml::core {
+
+std::string ScaleConfig::name() const {
+  switch (scale) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kFast:
+      return "fast";
+    case Scale::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+ScaleConfig make_scale(Scale s) {
+  ScaleConfig cfg;
+  cfg.scale = s;
+  switch (s) {
+    case Scale::kSmoke:
+      cfg.train_rows = 400;
+      cfg.valid_rows = 400;
+      cfg.test_rows = 400;
+      cfg.num_benchmarks = 20;
+      break;
+    case Scale::kFast:
+      cfg.train_rows = 2000;
+      cfg.valid_rows = 2000;
+      cfg.test_rows = 2000;
+      cfg.num_benchmarks = 100;
+      break;
+    case Scale::kFull:
+      cfg.train_rows = 6400;
+      cfg.valid_rows = 6400;
+      cfg.test_rows = 6400;
+      cfg.num_benchmarks = 100;
+      break;
+  }
+  return cfg;
+}
+
+ScaleConfig scale_from_env() {
+  const char* env = std::getenv("LSML_SCALE");
+  if (env == nullptr) {
+    return make_scale(Scale::kFast);
+  }
+  const std::string value{env};
+  if (value == "smoke") {
+    return make_scale(Scale::kSmoke);
+  }
+  if (value == "full") {
+    return make_scale(Scale::kFull);
+  }
+  return make_scale(Scale::kFast);
+}
+
+}  // namespace lsml::core

@@ -1,0 +1,151 @@
+#include "data/dataset.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lsml::data {
+
+Dataset::Dataset(std::size_t num_inputs, std::size_t num_rows)
+    : num_rows_(num_rows), columns_(num_inputs, core::BitVec(num_rows)),
+      labels_(num_rows) {}
+
+std::size_t Dataset::add_column(core::BitVec column) {
+  if (column.size() != num_rows_) {
+    throw std::invalid_argument("add_column: row count mismatch");
+  }
+  columns_.push_back(std::move(column));
+  return columns_.size() - 1;
+}
+
+std::vector<const core::BitVec*> Dataset::column_ptrs() const {
+  std::vector<const core::BitVec*> ptrs;
+  ptrs.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    ptrs.push_back(&c);
+  }
+  return ptrs;
+}
+
+std::vector<std::uint8_t> Dataset::row(std::size_t r) const {
+  std::vector<std::uint8_t> out(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out[c] = columns_[c].get(r) ? 1 : 0;
+  }
+  return out;
+}
+
+std::uint64_t Dataset::row_hash(std::size_t r) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& col : columns_) {
+    h ^= col.get(r) ? 0x9eULL : 0x31ULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double Dataset::label_fraction() const {
+  if (num_rows_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(labels_.count()) /
+         static_cast<double>(num_rows_);
+}
+
+Dataset Dataset::select_rows(const std::vector<std::size_t>& idx) const {
+  Dataset out(columns_.size(), idx.size());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (columns_[c].get(idx[r])) {
+        out.columns_[c].set(r, true);
+      }
+    }
+    if (labels_.get(idx[r])) {
+      out.labels_.set(r, true);
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::select_columns(const std::vector<std::size_t>& cols) const {
+  Dataset out(cols.size(), num_rows_);
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    out.columns_[c] = columns_[cols[c]];
+  }
+  out.labels_ = labels_;
+  return out;
+}
+
+Dataset Dataset::merged_with(const Dataset& other) const {
+  if (other.num_inputs() != num_inputs()) {
+    throw std::invalid_argument("merged_with: input count mismatch");
+  }
+  Dataset out(num_inputs(), num_rows_ + other.num_rows_);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (columns_[c].get(r)) {
+        out.columns_[c].set(r, true);
+      }
+    }
+    for (std::size_t r = 0; r < other.num_rows_; ++r) {
+      if (other.columns_[c].get(r)) {
+        out.columns_[c].set(num_rows_ + r, true);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    if (labels_.get(r)) {
+      out.labels_.set(r, true);
+    }
+  }
+  for (std::size_t r = 0; r < other.num_rows_; ++r) {
+    if (other.labels_.get(r)) {
+      out.labels_.set(num_rows_ + r, true);
+    }
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double frac, core::Rng& rng,
+                                           bool stratified) const {
+  std::vector<std::size_t> order(num_rows_);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    order[i] = i;
+  }
+  // Fisher-Yates shuffle.
+  for (std::size_t i = num_rows_; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  std::vector<std::size_t> first;
+  std::vector<std::size_t> second;
+  if (!stratified) {
+    const auto cut = static_cast<std::size_t>(frac * num_rows_);
+    first.assign(order.begin(), order.begin() + static_cast<long>(cut));
+    second.assign(order.begin() + static_cast<long>(cut), order.end());
+  } else {
+    // Walk each class independently and cut at the same fraction.
+    std::vector<std::size_t> pos;
+    std::vector<std::size_t> neg;
+    for (std::size_t i : order) {
+      (labels_.get(i) ? pos : neg).push_back(i);
+    }
+    const auto pos_cut = static_cast<std::size_t>(frac * pos.size());
+    const auto neg_cut = static_cast<std::size_t>(frac * neg.size());
+    first.assign(pos.begin(), pos.begin() + static_cast<long>(pos_cut));
+    first.insert(first.end(), neg.begin(),
+                 neg.begin() + static_cast<long>(neg_cut));
+    second.assign(pos.begin() + static_cast<long>(pos_cut), pos.end());
+    second.insert(second.end(), neg.begin() + static_cast<long>(neg_cut),
+                  neg.end());
+  }
+  return {select_rows(first), select_rows(second)};
+}
+
+double accuracy(const core::BitVec& predictions, const core::BitVec& labels) {
+  if (labels.size() == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(predictions.count_equal(labels)) /
+         static_cast<double>(labels.size());
+}
+
+}  // namespace lsml::data

@@ -1,0 +1,78 @@
+#pragma once
+// Column-packed binary datasets.
+//
+// A dataset is the contest's unit of training data: rows of input bits with
+// a single binary label. Columns are packed BitVecs so learners can score
+// candidate splits with word-parallel popcounts, and so a dataset's columns
+// can be fed directly to aig::Aig::simulate.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/bits.hpp"
+#include "core/rng.hpp"
+
+namespace lsml::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::size_t num_inputs, std::size_t num_rows);
+
+  [[nodiscard]] std::size_t num_inputs() const { return columns_.size(); }
+  [[nodiscard]] std::size_t num_rows() const { return num_rows_; }
+
+  [[nodiscard]] const core::BitVec& column(std::size_t i) const {
+    return columns_[i];
+  }
+  [[nodiscard]] core::BitVec& column(std::size_t i) { return columns_[i]; }
+  [[nodiscard]] const core::BitVec& labels() const { return labels_; }
+  [[nodiscard]] core::BitVec& labels() { return labels_; }
+
+  [[nodiscard]] bool input(std::size_t row, std::size_t col) const {
+    return columns_[col].get(row);
+  }
+  void set_input(std::size_t row, std::size_t col, bool v) {
+    columns_[col].set(row, v);
+  }
+  [[nodiscard]] bool label(std::size_t row) const { return labels_.get(row); }
+  void set_label(std::size_t row, bool v) { labels_.set(row, v); }
+
+  /// Adds a derived feature column (used by fringe feature extraction).
+  /// Returns the new column index.
+  std::size_t add_column(core::BitVec column);
+
+  /// Pointers to the first `n` columns, in Aig::simulate layout.
+  [[nodiscard]] std::vector<const core::BitVec*> column_ptrs() const;
+
+  /// One row as a byte vector (for row-oriented learners).
+  [[nodiscard]] std::vector<std::uint8_t> row(std::size_t r) const;
+  [[nodiscard]] std::uint64_t row_hash(std::size_t r) const;
+
+  /// Fraction of rows with label 1.
+  [[nodiscard]] double label_fraction() const;
+
+  [[nodiscard]] Dataset select_rows(const std::vector<std::size_t>& idx) const;
+  [[nodiscard]] Dataset select_columns(
+      const std::vector<std::size_t>& cols) const;
+
+  /// Row-wise concatenation; input counts must match.
+  [[nodiscard]] Dataset merged_with(const Dataset& other) const;
+
+  /// Random split into (first, second) with `frac` of rows in first.
+  /// If `stratified`, the label distribution is preserved in both halves.
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double frac, core::Rng& rng,
+                                                  bool stratified = false) const;
+
+ private:
+  std::size_t num_rows_ = 0;
+  std::vector<core::BitVec> columns_;
+  core::BitVec labels_;
+};
+
+/// Fraction of rows where prediction equals label.
+double accuracy(const core::BitVec& predictions, const core::BitVec& labels);
+
+}  // namespace lsml::data

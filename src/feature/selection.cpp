@@ -1,0 +1,132 @@
+#include "feature/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace lsml::feature {
+
+namespace {
+
+struct Table2x2 {
+  double n11 = 0;  // x=1, y=1
+  double n10 = 0;  // x=1, y=0
+  double n01 = 0;  // x=0, y=1
+  double n00 = 0;  // x=0, y=0
+};
+
+Table2x2 contingency(const data::Dataset& ds, std::size_t col) {
+  const auto& x = ds.column(col);
+  const auto& y = ds.labels();
+  Table2x2 t;
+  const auto n = static_cast<double>(ds.num_rows());
+  t.n11 = static_cast<double>(x.count_and(y));
+  t.n10 = static_cast<double>(x.count_andnot(y));
+  t.n01 = static_cast<double>(y.count_andnot(x));
+  t.n00 = n - t.n11 - t.n10 - t.n01;
+  return t;
+}
+
+}  // namespace
+
+std::vector<double> mutual_information(const data::Dataset& ds) {
+  std::vector<double> scores(ds.num_inputs(), 0.0);
+  const auto n = static_cast<double>(ds.num_rows());
+  if (n == 0) {
+    return scores;
+  }
+  for (std::size_t c = 0; c < ds.num_inputs(); ++c) {
+    const Table2x2 t = contingency(ds, c);
+    const double px1 = (t.n11 + t.n10) / n;
+    const double py1 = (t.n11 + t.n01) / n;
+    // I(X;Y) = sum p(x,y) log [p(x,y) / p(x)p(y)]
+    double mi = 0.0;
+    const double cells[4][3] = {
+        {t.n11 / n, px1, py1},
+        {t.n10 / n, px1, 1 - py1},
+        {t.n01 / n, 1 - px1, py1},
+        {t.n00 / n, 1 - px1, 1 - py1},
+    };
+    for (const auto& cell : cells) {
+      if (cell[0] > 0.0 && cell[1] > 0.0 && cell[2] > 0.0) {
+        mi += cell[0] * std::log(cell[0] / (cell[1] * cell[2]));
+      }
+    }
+    scores[c] = std::max(0.0, mi);
+  }
+  return scores;
+}
+
+std::vector<double> chi2_scores(const data::Dataset& ds) {
+  std::vector<double> scores(ds.num_inputs(), 0.0);
+  const auto n = static_cast<double>(ds.num_rows());
+  if (n == 0) {
+    return scores;
+  }
+  for (std::size_t c = 0; c < ds.num_inputs(); ++c) {
+    const Table2x2 t = contingency(ds, c);
+    const double rx1 = t.n11 + t.n10;
+    const double rx0 = t.n01 + t.n00;
+    const double cy1 = t.n11 + t.n01;
+    const double cy0 = t.n10 + t.n00;
+    double chi2 = 0.0;
+    const double obs[4] = {t.n11, t.n10, t.n01, t.n00};
+    const double exp[4] = {rx1 * cy1 / n, rx1 * cy0 / n, rx0 * cy1 / n,
+                           rx0 * cy0 / n};
+    for (int i = 0; i < 4; ++i) {
+      if (exp[i] > 0.0) {
+        const double d = obs[i] - exp[i];
+        chi2 += d * d / exp[i];
+      }
+    }
+    scores[c] = chi2;
+  }
+  return scores;
+}
+
+std::vector<double> correlation_scores(const data::Dataset& ds) {
+  std::vector<double> scores(ds.num_inputs(), 0.0);
+  const auto n = static_cast<double>(ds.num_rows());
+  if (n == 0) {
+    return scores;
+  }
+  const double py = ds.label_fraction();
+  const double sy = std::sqrt(py * (1 - py));
+  for (std::size_t c = 0; c < ds.num_inputs(); ++c) {
+    const Table2x2 t = contingency(ds, c);
+    const double px = (t.n11 + t.n10) / n;
+    const double sx = std::sqrt(px * (1 - px));
+    if (sx == 0.0 || sy == 0.0) {
+      continue;
+    }
+    const double cov = t.n11 / n - px * py;
+    scores[c] = std::abs(cov / (sx * sy));
+  }
+  return scores;
+}
+
+std::vector<std::size_t> select_k_best(const std::vector<double>& scores,
+                                       std::size_t k) {
+  std::vector<std::size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, scores.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k), idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  idx.resize(k);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+std::vector<std::size_t> select_percentile(const std::vector<double>& scores,
+                                           double percent) {
+  const auto k = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(scores.size() * percent / 100.0)));
+  return select_k_best(scores, k);
+}
+
+}  // namespace lsml::feature

@@ -1,0 +1,33 @@
+#pragma once
+// Univariate feature scoring and selection.
+//
+// C++ equivalents of the scikit-learn utilities several teams used
+// (SelectKBest / SelectPercentile with chi2, f_classif-style separation,
+// mutual_info_classif) plus plain label correlation, all specialized for
+// binary features and binary labels.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace lsml::feature {
+
+/// Mutual information I(X_i; Y) in nats for every input column.
+std::vector<double> mutual_information(const data::Dataset& ds);
+
+/// Chi-squared statistic of the 2x2 contingency table per column.
+std::vector<double> chi2_scores(const data::Dataset& ds);
+
+/// |Pearson correlation| between column and label.
+std::vector<double> correlation_scores(const data::Dataset& ds);
+
+/// Indices of the k highest-scoring features (ties broken by index).
+std::vector<std::size_t> select_k_best(const std::vector<double>& scores,
+                                       std::size_t k);
+
+/// Indices of the top `percent` (0-100] of features by score.
+std::vector<std::size_t> select_percentile(const std::vector<double>& scores,
+                                           double percent);
+
+}  // namespace lsml::feature

@@ -1,0 +1,274 @@
+#include "learn/bdd.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "aig/aig_opt.hpp"
+#include "sop/cube.hpp"
+
+namespace lsml::learn {
+
+void BddMgr::set_order(std::vector<std::size_t> order) {
+  order_ = std::move(order);
+  level_var_.assign(num_vars_, 0);
+  for (std::size_t v = 0; v < num_vars_; ++v) {
+    level_var_[order_[v]] = v;
+  }
+}
+
+BddMgr::Ref BddMgr::mk(std::uint32_t level, Ref lo, Ref hi) {
+  if (lo == hi) {
+    return lo;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(level) << 42) ^
+                            (static_cast<std::uint64_t>(lo) << 21) ^ hi;
+  if (auto it = unique_.find(key); it != unique_.end()) {
+    return it->second;
+  }
+  nodes_.push_back(Node{level, lo, hi});
+  const Ref r = static_cast<Ref>(nodes_.size() - 1);
+  unique_.emplace(key, r);
+  return r;
+}
+
+BddMgr::Ref BddMgr::var(std::size_t v) {
+  if (order_.empty()) {
+    std::vector<std::size_t> identity(num_vars_);
+    std::iota(identity.begin(), identity.end(), 0);
+    set_order(std::move(identity));
+  }
+  return mk(static_cast<std::uint32_t>(order_[v]), kFalse, kTrue);
+}
+
+BddMgr::Cofactors BddMgr::cofactor(Ref r, std::uint32_t level) const {
+  const Node& n = nodes_[r];
+  if (n.level == level) {
+    return {n.lo, n.hi};
+  }
+  return {r, r};
+}
+
+BddMgr::Ref BddMgr::apply(Ref a, Ref b, int op) {
+  // Terminal cases.
+  switch (op) {
+    case 0:  // and
+      if (a == kFalse || b == kFalse) {
+        return kFalse;
+      }
+      if (a == kTrue) {
+        return b;
+      }
+      if (b == kTrue || a == b) {
+        return a;
+      }
+      break;
+    case 1:  // or
+      if (a == kTrue || b == kTrue) {
+        return kTrue;
+      }
+      if (a == kFalse) {
+        return b;
+      }
+      if (b == kFalse || a == b) {
+        return a;
+      }
+      break;
+    default:  // xor
+      if (a == b) {
+        return kFalse;
+      }
+      if (a == kFalse) {
+        return b;
+      }
+      if (b == kFalse) {
+        return a;
+      }
+      break;
+  }
+  if (a > b && (op == 0 || op == 1 || op == 2)) {
+    std::swap(a, b);  // commutative; canonicalize the cache key
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 34) ^
+                            (static_cast<std::uint64_t>(b) << 2) ^
+                            static_cast<std::uint64_t>(op);
+  if (auto it = apply_cache_.find(key); it != apply_cache_.end()) {
+    return it->second;
+  }
+  const std::uint32_t level = std::min(level_of(a), level_of(b));
+  const Cofactors ca = cofactor(a, level);
+  const Cofactors cb = cofactor(b, level);
+  const Ref lo = apply(ca.lo, cb.lo, op);
+  const Ref hi = apply(ca.hi, cb.hi, op);
+  const Ref r = mk(level, lo, hi);
+  apply_cache_.emplace(key, r);
+  return r;
+}
+
+BddMgr::Ref BddMgr::bdd_and(Ref a, Ref b) { return apply(a, b, 0); }
+BddMgr::Ref BddMgr::bdd_or(Ref a, Ref b) { return apply(a, b, 1); }
+BddMgr::Ref BddMgr::bdd_xor(Ref a, Ref b) { return apply(a, b, 2); }
+
+BddMgr::Ref BddMgr::minterm(const core::BitVec& row) {
+  if (order_.empty()) {
+    var(0);  // force identity order initialization
+  }
+  // Build bottom-up in reverse order of levels for linear work.
+  Ref r = kTrue;
+  for (std::size_t level = num_vars_; level-- > 0;) {
+    const std::size_t v = level_var_[level];
+    r = row.get(v) ? mk(static_cast<std::uint32_t>(level), kFalse, r)
+                   : mk(static_cast<std::uint32_t>(level), r, kFalse);
+  }
+  return r;
+}
+
+BddMgr::Ref BddMgr::minimize(Ref f, Ref care, bool use_two_sided,
+                             bool use_complement) {
+  if (care == kFalse) {
+    return kFalse;  // entirely don't-care: pick the constant 0
+  }
+  if (f == kFalse || f == kTrue) {
+    return f;  // constants are already minimal
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(f) << 32) ^ care ^
+      (static_cast<std::uint64_t>(use_two_sided) << 62) ^
+      (static_cast<std::uint64_t>(use_complement) << 63);
+  if (auto it = min_cache_.find(key); it != min_cache_.end()) {
+    return it->second;
+  }
+  const std::uint32_t level = std::min(level_of(f), level_of(care));
+  const Cofactors cf = cofactor(f, level);
+  const Cofactors cc = cofactor(care, level);
+
+  Ref result = 0;
+  if (cc.lo == kFalse) {
+    // One-sided: the low branch is all don't-care.
+    result = minimize(cf.hi, cc.hi, use_two_sided, use_complement);
+  } else if (cc.hi == kFalse) {
+    result = minimize(cf.lo, cc.lo, use_two_sided, use_complement);
+  } else {
+    const Ref common = bdd_and(cc.lo, cc.hi);
+    const bool straight_ok =
+        use_two_sided && bdd_and(bdd_xor(cf.lo, cf.hi), common) == kFalse;
+    if (straight_ok) {
+      // Two-sided: children agree wherever both care.
+      const Ref merged =
+          bdd_or(bdd_and(cf.lo, cc.lo), bdd_and(cf.hi, cc.hi));
+      result = minimize(merged, bdd_or(cc.lo, cc.hi), use_two_sided,
+                        use_complement);
+    } else {
+      const bool compl_ok =
+          use_complement &&
+          bdd_and(bdd_not(bdd_xor(cf.lo, cf.hi)), common) == kFalse;
+      if (compl_ok) {
+        // Complemented two-sided: hi agrees with NOT(lo) on the common
+        // care; realize as var XOR g.
+        const Ref merged =
+            bdd_or(bdd_and(cf.lo, cc.lo), bdd_and(bdd_not(cf.hi), cc.hi));
+        const Ref g = minimize(merged, bdd_or(cc.lo, cc.hi), use_two_sided,
+                               use_complement);
+        const Ref v = mk(level, kFalse, kTrue);
+        result = bdd_xor(v, g);
+      } else {
+        const Ref lo = minimize(cf.lo, cc.lo, use_two_sided, use_complement);
+        const Ref hi = minimize(cf.hi, cc.hi, use_two_sided, use_complement);
+        result = mk(level, lo, hi);
+      }
+    }
+  }
+  min_cache_.emplace(key, result);
+  return result;
+}
+
+bool BddMgr::eval(Ref f, const core::BitVec& row) const {
+  while (f != kFalse && f != kTrue) {
+    const Node& n = nodes_[f];
+    f = row.get(level_var_[n.level]) ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+std::size_t BddMgr::size(Ref f) const {
+  std::unordered_set<Ref> seen;
+  std::vector<Ref> stack{f};
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    stack.pop_back();
+    if (r == kFalse || r == kTrue || !seen.insert(r).second) {
+      continue;
+    }
+    stack.push_back(nodes_[r].lo);
+    stack.push_back(nodes_[r].hi);
+  }
+  return seen.size();
+}
+
+aig::Lit BddMgr::to_lit(Ref f, aig::Aig& g,
+                        const std::vector<aig::Lit>& leaves) {
+  std::unordered_map<Ref, aig::Lit> built{{kFalse, aig::kLitFalse},
+                                          {kTrue, aig::kLitTrue}};
+  const auto rec = [&](auto&& self, Ref r) -> aig::Lit {
+    if (auto it = built.find(r); it != built.end()) {
+      return it->second;
+    }
+    const Node& n = nodes_[r];
+    const aig::Lit lo = self(self, n.lo);
+    const aig::Lit hi = self(self, n.hi);
+    const aig::Lit lit = g.mux(leaves[level_var_[n.level]], hi, lo);
+    built.emplace(r, lit);
+    return lit;
+  };
+  return rec(rec, f);
+}
+
+TrainedModel BddLearner::fit(const data::Dataset& train,
+                             const data::Dataset& valid, core::Rng& rng) {
+  (void)rng;
+  const std::size_t n = train.num_inputs();
+  if (n > options_.max_inputs) {
+    // Too wide for a sampled-minterm BDD: return the majority constant.
+    aig::Aig g(static_cast<std::uint32_t>(n));
+    g.add_output(train.label_fraction() >= 0.5 ? aig::kLitTrue
+                                               : aig::kLitFalse);
+    return finish_model(std::move(g), label_ + "(const)", train, valid);
+  }
+  BddMgr mgr(n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (options_.msb_first_interleaved && n % 2 == 0) {
+    // MSB-first, interleaving the two operand words (the order the paper
+    // found necessary for adders): a[k-1], b[k-1], a[k-2], b[k-2], ...
+    const std::size_t k = n / 2;
+    for (std::size_t i = 0; i < k; ++i) {
+      order[k - 1 - i] = 2 * i;      // a bits, MSB first
+      order[n - 1 - i] = 2 * i + 1;  // b bits, MSB first
+    }
+  }
+  mgr.set_order(order);
+
+  const auto rows = sop::dataset_rows(train);
+  BddMgr::Ref onset = BddMgr::kFalse;
+  BddMgr::Ref careset = BddMgr::kFalse;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const BddMgr::Ref m = mgr.minterm(rows[r]);
+    careset = mgr.bdd_or(careset, m);
+    if (train.label(r)) {
+      onset = mgr.bdd_or(onset, m);
+    }
+  }
+  const BddMgr::Ref minimized = mgr.minimize(
+      onset, careset, options_.use_two_sided, options_.use_complement);
+
+  aig::Aig g(static_cast<std::uint32_t>(n));
+  std::vector<aig::Lit> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(g.pi(static_cast<std::uint32_t>(i)));
+  }
+  g.add_output(mgr.to_lit(minimized, g, leaves));
+  return finish_model(aig::optimize(g), label_, train, valid);
+}
+
+}  // namespace lsml::learn

@@ -1,0 +1,289 @@
+#include "learn/boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "aig/aig_build.hpp"
+#include "aig/aig_opt.hpp"
+#include "learn/dt.hpp"
+
+namespace lsml::learn {
+
+double RegressionTree::predict_row(const data::Dataset& ds,
+                                   std::size_t row) const {
+  std::uint32_t at = 0;
+  while (nodes[at].var >= 0) {
+    at = ds.input(row, static_cast<std::size_t>(nodes[at].var)) ? nodes[at].hi
+                                                                : nodes[at].lo;
+  }
+  return nodes[at].weight;
+}
+
+namespace {
+
+struct GradStats {
+  double g = 0.0;
+  double h = 0.0;
+};
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const data::Dataset& ds, const BoostOptions& options,
+              const std::vector<double>& grad, const std::vector<double>& hess)
+      : ds_(ds), options_(options), grad_(grad), hess_(hess) {}
+
+  RegressionTree build() {
+    RegressionTree tree;
+    std::vector<std::size_t> rows(ds_.num_rows());
+    std::iota(rows.begin(), rows.end(), 0);
+    grow(&tree, rows, 0);
+    return tree;
+  }
+
+ private:
+  std::uint32_t grow(RegressionTree* tree, const std::vector<std::size_t>& rows,
+                     std::size_t depth) {
+    GradStats total;
+    for (std::size_t r : rows) {
+      total.g += grad_[r];
+      total.h += hess_[r];
+    }
+    const double node_weight = -total.g / (total.h + options_.lambda);
+    const auto id = static_cast<std::uint32_t>(tree->nodes.size());
+    tree->nodes.push_back(RtNode{-1, 0, 0, node_weight});
+    if (depth >= options_.max_depth || rows.size() < 2) {
+      return id;
+    }
+    const double parent_score = total.g * total.g / (total.h + options_.lambda);
+    int best_var = -1;
+    double best_gain = options_.gamma;
+    GradStats best_hi;
+    for (std::size_t v = 0; v < ds_.num_inputs(); ++v) {
+      GradStats hi;
+      for (std::size_t r : rows) {
+        if (ds_.input(r, v)) {
+          hi.g += grad_[r];
+          hi.h += hess_[r];
+        }
+      }
+      const GradStats lo{total.g - hi.g, total.h - hi.h};
+      if (hi.h < options_.min_child_hessian ||
+          lo.h < options_.min_child_hessian) {
+        continue;
+      }
+      const double gain =
+          0.5 * (hi.g * hi.g / (hi.h + options_.lambda) +
+                 lo.g * lo.g / (lo.h + options_.lambda) - parent_score);
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_var = static_cast<int>(v);
+        best_hi = hi;
+      }
+    }
+    if (best_var < 0) {
+      return id;
+    }
+    std::vector<std::size_t> hi_rows;
+    std::vector<std::size_t> lo_rows;
+    hi_rows.reserve(rows.size());
+    lo_rows.reserve(rows.size());
+    for (std::size_t r : rows) {
+      (ds_.input(r, static_cast<std::size_t>(best_var)) ? hi_rows : lo_rows)
+          .push_back(r);
+    }
+    tree->nodes[id].var = best_var;
+    const std::uint32_t lo = grow(tree, lo_rows, depth + 1);
+    const std::uint32_t hi = grow(tree, hi_rows, depth + 1);
+    tree->nodes[id].lo = lo;
+    tree->nodes[id].hi = hi;
+    return id;
+  }
+
+  const data::Dataset& ds_;
+  const BoostOptions& options_;
+  const std::vector<double>& grad_;
+  const std::vector<double>& hess_;
+};
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+GradientBoosted GradientBoosted::fit(const data::Dataset& ds,
+                                     const BoostOptions& options,
+                                     core::Rng& /*rng*/) {
+  GradientBoosted model;
+  model.base_ = 0.0;
+  std::vector<double> score(ds.num_rows(), model.base_);
+  std::vector<double> grad(ds.num_rows());
+  std::vector<double> hess(ds.num_rows());
+  model.trees_.reserve(options.num_trees);
+  for (std::size_t t = 0; t < options.num_trees; ++t) {
+    for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+      const double p = sigmoid(score[r]);
+      grad[r] = p - (ds.label(r) ? 1.0 : 0.0);
+      hess[r] = std::max(1e-9, p * (1.0 - p));
+    }
+    TreeBuilder builder(ds, options, grad, hess);
+    RegressionTree tree = builder.build();
+    // Shrink leaf weights by the learning rate.
+    double max_weight = 0.0;
+    for (auto& node : tree.nodes) {
+      node.weight *= options.learning_rate;
+      if (node.var < 0) {
+        max_weight = std::max(max_weight, std::abs(node.weight));
+      }
+    }
+    // Saturation guard: once the loss is fit, further trees carry nearly
+    // zero leaf values whose quantized sign is noise; they would poison the
+    // majority vote (and the synthesized circuit), so stop adding them.
+    if (tree.nodes.size() == 1 || max_weight < 1e-3) {
+      break;
+    }
+    for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+      score[r] += tree.predict_row(ds, r);
+    }
+    model.trees_.push_back(std::move(tree));
+  }
+  if (model.trees_.empty()) {
+    // Degenerate (constant-label) data: one root stump with the prior.
+    RegressionTree stump;
+    stump.nodes.push_back(
+        RtNode{-1, 0, 0, ds.label_fraction() >= 0.5 ? 1.0 : -1.0});
+    model.trees_.push_back(std::move(stump));
+  }
+  return model;
+}
+
+double GradientBoosted::score_row(const data::Dataset& ds,
+                                  std::size_t row) const {
+  double s = base_;
+  for (const auto& tree : trees_) {
+    s += tree.predict_row(ds, row);
+  }
+  return s;
+}
+
+core::BitVec GradientBoosted::predict(const data::Dataset& ds) const {
+  core::BitVec out(ds.num_rows());
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    if (score_row(ds, r) > 0.0) {
+      out.set(r, true);
+    }
+  }
+  return out;
+}
+
+core::BitVec GradientBoosted::predict_quantized(
+    const data::Dataset& ds) const {
+  core::BitVec out(ds.num_rows());
+  const std::size_t need = trees_.size() / 2 + 1;
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    std::size_t votes = 0;
+    for (const auto& tree : trees_) {
+      votes += tree.predict_row(ds, r) > 0.0 ? 1 : 0;
+    }
+    if (votes >= need) {
+      out.set(r, true);
+    }
+  }
+  return out;
+}
+
+aig::Aig GradientBoosted::to_aig(std::size_t num_inputs) const {
+  aig::Aig g(static_cast<std::uint32_t>(num_inputs));
+  std::vector<aig::Lit> leaves;
+  leaves.reserve(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    leaves.push_back(g.pi(static_cast<std::uint32_t>(i)));
+  }
+  std::vector<aig::Lit> bits;
+  bits.reserve(trees_.size());
+  for (const auto& tree : trees_) {
+    // Quantized tree: MUX cascade ending in sign bits (built like a DT).
+    std::vector<aig::Lit> built(tree.nodes.size(), aig::kLitFalse);
+    for (std::size_t i = tree.nodes.size(); i-- > 0;) {
+      const RtNode& n = tree.nodes[i];
+      if (n.var < 0) {
+        built[i] = n.weight > 0.0 ? aig::kLitTrue : aig::kLitFalse;
+      } else {
+        built[i] = g.mux(leaves[static_cast<std::size_t>(n.var)], built[n.hi],
+                         built[n.lo]);
+      }
+    }
+    bits.push_back(built[0]);
+  }
+  if (bits.size() == 125) {
+    g.add_output(aig::majority125_network(g, bits));
+  } else {
+    g.add_output(aig::majority(g, bits));
+  }
+  return g;
+}
+
+void GradientBoosted::accumulate_contributions(const data::Dataset& ds,
+                                               bool signed_mean,
+                                               std::vector<double>* out) const {
+  // Saabas attribution: walking a tree, the value change at each split is
+  // credited to the split feature. The signed variant averages over rows
+  // where the feature is 1 (so, e.g., a comparator's two operand words show
+  // opposite polarities, as in Fig. 27); the absolute variant averages the
+  // magnitude over all rows (Fig. 26b).
+  out->assign(ds.num_inputs(), 0.0);
+  std::vector<double> denom(ds.num_inputs(), 0.0);
+  std::vector<double> row_contrib(ds.num_inputs());
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    std::fill(row_contrib.begin(), row_contrib.end(), 0.0);
+    for (const auto& tree : trees_) {
+      std::uint32_t at = 0;
+      while (tree.nodes[at].var >= 0) {
+        const RtNode& n = tree.nodes[at];
+        const std::uint32_t next =
+            ds.input(r, static_cast<std::size_t>(n.var)) ? n.hi : n.lo;
+        row_contrib[static_cast<std::size_t>(n.var)] +=
+            tree.nodes[next].weight - n.weight;
+        at = next;
+      }
+    }
+    for (std::size_t f = 0; f < ds.num_inputs(); ++f) {
+      if (signed_mean) {
+        if (ds.input(r, f)) {
+          (*out)[f] += row_contrib[f];
+          denom[f] += 1.0;
+        }
+      } else {
+        (*out)[f] += std::abs(row_contrib[f]);
+        denom[f] += 1.0;
+      }
+    }
+  }
+  for (std::size_t f = 0; f < ds.num_inputs(); ++f) {
+    if (denom[f] > 0.0) {
+      (*out)[f] /= denom[f];
+    }
+  }
+}
+
+std::vector<double> GradientBoosted::mean_contributions(
+    const data::Dataset& ds) const {
+  std::vector<double> out;
+  accumulate_contributions(ds, true, &out);
+  return out;
+}
+
+std::vector<double> GradientBoosted::mean_abs_contributions(
+    const data::Dataset& ds) const {
+  std::vector<double> out;
+  accumulate_contributions(ds, false, &out);
+  return out;
+}
+
+TrainedModel BoostLearner::fit(const data::Dataset& train,
+                               const data::Dataset& valid, core::Rng& rng) {
+  const GradientBoosted model = GradientBoosted::fit(train, options_, rng);
+  aig::Aig circuit = aig::optimize(model.to_aig(train.num_inputs()));
+  return finish_model(std::move(circuit), label_, train, valid);
+}
+
+}  // namespace lsml::learn

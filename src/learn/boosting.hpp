@@ -1,0 +1,91 @@
+#pragma once
+// Second-order gradient boosting of shallow regression trees (Team 7's
+// XGBoost substitute) with majority-gate synthesis.
+//
+// Training follows the XGBoost formulation (logistic loss, leaf weight
+// -G/(H+lambda), gain from the split score). For synthesis, each tree's
+// leaf values are quantized to one bit and the trees are aggregated with a
+// majority network — a 3-layer network of 5-input majority gates when the
+// ensemble has exactly 125 trees, a popcount-threshold majority otherwise
+// (both from the paper). Saabas-style path attributions provide the
+// SHAP-like importance patterns of Figs. 26/27.
+
+#include <string>
+#include <vector>
+
+#include "learn/learner.hpp"
+
+namespace lsml::learn {
+
+struct BoostOptions {
+  std::size_t num_trees = 125;
+  std::size_t max_depth = 5;
+  double learning_rate = 0.3;
+  double lambda = 1.0;          ///< L2 regularization on leaf weights
+  double min_child_hessian = 1.0;
+  double gamma = 0.0;           ///< minimum split gain
+};
+
+/// One node of a regression tree; leaves have var < 0.
+struct RtNode {
+  int var = -1;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  double weight = 0.0;  ///< leaf value; for internal nodes, the node mean
+};
+
+struct RegressionTree {
+  std::vector<RtNode> nodes;
+  [[nodiscard]] double predict_row(const data::Dataset& ds,
+                                   std::size_t row) const;
+};
+
+class GradientBoosted {
+ public:
+  static GradientBoosted fit(const data::Dataset& ds,
+                             const BoostOptions& options, core::Rng& rng);
+
+  /// Real-valued ensemble score (log-odds).
+  [[nodiscard]] double score_row(const data::Dataset& ds,
+                                 std::size_t row) const;
+  /// Exact (unquantized) classification.
+  [[nodiscard]] core::BitVec predict(const data::Dataset& ds) const;
+  /// Classification after per-tree 1-bit leaf quantization + majority vote
+  /// (what the synthesized AIG computes).
+  [[nodiscard]] core::BitVec predict_quantized(const data::Dataset& ds) const;
+
+  [[nodiscard]] aig::Aig to_aig(std::size_t num_inputs) const;
+
+  /// Mean signed Saabas contribution of each feature (SHAP-like, Fig. 27).
+  [[nodiscard]] std::vector<double> mean_contributions(
+      const data::Dataset& ds) const;
+  /// Mean absolute contribution (Fig. 26b).
+  [[nodiscard]] std::vector<double> mean_abs_contributions(
+      const data::Dataset& ds) const;
+
+  [[nodiscard]] const std::vector<RegressionTree>& trees() const {
+    return trees_;
+  }
+  [[nodiscard]] double base_score() const { return base_; }
+
+ private:
+  void accumulate_contributions(const data::Dataset& ds, bool signed_mean,
+                                std::vector<double>* out) const;
+  std::vector<RegressionTree> trees_;
+  double base_ = 0.0;
+};
+
+class BoostLearner final : public Learner {
+ public:
+  explicit BoostLearner(BoostOptions options, std::string label = "xgb")
+      : options_(options), label_(std::move(label)) {}
+  [[nodiscard]] std::string name() const override { return label_; }
+  TrainedModel fit(const data::Dataset& train, const data::Dataset& valid,
+                   core::Rng& rng) override;
+
+ private:
+  BoostOptions options_;
+  std::string label_;
+};
+
+}  // namespace lsml::learn

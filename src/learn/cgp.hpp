@@ -1,0 +1,81 @@
+#pragma once
+// Cartesian Genetic Programming over AIG/XAIG node functions (Team 9).
+//
+// Single-row CGP: a genome is a feed-forward array of gates (AND or XOR,
+// with independently complementable fanins) over the primary inputs. Search
+// is a (1+lambda) evolution strategy with the 1/5th-rule adaptive mutation
+// rate, optional training mini-batches, and optional bootstrapping from an
+// existing AIG (e.g. a decision-tree or ESPRESSO result), exactly following
+// the paper's "Bootstrapped CGP flow".
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "learn/learner.hpp"
+
+namespace lsml::learn {
+
+struct CgpOptions {
+  std::size_t genome_nodes = 500;
+  std::size_t generations = 2000;
+  int lambda = 4;                 ///< offspring per generation ((1+4)-ES)
+  bool use_xor = true;            ///< XAIG vs plain AIG node functions
+  double initial_mutation = 0.02; ///< per-gene mutation probability
+  std::size_t minibatch = 1024;   ///< 0 = whole training set
+  std::size_t change_batch_every = 500;  ///< generations per mini-batch
+};
+
+struct CgpGene {
+  bool is_xor = false;
+  std::uint32_t in0 = 0;  ///< literal: 2*index+compl, index over PIs+genes
+  std::uint32_t in1 = 0;
+};
+
+class CgpIndividual {
+ public:
+  std::vector<CgpGene> genes;
+  std::uint32_t output_lit = 0;  ///< literal into PIs+genes space
+  std::size_t num_pis = 0;
+
+  /// Packed evaluation over dataset columns.
+  [[nodiscard]] core::BitVec evaluate(const data::Dataset& ds) const;
+  [[nodiscard]] aig::Aig to_aig() const;
+  /// Number of genes reachable from the output (the phenotype size).
+  [[nodiscard]] std::size_t active_genes() const;
+};
+
+class Cgp {
+ public:
+  /// Random initialization.
+  static CgpIndividual random_individual(std::size_t num_pis,
+                                         const CgpOptions& options,
+                                         core::Rng& rng);
+  /// Bootstrap: embeds an existing AIG into a genome of twice its size.
+  static CgpIndividual from_aig(const aig::Aig& seed,
+                                const CgpOptions& options, core::Rng& rng);
+
+  /// Runs the (1+lambda) ES and returns the best individual found.
+  static CgpIndividual evolve(CgpIndividual start, const data::Dataset& train,
+                              const CgpOptions& options, core::Rng& rng);
+};
+
+/// Learner: bootstraps from `seed` if it reaches >= 55% training accuracy
+/// (the paper's rule), otherwise starts from random individuals.
+class CgpLearner final : public Learner {
+ public:
+  CgpLearner(CgpOptions options, std::optional<aig::Aig> seed,
+             std::string label = "cgp")
+      : options_(options), seed_(std::move(seed)), label_(std::move(label)) {}
+  [[nodiscard]] std::string name() const override { return label_; }
+  TrainedModel fit(const data::Dataset& train, const data::Dataset& valid,
+                   core::Rng& rng) override;
+
+ private:
+  CgpOptions options_;
+  std::optional<aig::Aig> seed_;
+  std::string label_;
+};
+
+}  // namespace lsml::learn

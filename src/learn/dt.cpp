@@ -1,0 +1,307 @@
+#include "learn/dt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "aig/aig_opt.hpp"
+
+namespace lsml::learn {
+
+double circuit_accuracy(const aig::Aig& circuit, const data::Dataset& ds) {
+  const auto out = circuit.simulate(ds.column_ptrs());
+  return data::accuracy(out[0], ds.labels());
+}
+
+TrainedModel finish_model(aig::Aig circuit, std::string method,
+                          const data::Dataset& train,
+                          const data::Dataset& valid) {
+  TrainedModel m;
+  m.circuit = std::move(circuit);
+  m.method = std::move(method);
+  m.train_acc = circuit_accuracy(m.circuit, train);
+  m.valid_acc = circuit_accuracy(m.circuit, valid);
+  return m;
+}
+
+namespace {
+
+double impurity(double p, DtOptions::Criterion criterion) {
+  if (p <= 0.0 || p >= 1.0) {
+    return 0.0;
+  }
+  if (criterion == DtOptions::Criterion::kGini) {
+    return 2.0 * p * (1.0 - p);
+  }
+  return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+}
+
+class Builder {
+ public:
+  Builder(const data::Dataset& ds, const DtOptions& options, core::Rng& rng,
+          std::vector<DtNode>* nodes, std::vector<double>* gains)
+      : ds_(ds), options_(options), rng_(rng), nodes_(nodes), gains_(gains),
+        used_on_path_(ds.num_inputs(), false) {}
+
+  std::uint32_t build(const core::BitVec& mask, std::size_t depth,
+                      bool parent_major) {
+    const std::size_t total = mask.count();
+    const std::size_t pos = ds_.labels().count_and(mask);
+    const bool major = pos * 2 > total   ? true
+                       : pos * 2 < total ? false
+                                         : parent_major;
+    if (total == 0 || pos == 0 || pos == total ||
+        total < options_.min_samples_split ||
+        (options_.max_depth != 0 && depth >= options_.max_depth)) {
+      return make_leaf(major);
+    }
+
+    int best_var = -1;
+    double best_gain = 0.0;
+    std::size_t best_n1 = 0;
+    const double node_imp =
+        impurity(static_cast<double>(pos) / static_cast<double>(total),
+                 options_.criterion);
+
+    const auto consider = [&](std::size_t v) {
+      const std::size_t n1 = mask.count_and(ds_.column(v));
+      const std::size_t n0 = total - n1;
+      if (n1 < options_.min_samples_leaf || n0 < options_.min_samples_leaf ||
+          n1 == 0 || n0 == 0) {
+        return;
+      }
+      const std::size_t n1y = ds_.labels().count_and2(mask, ds_.column(v));
+      const std::size_t n0y = pos - n1y;
+      const double imp1 =
+          impurity(static_cast<double>(n1y) / static_cast<double>(n1),
+                   options_.criterion);
+      const double imp0 =
+          impurity(static_cast<double>(n0y) / static_cast<double>(n0),
+                   options_.criterion);
+      const double gain =
+          node_imp - (static_cast<double>(n1) / total) * imp1 -
+          (static_cast<double>(n0) / total) * imp0;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_var = static_cast<int>(v);
+        best_n1 = n1;
+      }
+    };
+
+    if (options_.feature_subsample == 0 ||
+        options_.feature_subsample >= ds_.num_inputs()) {
+      for (std::size_t v = 0; v < ds_.num_inputs(); ++v) {
+        consider(v);
+      }
+    } else {
+      for (std::size_t i = 0; i < options_.feature_subsample; ++i) {
+        consider(rng_.below(ds_.num_inputs()));
+      }
+    }
+
+    if (options_.decomposition_threshold >= 0.0 &&
+        best_gain < options_.decomposition_threshold) {
+      const int decomp = decomposition_split(mask, total, pos);
+      if (decomp >= 0) {
+        best_var = decomp;
+        best_gain = std::max(best_gain, 1e-9);
+        best_n1 = mask.count_and(ds_.column(static_cast<std::size_t>(decomp)));
+      }
+    }
+    if (best_var < 0 || best_n1 == 0 || best_n1 == total) {
+      return make_leaf(major);
+    }
+
+    const auto var = static_cast<std::size_t>(best_var);
+    const auto id = static_cast<std::uint32_t>(nodes_->size());
+    nodes_->push_back(DtNode{best_var, major, 0, 0});
+    gains_->push_back(best_gain * static_cast<double>(total) /
+                      static_cast<double>(ds_.num_rows()));
+    const bool was_used = used_on_path_[var];
+    used_on_path_[var] = true;
+    const core::BitVec hi_mask = mask & ds_.column(var);
+    const core::BitVec lo_mask = mask & ~ds_.column(var);
+    const std::uint32_t lo = build(lo_mask, depth + 1, major);
+    const std::uint32_t hi = build(hi_mask, depth + 1, major);
+    used_on_path_[var] = was_used;
+    (*nodes_)[id].lo = lo;
+    (*nodes_)[id].hi = hi;
+    return id;
+  }
+
+ private:
+  std::uint32_t make_leaf(bool value) {
+    nodes_->push_back(DtNode{-1, value, 0, 0});
+    gains_->push_back(0.0);
+    return static_cast<std::uint32_t>(nodes_->size() - 1);
+  }
+
+  // Team 8's functional-decomposition fallback: prefer a not-yet-used
+  // feature for which (1) one branch is constant, or (2) the two branches
+  // look complementary. The complement test on sampled data is necessarily
+  // aggressive (no counter-example search over unseen minterms); following
+  // the paper, the *last* satisfying feature wins.
+  int decomposition_split(const core::BitVec& mask, std::size_t total,
+                          std::size_t pos) {
+    int chosen = -1;
+    for (std::size_t v = 0; v < ds_.num_inputs(); ++v) {
+      if (used_on_path_[v]) {
+        continue;
+      }
+      const std::size_t n1 = mask.count_and(ds_.column(v));
+      const std::size_t n0 = total - n1;
+      if (n1 < options_.min_samples_leaf || n0 < options_.min_samples_leaf ||
+          n1 == 0 || n0 == 0) {
+        continue;
+      }
+      const std::size_t n1y = ds_.labels().count_and2(mask, ds_.column(v));
+      const std::size_t n0y = pos - n1y;
+      const bool constant_branch =
+          n1y == 0 || n1y == n1 || n0y == 0 || n0y == n0;
+      const double p1 = static_cast<double>(n1y) / static_cast<double>(n1);
+      const double p0 = static_cast<double>(n0y) / static_cast<double>(n0);
+      const bool complementary =
+          std::abs(p0 + p1 - 1.0) < 0.05 && std::abs(p0 - 0.5) > 0.2;
+      if (constant_branch || complementary) {
+        chosen = static_cast<int>(v);
+      }
+    }
+    return chosen;
+  }
+
+  const data::Dataset& ds_;
+  const DtOptions& options_;
+  core::Rng& rng_;
+  std::vector<DtNode>* nodes_;
+  std::vector<double>* gains_;
+  std::vector<bool> used_on_path_;
+};
+
+}  // namespace
+
+DecisionTree DecisionTree::fit(const data::Dataset& ds,
+                               const DtOptions& options, core::Rng& rng) {
+  DecisionTree tree;
+  core::BitVec mask(ds.num_rows(), true);
+  Builder builder(ds, options, rng, &tree.nodes_, &tree.gains_);
+  tree.root_ = builder.build(mask, 0, ds.label_fraction() >= 0.5);
+  return tree;
+}
+
+bool DecisionTree::predict_row(const std::vector<std::uint8_t>& row) const {
+  std::uint32_t at = root_;
+  while (nodes_[at].var >= 0) {
+    at = row[static_cast<std::size_t>(nodes_[at].var)] ? nodes_[at].hi
+                                                       : nodes_[at].lo;
+  }
+  return nodes_[at].value;
+}
+
+core::BitVec DecisionTree::predict(const data::Dataset& ds) const {
+  core::BitVec out(ds.num_rows());
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    std::uint32_t at = root_;
+    while (nodes_[at].var >= 0) {
+      at = ds.input(r, static_cast<std::size_t>(nodes_[at].var))
+               ? nodes_[at].hi
+               : nodes_[at].lo;
+    }
+    if (nodes_[at].value) {
+      out.set(r, true);
+    }
+  }
+  return out;
+}
+
+aig::Lit DecisionTree::to_lit(aig::Aig& g,
+                              const std::vector<aig::Lit>& leaves) const {
+  std::vector<aig::Lit> built(nodes_.size(), aig::kLitFalse);
+  // Nodes were appended parent-before-children, so a reverse sweep sees
+  // children first.
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    const DtNode& n = nodes_[i];
+    if (n.var < 0) {
+      built[i] = n.value ? aig::kLitTrue : aig::kLitFalse;
+    } else {
+      built[i] = g.mux(leaves[static_cast<std::size_t>(n.var)], built[n.hi],
+                       built[n.lo]);
+    }
+  }
+  return built[root_];
+}
+
+aig::Aig DecisionTree::to_aig(std::size_t num_inputs) const {
+  aig::Aig g(static_cast<std::uint32_t>(num_inputs));
+  std::vector<aig::Lit> leaves;
+  leaves.reserve(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    leaves.push_back(g.pi(static_cast<std::uint32_t>(i)));
+  }
+  g.add_output(to_lit(g, leaves));
+  return g;
+}
+
+sop::Cover DecisionTree::to_cover(std::size_t num_inputs) const {
+  sop::Cover cover;
+  sop::Cube path(num_inputs);
+  const auto dfs = [&](auto&& self, std::uint32_t at) -> void {
+    const DtNode& n = nodes_[at];
+    if (n.var < 0) {
+      if (n.value) {
+        cover.push_back(path);
+      }
+      return;
+    }
+    const auto v = static_cast<std::size_t>(n.var);
+    path.mask.set(v, true);
+    path.value.set(v, false);
+    self(self, n.lo);
+    path.value.set(v, true);
+    self(self, n.hi);
+    path.mask.set(v, false);
+    path.value.set(v, false);
+  };
+  dfs(dfs, root_);
+  return cover;
+}
+
+std::size_t DecisionTree::num_leaves() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const DtNode& n) { return n.var < 0; }));
+}
+
+std::size_t DecisionTree::depth() const {
+  std::vector<std::size_t> depth(nodes_.size(), 0);
+  std::size_t max_depth = 0;
+  // Parents precede children, so a forward sweep propagates depths.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const DtNode& n = nodes_[i];
+    if (n.var >= 0) {
+      depth[n.lo] = depth[i] + 1;
+      depth[n.hi] = depth[i] + 1;
+      max_depth = std::max(max_depth, depth[i] + 1);
+    }
+  }
+  return max_depth;
+}
+
+std::vector<double> DecisionTree::feature_gains(
+    std::size_t num_features) const {
+  std::vector<double> gains(num_features, 0.0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].var >= 0) {
+      gains[static_cast<std::size_t>(nodes_[i].var)] += gains_[i];
+    }
+  }
+  return gains;
+}
+
+TrainedModel DtLearner::fit(const data::Dataset& train,
+                            const data::Dataset& valid, core::Rng& rng) {
+  const DecisionTree tree = DecisionTree::fit(train, options_, rng);
+  aig::Aig circuit = aig::optimize(tree.to_aig(train.num_inputs()));
+  return finish_model(std::move(circuit), label_, train, valid);
+}
+
+}  // namespace lsml::learn

@@ -1,0 +1,92 @@
+#pragma once
+// Binary decision trees (C4.5-style) for Boolean function learning.
+//
+// The workhorse of the contest: used directly by Teams 2, 5, 8 and 10,
+// inside random forests, as the base of fringe feature extraction (Team 3),
+// and as the bootstrap for CGP (Team 9). Splits maximize information gain
+// (or Gini decrease); Team 8's functional-decomposition fallback for
+// low-gain nodes is available as an option.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "core/bits.hpp"
+#include "core/rng.hpp"
+#include "data/dataset.hpp"
+#include "learn/learner.hpp"
+#include "sop/cube.hpp"
+
+namespace lsml::learn {
+
+struct DtOptions {
+  std::size_t max_depth = 0;          ///< 0 = unlimited
+  std::size_t min_samples_leaf = 1;
+  std::size_t min_samples_split = 2;
+  enum class Criterion { kEntropy, kGini };
+  Criterion criterion = Criterion::kEntropy;
+  /// Team 8: when the best gain falls below this threshold, try a
+  /// functional-decomposition split instead. Negative disables.
+  double decomposition_threshold = -1.0;
+  /// If nonzero, each split considers only this many randomly drawn
+  /// features (used by random forests).
+  std::size_t feature_subsample = 0;
+};
+
+/// One node; `var < 0` marks a leaf whose prediction is `value`.
+struct DtNode {
+  int var = -1;
+  bool value = false;
+  std::uint32_t lo = 0;  ///< child when feature = 0
+  std::uint32_t hi = 0;  ///< child when feature = 1
+};
+
+class DecisionTree {
+ public:
+  static DecisionTree fit(const data::Dataset& ds, const DtOptions& options,
+                          core::Rng& rng);
+
+  [[nodiscard]] bool predict_row(const std::vector<std::uint8_t>& row) const;
+  [[nodiscard]] core::BitVec predict(const data::Dataset& ds) const;
+
+  /// Synthesizes the tree as a MUX cascade over the given leaf literals.
+  [[nodiscard]] aig::Lit to_lit(aig::Aig& g,
+                                const std::vector<aig::Lit>& leaves) const;
+  /// Fresh single-output AIG over `num_inputs` PIs.
+  [[nodiscard]] aig::Aig to_aig(std::size_t num_inputs) const;
+
+  /// Cover of all root-to-leaf paths that predict 1 (PLA-style export,
+  /// as Teams 2/5/7 did before handing the SOP to synthesis).
+  [[nodiscard]] sop::Cover to_cover(std::size_t num_inputs) const;
+
+  [[nodiscard]] const std::vector<DtNode>& nodes() const { return nodes_; }
+  [[nodiscard]] std::uint32_t root() const { return root_; }
+  [[nodiscard]] std::size_t num_leaves() const;
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Total impurity decrease contributed by each feature (for importance).
+  [[nodiscard]] std::vector<double> feature_gains(
+      std::size_t num_features) const;
+
+ private:
+  std::vector<DtNode> nodes_;
+  std::uint32_t root_ = 0;
+  std::vector<double> gains_;  // parallel to nodes_: gain of that split
+};
+
+/// Learner wrapper around a single decision tree.
+class DtLearner final : public Learner {
+ public:
+  explicit DtLearner(DtOptions options, std::string label = "dt")
+      : options_(options), label_(std::move(label)) {}
+  [[nodiscard]] std::string name() const override { return label_; }
+  TrainedModel fit(const data::Dataset& train, const data::Dataset& valid,
+                   core::Rng& rng) override;
+
+ private:
+  DtOptions options_;
+  std::string label_;
+};
+
+}  // namespace lsml::learn

@@ -1,0 +1,38 @@
+#pragma once
+// Learner adapter for the ESPRESSO-style two-level minimizer.
+//
+// Mirrors how Teams 1 and 9 used ESPRESSO: minimize the sampled onset
+// against the sampled offset (one irredundant pass), convert the resulting
+// cover to an AIG, and clean it up.
+
+#include <string>
+#include <utility>
+
+#include "aig/aig_opt.hpp"
+#include "learn/learner.hpp"
+#include "sop/espresso.hpp"
+#include "sop/sop_to_aig.hpp"
+
+namespace lsml::learn {
+
+class EspressoLearner final : public Learner {
+ public:
+  explicit EspressoLearner(sop::EspressoOptions options,
+                           std::string label = "espresso")
+      : options_(options), label_(std::move(label)) {}
+  [[nodiscard]] std::string name() const override { return label_; }
+
+  TrainedModel fit(const data::Dataset& train, const data::Dataset& valid,
+                   core::Rng& rng) override {
+    const sop::Cover cover = sop::espresso(train, options_, rng);
+    aig::Aig circuit =
+        aig::optimize(sop::cover_to_aig(cover, train.num_inputs()));
+    return finish_model(std::move(circuit), label_, train, valid);
+  }
+
+ private:
+  sop::EspressoOptions options_;
+  std::string label_;
+};
+
+}  // namespace lsml::learn

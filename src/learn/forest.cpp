@@ -1,0 +1,95 @@
+#include "learn/forest.hpp"
+
+#include <cmath>
+
+#include "aig/aig_build.hpp"
+#include "aig/aig_opt.hpp"
+
+namespace lsml::learn {
+
+RandomForest RandomForest::fit(const data::Dataset& ds,
+                               const ForestOptions& options, core::Rng& rng) {
+  RandomForest forest;
+  std::size_t num_trees = options.num_trees;
+  if (num_trees % 2 == 0) {
+    ++num_trees;  // avoid voting ties
+  }
+  DtOptions tree_options = options.tree;
+  if (tree_options.feature_subsample == 0) {
+    tree_options.feature_subsample = options.feature_subsample != 0
+        ? options.feature_subsample
+        : static_cast<std::size_t>(
+              std::ceil(std::sqrt(static_cast<double>(ds.num_inputs()))));
+  }
+  const auto rows =
+      static_cast<std::size_t>(options.bootstrap_fraction *
+                               static_cast<double>(ds.num_rows()));
+  forest.trees_.reserve(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    std::vector<std::size_t> sample(rows);
+    for (auto& r : sample) {
+      r = rng.below(ds.num_rows());
+    }
+    const data::Dataset boot = ds.select_rows(sample);
+    forest.trees_.push_back(DecisionTree::fit(boot, tree_options, rng));
+  }
+  return forest;
+}
+
+core::BitVec RandomForest::predict(const data::Dataset& ds) const {
+  std::vector<std::uint16_t> votes(ds.num_rows(), 0);
+  for (const auto& tree : trees_) {
+    const core::BitVec p = tree.predict(ds);
+    for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+      votes[r] = static_cast<std::uint16_t>(votes[r] + (p.get(r) ? 1 : 0));
+    }
+  }
+  core::BitVec out(ds.num_rows());
+  const std::size_t need = trees_.size() / 2 + 1;
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    if (votes[r] >= need) {
+      out.set(r, true);
+    }
+  }
+  return out;
+}
+
+aig::Aig RandomForest::to_aig(std::size_t num_inputs) const {
+  aig::Aig g(static_cast<std::uint32_t>(num_inputs));
+  std::vector<aig::Lit> leaves;
+  leaves.reserve(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    leaves.push_back(g.pi(static_cast<std::uint32_t>(i)));
+  }
+  std::vector<aig::Lit> tree_outputs;
+  tree_outputs.reserve(trees_.size());
+  for (const auto& tree : trees_) {
+    tree_outputs.push_back(tree.to_lit(g, leaves));
+  }
+  g.add_output(aig::majority(g, tree_outputs));
+  return g;
+}
+
+std::vector<double> RandomForest::feature_importance(
+    std::size_t num_features) const {
+  std::vector<double> total(num_features, 0.0);
+  for (const auto& tree : trees_) {
+    const auto gains = tree.feature_gains(num_features);
+    for (std::size_t f = 0; f < num_features; ++f) {
+      total[f] += gains[f];
+    }
+  }
+  for (auto& v : total) {
+    v /= static_cast<double>(trees_.size());
+  }
+  return total;
+}
+
+TrainedModel ForestLearner::fit(const data::Dataset& train,
+                                const data::Dataset& valid, core::Rng& rng) {
+  const RandomForest forest = RandomForest::fit(train, options_, rng);
+  aig::Aig circuit = aig::optimize(forest.to_aig(train.num_inputs()));
+  return finish_model(std::move(circuit), label_, train, valid);
+}
+
+}  // namespace lsml::learn

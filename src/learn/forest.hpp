@@ -1,0 +1,58 @@
+#pragma once
+// Random forests (Teams 1, 5, 8).
+//
+// Bagged decision trees with per-split feature subsampling; prediction is
+// the strict majority vote. Synthesis connects the per-tree MUX cascades
+// with a popcount-based majority gate (Team 8's "seventeen trees of depth
+// eight plus a 17-input majority"). Also provides impurity-decrease feature
+// importance, the backbone of Team 4's feature-selection substitute.
+
+#include <string>
+#include <vector>
+
+#include "learn/dt.hpp"
+#include "learn/learner.hpp"
+
+namespace lsml::learn {
+
+struct ForestOptions {
+  std::size_t num_trees = 17;      ///< forced odd so votes cannot tie
+  DtOptions tree;                  ///< per-tree options
+  double bootstrap_fraction = 1.0; ///< rows drawn (with replacement)
+  /// Per-split feature subsample; 0 = sqrt(num_features).
+  std::size_t feature_subsample = 0;
+};
+
+class RandomForest {
+ public:
+  static RandomForest fit(const data::Dataset& ds,
+                          const ForestOptions& options, core::Rng& rng);
+
+  [[nodiscard]] core::BitVec predict(const data::Dataset& ds) const;
+  [[nodiscard]] aig::Aig to_aig(std::size_t num_inputs) const;
+  [[nodiscard]] const std::vector<DecisionTree>& trees() const {
+    return trees_;
+  }
+
+  /// Mean impurity-decrease importance per feature.
+  [[nodiscard]] std::vector<double> feature_importance(
+      std::size_t num_features) const;
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+class ForestLearner final : public Learner {
+ public:
+  explicit ForestLearner(ForestOptions options, std::string label = "rf")
+      : options_(options), label_(std::move(label)) {}
+  [[nodiscard]] std::string name() const override { return label_; }
+  TrainedModel fit(const data::Dataset& train, const data::Dataset& valid,
+                   core::Rng& rng) override;
+
+ private:
+  ForestOptions options_;
+  std::string label_;
+};
+
+}  // namespace lsml::learn

@@ -1,0 +1,163 @@
+#include "learn/fringe.hpp"
+
+#include <algorithm>
+
+#include "aig/aig_opt.hpp"
+
+namespace lsml::learn {
+
+namespace {
+
+DerivedFeature canonical(DerivedFeature f) {
+  // XOR absorbs polarities into a single overall complement; we normalize
+  // to plain XOR (a complemented composite is expressed by the tree taking
+  // the other branch). For AND, order the operands.
+  if (f.op == DerivedFeature::Op::kXor) {
+    const bool flip = f.not_a != f.not_b;
+    f.not_a = false;
+    f.not_b = flip;  // keep parity on operand b
+  }
+  if (f.a > f.b) {
+    std::swap(f.a, f.b);
+    std::swap(f.not_a, f.not_b);
+  }
+  return f;
+}
+
+}  // namespace
+
+bool FeatureBank::add(DerivedFeature f) {
+  f = canonical(f);
+  if (std::find(derived_.begin(), derived_.end(), f) != derived_.end()) {
+    return false;
+  }
+  derived_.push_back(f);
+  return true;
+}
+
+data::Dataset FeatureBank::extend(const data::Dataset& ds) const {
+  data::Dataset out = ds;
+  for (const DerivedFeature& f : derived_) {
+    core::BitVec a = out.column(f.a);
+    core::BitVec b = out.column(f.b);
+    if (f.not_a) {
+      a.flip();
+    }
+    if (f.not_b) {
+      b.flip();
+    }
+    out.add_column(f.op == DerivedFeature::Op::kAnd ? (a & b) : (a ^ b));
+  }
+  return out;
+}
+
+std::vector<aig::Lit> FeatureBank::build_lits(aig::Aig& g) const {
+  std::vector<aig::Lit> lits;
+  lits.reserve(num_total());
+  for (std::size_t i = 0; i < num_original_; ++i) {
+    lits.push_back(g.pi(static_cast<std::uint32_t>(i)));
+  }
+  for (const DerivedFeature& f : derived_) {
+    const aig::Lit a = aig::lit_notc(lits[f.a], f.not_a);
+    const aig::Lit b = aig::lit_notc(lits[f.b], f.not_b);
+    lits.push_back(f.op == DerivedFeature::Op::kAnd ? g.and2(a, b)
+                                                    : g.xor2(a, b));
+  }
+  return lits;
+}
+
+std::vector<DerivedFeature> extract_fringe_features(const DecisionTree& tree) {
+  const auto& nodes = tree.nodes();
+  std::vector<DerivedFeature> found;
+
+  // Parent links (nodes are stored parent-before-children).
+  std::vector<int> parent(nodes.size(), -1);
+  std::vector<bool> hi_branch(nodes.size(), false);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].var >= 0) {
+      parent[nodes[i].lo] = static_cast<int>(i);
+      hi_branch[nodes[i].lo] = false;
+      parent[nodes[i].hi] = static_cast<int>(i);
+      hi_branch[nodes[i].hi] = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].var >= 0) {
+      continue;  // want leaves
+    }
+    const int p = parent[i];
+    if (p < 0) {
+      continue;
+    }
+    const int gp = parent[static_cast<std::size_t>(p)];
+    if (gp < 0) {
+      continue;
+    }
+    const auto& pn = nodes[static_cast<std::size_t>(p)];
+    const auto& gn = nodes[static_cast<std::size_t>(gp)];
+    if (pn.var == gn.var) {
+      continue;
+    }
+    // AND composite of the two polarized path literals nearest the leaf.
+    DerivedFeature conj;
+    conj.op = DerivedFeature::Op::kAnd;
+    conj.a = static_cast<std::size_t>(gn.var);
+    conj.not_a = !hi_branch[static_cast<std::size_t>(p)];
+    conj.b = static_cast<std::size_t>(pn.var);
+    conj.not_b = !hi_branch[i];
+    found.push_back(conj);
+
+    // XOR pattern: grandparent's two children test the same variable and
+    // the four grandchild leaves alternate.
+    const auto& lo = nodes[gn.lo];
+    const auto& hi = nodes[gn.hi];
+    if (lo.var >= 0 && lo.var == hi.var && lo.var != gn.var) {
+      const auto leaf_val = [&](std::uint32_t id, bool* ok) {
+        *ok = *ok && nodes[id].var < 0;
+        return nodes[id].value;
+      };
+      bool ok = true;
+      const bool v00 = leaf_val(lo.lo, &ok);
+      const bool v01 = leaf_val(lo.hi, &ok);
+      const bool v10 = leaf_val(hi.lo, &ok);
+      const bool v11 = leaf_val(hi.hi, &ok);
+      if (ok && v00 == v11 && v01 == v10 && v00 != v01) {
+        DerivedFeature x;
+        x.op = DerivedFeature::Op::kXor;
+        x.a = static_cast<std::size_t>(gn.var);
+        x.b = static_cast<std::size_t>(lo.var);
+        found.push_back(x);
+      }
+    }
+  }
+  return found;
+}
+
+TrainedModel FringeLearner::fit(const data::Dataset& train,
+                                const data::Dataset& valid, core::Rng& rng) {
+  FeatureBank bank(train.num_inputs());
+  data::Dataset extended = train;
+  DecisionTree tree = DecisionTree::fit(extended, options_.dt, rng);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    bool any_new = false;
+    for (const DerivedFeature& f : extract_fringe_features(tree)) {
+      if (bank.derived().size() >= options_.max_derived_features) {
+        break;
+      }
+      any_new |= bank.add(f);
+    }
+    if (!any_new) {
+      break;
+    }
+    extended = bank.extend(train);
+    tree = DecisionTree::fit(extended, options_.dt, rng);
+  }
+
+  aig::Aig g(static_cast<std::uint32_t>(train.num_inputs()));
+  const auto lits = bank.build_lits(g);
+  g.add_output(tree.to_lit(g, lits));
+  return finish_model(aig::optimize(g), label_, train, valid);
+}
+
+}  // namespace lsml::learn

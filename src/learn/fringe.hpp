@@ -1,0 +1,83 @@
+#pragma once
+// Fringe feature extraction (Team 3; Pagallo & Haussler 1990).
+//
+// A decision tree is trained repeatedly; after each round, the pairs of
+// decision variables adjacent to the leaves ("fringes") are combined into
+// composite Boolean features (AND of the polarized path literals, and
+// XOR when the fringe exhibits the xor pattern). The new features join the
+// variable list for the next round, letting a shallow tree express functions
+// (like parity fragments or carries) that plain axis-aligned splits cannot.
+
+#include <string>
+#include <vector>
+
+#include "learn/dt.hpp"
+#include "learn/learner.hpp"
+
+namespace lsml::learn {
+
+/// A derived feature: op(polarized a, polarized b) over feature indices
+/// (original dataset columns or previously derived features).
+struct DerivedFeature {
+  enum class Op { kAnd, kXor };
+  Op op = Op::kAnd;
+  std::size_t a = 0;
+  bool not_a = false;
+  std::size_t b = 0;
+  bool not_b = false;
+
+  bool operator==(const DerivedFeature&) const = default;
+};
+
+/// Tracks derived features and materializes them on datasets / AIGs.
+class FeatureBank {
+ public:
+  explicit FeatureBank(std::size_t num_original) : num_original_(num_original) {}
+
+  [[nodiscard]] std::size_t num_original() const { return num_original_; }
+  [[nodiscard]] std::size_t num_total() const {
+    return num_original_ + derived_.size();
+  }
+  [[nodiscard]] const std::vector<DerivedFeature>& derived() const {
+    return derived_;
+  }
+
+  /// Adds a feature if not already present (canonicalized); returns whether
+  /// it was new.
+  bool add(DerivedFeature f);
+
+  /// Returns `ds` extended with all derived columns (in order).
+  [[nodiscard]] data::Dataset extend(const data::Dataset& ds) const;
+
+  /// Literals for all features over the PIs of `g` (originals first).
+  [[nodiscard]] std::vector<aig::Lit> build_lits(aig::Aig& g) const;
+
+ private:
+  std::size_t num_original_;
+  std::vector<DerivedFeature> derived_;
+};
+
+struct FringeOptions {
+  DtOptions dt;
+  int max_iterations = 8;
+  std::size_t max_derived_features = 48;
+};
+
+/// DT learner with fringe feature extraction ("Fr-DT" in Table IV).
+class FringeLearner final : public Learner {
+ public:
+  explicit FringeLearner(FringeOptions options, std::string label = "fr-dt")
+      : options_(options), label_(std::move(label)) {}
+  [[nodiscard]] std::string name() const override { return label_; }
+  TrainedModel fit(const data::Dataset& train, const data::Dataset& valid,
+                   core::Rng& rng) override;
+
+ private:
+  FringeOptions options_;
+  std::string label_;
+};
+
+/// Scans a trained tree for fringe patterns; returns candidate features.
+std::vector<DerivedFeature> extract_fringe_features(const DecisionTree& tree);
+
+}  // namespace lsml::learn

@@ -1,0 +1,42 @@
+#pragma once
+// Common learner interface.
+//
+// Every technique in the paper is wrapped as a Learner: it consumes a
+// training and a validation dataset and produces a TrainedModel whose
+// `circuit` is the synthesized AIG — the contest's only deliverable. All
+// accuracies are measured by simulating that AIG, so every model pays its
+// own synthesis/quantization cost, exactly as in the contest.
+
+#include <memory>
+#include <string>
+
+#include "aig/aig.hpp"
+#include "core/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace lsml::learn {
+
+struct TrainedModel {
+  aig::Aig circuit{0};
+  std::string method;      ///< human-readable description of what won
+  double train_acc = 0.0;  ///< AIG accuracy on the training set
+  double valid_acc = 0.0;  ///< AIG accuracy on the validation set
+};
+
+class Learner {
+ public:
+  virtual ~Learner() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual TrainedModel fit(const data::Dataset& train,
+                           const data::Dataset& valid, core::Rng& rng) = 0;
+};
+
+/// Accuracy of a single-output AIG on a dataset (packed simulation).
+double circuit_accuracy(const aig::Aig& circuit, const data::Dataset& ds);
+
+/// Fills train/valid accuracies of a model in place and returns it.
+TrainedModel finish_model(aig::Aig circuit, std::string method,
+                          const data::Dataset& train,
+                          const data::Dataset& valid);
+
+}  // namespace lsml::learn

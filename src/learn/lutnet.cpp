@@ -1,0 +1,237 @@
+#include "learn/lutnet.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "aig/aig_build.hpp"
+#include "aig/aig_opt.hpp"
+
+namespace lsml::learn {
+
+namespace {
+
+// Connection chooser implementing both wiring schemes.
+class Wirer {
+ public:
+  Wirer(LutWiring wiring, std::size_t pool_size, core::Rng& rng)
+      : wiring_(wiring), pool_size_(pool_size), rng_(rng) {
+    if (wiring_ == LutWiring::kUniqueRandom) {
+      unused_.resize(pool_size);
+      std::iota(unused_.begin(), unused_.end(), 0);
+      for (std::size_t i = unused_.size(); i > 1; --i) {
+        std::swap(unused_[i - 1], unused_[rng_.below(i)]);
+      }
+    }
+  }
+
+  std::uint32_t next() {
+    if (wiring_ == LutWiring::kUniqueRandom && !unused_.empty()) {
+      const std::uint32_t v = unused_.back();
+      unused_.pop_back();
+      return v;
+    }
+    return static_cast<std::uint32_t>(rng_.below(pool_size_));
+  }
+
+ private:
+  LutWiring wiring_;
+  std::size_t pool_size_;
+  core::Rng& rng_;
+  std::vector<std::uint32_t> unused_;
+};
+
+}  // namespace
+
+class LutNetTrainer {
+ public:
+  static LutNetwork fit(const data::Dataset& ds, const LutNetOptions& options,
+                        core::Rng& rng) {
+    LutNetwork net;
+    net.options_ = options;
+    const int k = std::min(options.lut_inputs, 6);
+
+    // Current layer's output values on the training set; starts at the PIs.
+    std::vector<core::BitVec> values;
+    values.reserve(ds.num_inputs());
+    for (std::size_t c = 0; c < ds.num_inputs(); ++c) {
+      values.push_back(ds.column(c));
+    }
+    const std::size_t rows = ds.num_rows();
+    const std::size_t global_ones = ds.labels().count();
+    const bool global_major = 2 * global_ones >= rows;
+
+    for (int layer = 0; layer < options.num_layers + 1; ++layer) {
+      const bool last = layer == options.num_layers;
+      const int width = last ? 1 : options.luts_per_layer;
+      Wirer wirer(options.wiring, values.size(), rng);
+      std::vector<LutNetwork::Lut> luts;
+      luts.reserve(static_cast<std::size_t>(width));
+      std::vector<core::BitVec> next_values;
+      next_values.reserve(static_cast<std::size_t>(width));
+      for (int u = 0; u < width; ++u) {
+        LutNetwork::Lut lut;
+        lut.inputs.reserve(static_cast<std::size_t>(k));
+        for (int i = 0; i < k; ++i) {
+          lut.inputs.push_back(wirer.next());
+        }
+        lut.table = tt::TruthTable(k);
+        // Memorization: per input pattern, count labels of rows landing on
+        // that entry, then take the majority (global majority on ties and
+        // unseen patterns).
+        std::vector<std::uint32_t> ones(1u << k, 0);
+        std::vector<std::uint32_t> total(1u << k, 0);
+        for (std::size_t r = 0; r < rows; ++r) {
+          std::uint32_t pattern = 0;
+          for (int i = 0; i < k; ++i) {
+            pattern |= static_cast<std::uint32_t>(
+                           values[lut.inputs[static_cast<std::size_t>(i)]].get(
+                               r))
+                       << i;
+          }
+          ++total[pattern];
+          ones[pattern] += ds.label(r) ? 1 : 0;
+        }
+        for (std::uint32_t p = 0; p < (1u << k); ++p) {
+          bool bit = global_major;
+          if (total[p] != 0 && 2 * ones[p] != total[p]) {
+            bit = 2 * ones[p] > total[p];
+          }
+          lut.table.set(p, bit);
+        }
+        // Compute this LUT's output on all rows for the next layer.
+        core::BitVec out(rows);
+        for (std::size_t r = 0; r < rows; ++r) {
+          std::uint32_t pattern = 0;
+          for (int i = 0; i < k; ++i) {
+            pattern |= static_cast<std::uint32_t>(
+                           values[lut.inputs[static_cast<std::size_t>(i)]].get(
+                               r))
+                       << i;
+          }
+          if (lut.table.get(pattern)) {
+            out.set(r, true);
+          }
+        }
+        next_values.push_back(std::move(out));
+        luts.push_back(std::move(lut));
+      }
+      net.layers_.push_back(std::move(luts));
+      values = std::move(next_values);
+    }
+    return net;
+  }
+};
+
+LutNetwork LutNetwork::fit(const data::Dataset& ds,
+                           const LutNetOptions& options, core::Rng& rng) {
+  return LutNetTrainer::fit(ds, options, rng);
+}
+
+std::vector<core::BitVec> LutNetwork::forward(const data::Dataset& ds) const {
+  std::vector<core::BitVec> values;
+  values.reserve(ds.num_inputs());
+  for (std::size_t c = 0; c < ds.num_inputs(); ++c) {
+    values.push_back(ds.column(c));
+  }
+  const std::size_t rows = ds.num_rows();
+  for (const auto& layer : layers_) {
+    std::vector<core::BitVec> next;
+    next.reserve(layer.size());
+    for (const auto& lut : layer) {
+      core::BitVec out(rows);
+      for (std::size_t r = 0; r < rows; ++r) {
+        std::uint32_t pattern = 0;
+        for (std::size_t i = 0; i < lut.inputs.size(); ++i) {
+          pattern |= static_cast<std::uint32_t>(values[lut.inputs[i]].get(r))
+                     << i;
+        }
+        if (lut.table.get(pattern)) {
+          out.set(r, true);
+        }
+      }
+      next.push_back(std::move(out));
+    }
+    values = std::move(next);
+  }
+  return values;
+}
+
+core::BitVec LutNetwork::predict(const data::Dataset& ds) const {
+  return forward(ds)[0];
+}
+
+aig::Aig LutNetwork::to_aig(std::size_t num_inputs) const {
+  aig::Aig g(static_cast<std::uint32_t>(num_inputs));
+  std::vector<aig::Lit> values;
+  values.reserve(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    values.push_back(g.pi(static_cast<std::uint32_t>(i)));
+  }
+  for (const auto& layer : layers_) {
+    std::vector<aig::Lit> next;
+    next.reserve(layer.size());
+    for (const auto& lut : layer) {
+      std::vector<aig::Lit> leaves;
+      leaves.reserve(lut.inputs.size());
+      for (std::uint32_t in : lut.inputs) {
+        leaves.push_back(values[in]);
+      }
+      next.push_back(aig::from_truth_table(g, lut.table, leaves));
+    }
+    values = std::move(next);
+  }
+  g.add_output(values[0]);
+  return g;
+}
+
+std::size_t LutNetwork::num_luts() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    total += layer.size();
+  }
+  return total;
+}
+
+TrainedModel LutNetLearner::fit(const data::Dataset& train,
+                                const data::Dataset& valid, core::Rng& rng) {
+  const LutNetwork net = LutNetwork::fit(train, options_, rng);
+  aig::Aig circuit = aig::optimize(net.to_aig(train.num_inputs()));
+  return finish_model(std::move(circuit), label_, train, valid);
+}
+
+LutNetwork lutnet_beam_search(const data::Dataset& train,
+                              const data::Dataset& valid,
+                              const LutNetOptions& start, core::Rng& rng,
+                              int max_steps) {
+  LutNetOptions best_options = start;
+  LutNetwork best = LutNetwork::fit(train, best_options, rng);
+  double best_acc = data::accuracy(best.predict(valid), valid.labels());
+  for (int step = 0; step < max_steps; ++step) {
+    bool improved = false;
+    // Neighbourhood: one more layer / wider layers / bigger LUTs.
+    for (int move = 0; move < 3; ++move) {
+      LutNetOptions candidate = best_options;
+      if (move == 0) {
+        candidate.num_layers += 1;
+      } else if (move == 1) {
+        candidate.luts_per_layer += candidate.luts_per_layer / 2 + 1;
+      } else {
+        candidate.lut_inputs = std::min(6, candidate.lut_inputs + 1);
+      }
+      LutNetwork net = LutNetwork::fit(train, candidate, rng);
+      const double acc = data::accuracy(net.predict(valid), valid.labels());
+      if (acc > best_acc + 1e-9) {
+        best_acc = acc;
+        best = std::move(net);
+        best_options = candidate;
+        improved = true;
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace lsml::learn

@@ -1,0 +1,72 @@
+#pragma once
+// LUT networks trained by memorization (Chatterjee, ICML'18; Teams 1 & 6).
+//
+// A network of randomly connected k-input LUTs. Training is pure
+// memorization: each LUT entry is set to the majority label of the training
+// rows that reach that entry, layer by layer from the inputs. Two wiring
+// schemes from Team 6 are supported: fully random, and "unique but random"
+// (every output of the previous layer is used once before any duplication).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "learn/learner.hpp"
+#include "tt/truth_table.hpp"
+
+namespace lsml::learn {
+
+enum class LutWiring { kRandom, kUniqueRandom };
+
+struct LutNetOptions {
+  int num_layers = 4;
+  int luts_per_layer = 128;
+  int lut_inputs = 4;  ///< k, at most 6 here
+  LutWiring wiring = LutWiring::kRandom;
+};
+
+class LutNetwork {
+ public:
+  static LutNetwork fit(const data::Dataset& ds, const LutNetOptions& options,
+                        core::Rng& rng);
+
+  [[nodiscard]] core::BitVec predict(const data::Dataset& ds) const;
+  [[nodiscard]] aig::Aig to_aig(std::size_t num_inputs) const;
+  [[nodiscard]] const LutNetOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t num_luts() const;
+
+ private:
+  struct Lut {
+    std::vector<std::uint32_t> inputs;  ///< indices into previous layer
+    tt::TruthTable table;
+  };
+  // layers_[0] reads the PIs; the final layer is a single output LUT.
+  std::vector<std::vector<Lut>> layers_;
+  LutNetOptions options_;
+
+  [[nodiscard]] std::vector<core::BitVec> forward(
+      const data::Dataset& ds) const;
+  friend class LutNetTrainer;
+};
+
+class LutNetLearner final : public Learner {
+ public:
+  explicit LutNetLearner(LutNetOptions options, std::string label = "lutnet")
+      : options_(options), label_(std::move(label)) {}
+  [[nodiscard]] std::string name() const override { return label_; }
+  TrainedModel fit(const data::Dataset& train, const data::Dataset& valid,
+                   core::Rng& rng) override;
+
+ private:
+  LutNetOptions options_;
+  std::string label_;
+};
+
+/// Team 1's beam-style parameter search: grows layers/width/LUT size while
+/// validation accuracy improves; returns the best network found.
+LutNetwork lutnet_beam_search(const data::Dataset& train,
+                              const data::Dataset& valid,
+                              const LutNetOptions& start, core::Rng& rng,
+                              int max_steps = 6);
+
+}  // namespace lsml::learn

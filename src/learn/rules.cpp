@@ -1,0 +1,173 @@
+#include "learn/rules.hpp"
+
+#include <algorithm>
+
+#include "aig/aig_build.hpp"
+#include "aig/aig_opt.hpp"
+
+namespace lsml::learn {
+
+namespace {
+
+// Best leaf of a partial tree by Laplace-corrected precision * coverage.
+struct LeafPick {
+  sop::Cube path;
+  bool value = false;
+  double score = -1.0;
+};
+
+void find_best_leaf(const DecisionTree& tree, const data::Dataset& ds,
+                    const std::vector<std::size_t>& rows, LeafPick* best,
+                    std::size_t num_inputs) {
+  // Reconstruct per-leaf statistics by pushing the remaining rows down.
+  const auto& nodes = tree.nodes();
+  std::vector<std::size_t> total(nodes.size(), 0);
+  std::vector<std::size_t> pos(nodes.size(), 0);
+  for (std::size_t r : rows) {
+    std::uint32_t at = tree.root();
+    while (true) {
+      ++total[at];
+      pos[at] += ds.label(r) ? 1 : 0;
+      if (nodes[at].var < 0) {
+        break;
+      }
+      at = ds.input(r, static_cast<std::size_t>(nodes[at].var)) ? nodes[at].hi
+                                                                : nodes[at].lo;
+    }
+  }
+  // DFS with the path cube to score leaves.
+  sop::Cube path(num_inputs);
+  const auto dfs = [&](auto&& self, std::uint32_t at) -> void {
+    const DtNode& n = nodes[at];
+    if (n.var < 0) {
+      if (total[at] == 0) {
+        return;
+      }
+      const auto t = static_cast<double>(total[at]);
+      const auto p = static_cast<double>(pos[at]);
+      const bool value = 2 * pos[at] >= total[at];
+      const double correct = value ? p : t - p;
+      const double precision = (correct + 1.0) / (t + 2.0);
+      const double score = precision * correct;
+      if (score > best->score) {
+        best->score = score;
+        best->value = value;
+        best->path = path;
+      }
+      return;
+    }
+    const auto v = static_cast<std::size_t>(n.var);
+    path.mask.set(v, true);
+    path.value.set(v, false);
+    self(self, n.lo);
+    path.value.set(v, true);
+    self(self, n.hi);
+    path.mask.set(v, false);
+    path.value.set(v, false);
+  };
+  dfs(dfs, tree.root());
+}
+
+}  // namespace
+
+RuleList RuleList::fit(const data::Dataset& ds,
+                       const RuleListOptions& options, core::Rng& rng) {
+  RuleList list;
+  const auto rows = sop::dataset_rows(ds);
+  std::vector<std::size_t> remaining(ds.num_rows());
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    remaining[r] = r;
+  }
+  while (!remaining.empty() && list.rules_.size() < options.max_rules) {
+    const data::Dataset subset = ds.select_rows(remaining);
+    const double frac = subset.label_fraction();
+    if (frac == 0.0 || frac == 1.0) {
+      break;  // remainder is pure; the default rule handles it
+    }
+    DtOptions dt;
+    dt.max_depth = options.partial_tree_depth;
+    dt.min_samples_leaf = options.min_samples_leaf;
+    const DecisionTree tree = DecisionTree::fit(subset, dt, rng);
+    LeafPick best;
+    std::vector<std::size_t> subset_rows(subset.num_rows());
+    for (std::size_t r = 0; r < subset.num_rows(); ++r) {
+      subset_rows[r] = r;
+    }
+    find_best_leaf(tree, subset, subset_rows, &best, ds.num_inputs());
+    if (best.score < 0.0 || best.path.num_literals() == 0) {
+      break;
+    }
+    list.rules_.push_back(Rule{best.path, best.value});
+    // Drop covered rows (indices are into the original dataset).
+    std::vector<std::size_t> kept;
+    kept.reserve(remaining.size());
+    for (std::size_t r : remaining) {
+      if (!best.path.covers_row(rows[r])) {
+        kept.push_back(r);
+      }
+    }
+    if (kept.size() == remaining.size()) {
+      break;  // no progress
+    }
+    remaining = std::move(kept);
+  }
+  if (!remaining.empty()) {
+    const data::Dataset rest = ds.select_rows(remaining);
+    list.default_value_ = rest.label_fraction() >= 0.5;
+  } else {
+    list.default_value_ = ds.label_fraction() >= 0.5;
+  }
+  return list;
+}
+
+core::BitVec RuleList::predict(const data::Dataset& ds) const {
+  core::BitVec out(ds.num_rows());
+  const auto rows = sop::dataset_rows(ds);
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    bool value = default_value_;
+    for (const Rule& rule : rules_) {
+      if (rule.condition.covers_row(rows[r])) {
+        value = rule.consequence;
+        break;
+      }
+    }
+    if (value) {
+      out.set(r, true);
+    }
+  }
+  return out;
+}
+
+aig::Aig RuleList::to_aig(std::size_t num_inputs) const {
+  aig::Aig g(static_cast<std::uint32_t>(num_inputs));
+  std::vector<aig::Lit> leaves;
+  leaves.reserve(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    leaves.push_back(g.pi(static_cast<std::uint32_t>(i)));
+  }
+  // Priority chain, last rule first: out = r1 ? c1 : (r2 ? c2 : ... default).
+  aig::Lit out = default_value_ ? aig::kLitTrue : aig::kLitFalse;
+  for (std::size_t i = rules_.size(); i-- > 0;) {
+    const Rule& rule = rules_[i];
+    std::vector<aig::Lit> lits;
+    for (std::size_t v = 0; v < num_inputs; ++v) {
+      if (rule.condition.mask.get(v)) {
+        lits.push_back(aig::lit_notc(leaves[v], !rule.condition.value.get(v)));
+      }
+    }
+    const aig::Lit fires = aig::and_tree(g, std::move(lits));
+    out = g.mux(fires, rule.consequence ? aig::kLitTrue : aig::kLitFalse, out);
+  }
+  g.add_output(out);
+  return g;
+}
+
+TrainedModel RuleListLearner::fit(const data::Dataset& train,
+                                  const data::Dataset& valid,
+                                  core::Rng& rng) {
+  const RuleList list = RuleList::fit(train, options_, rng);
+  aig::Aig circuit = aig::optimize(list.to_aig(train.num_inputs()));
+  return finish_model(std::move(circuit), label_, train, valid);
+}
+
+}  // namespace lsml::learn

@@ -1,0 +1,57 @@
+#pragma once
+// Separate-and-conquer rule lists (Team 2's PART substitute).
+//
+// PART builds a partial decision tree per round, extracts the best leaf as
+// a rule, removes the covered examples, and repeats. Prediction follows the
+// first matching rule. Synthesis is a priority MUX chain (the paper's
+// "circuit that guarantees the rule order").
+
+#include <string>
+#include <vector>
+
+#include "learn/dt.hpp"
+#include "learn/learner.hpp"
+#include "sop/cube.hpp"
+
+namespace lsml::learn {
+
+struct Rule {
+  sop::Cube condition;
+  bool consequence = false;
+};
+
+struct RuleListOptions {
+  std::size_t max_rules = 64;
+  std::size_t partial_tree_depth = 5;
+  std::size_t min_samples_leaf = 1;
+};
+
+class RuleList {
+ public:
+  static RuleList fit(const data::Dataset& ds, const RuleListOptions& options,
+                      core::Rng& rng);
+
+  [[nodiscard]] core::BitVec predict(const data::Dataset& ds) const;
+  [[nodiscard]] aig::Aig to_aig(std::size_t num_inputs) const;
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+  [[nodiscard]] bool default_value() const { return default_value_; }
+
+ private:
+  std::vector<Rule> rules_;
+  bool default_value_ = false;
+};
+
+class RuleListLearner final : public Learner {
+ public:
+  explicit RuleListLearner(RuleListOptions options, std::string label = "part")
+      : options_(options), label_(std::move(label)) {}
+  [[nodiscard]] std::string name() const override { return label_; }
+  TrainedModel fit(const data::Dataset& train, const data::Dataset& valid,
+                   core::Rng& rng) override;
+
+ private:
+  RuleListOptions options_;
+  std::string label_;
+};
+
+}  // namespace lsml::learn

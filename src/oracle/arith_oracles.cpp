@@ -1,0 +1,36 @@
+#include "oracle/arith_oracles.hpp"
+
+namespace lsml::oracle {
+
+bool AdderBitOracle::eval(const core::BitVec& row) const {
+  const Limbs a = limbs_from_row(row, 0, k_);
+  const Limbs b = limbs_from_row(row, k_, k_);
+  return get_bit(add(a, b), out_bit_);
+}
+
+bool DividerBitOracle::eval(const core::BitVec& row) const {
+  const Limbs a = limbs_from_row(row, 0, k_);
+  const Limbs b = limbs_from_row(row, k_, k_);
+  Limbs rem;
+  const Limbs q = divrem(a, b, &rem);
+  return get_bit(quotient_ ? q : rem, out_bit_);
+}
+
+bool MultiplierBitOracle::eval(const core::BitVec& row) const {
+  const Limbs a = limbs_from_row(row, 0, k_);
+  const Limbs b = limbs_from_row(row, k_, k_);
+  return get_bit(mul(a, b), out_bit_);
+}
+
+bool ComparatorOracle::eval(const core::BitVec& row) const {
+  const Limbs a = limbs_from_row(row, 0, k_);
+  const Limbs b = limbs_from_row(row, k_, k_);
+  return compare(a, b) > 0;
+}
+
+bool SqrtBitOracle::eval(const core::BitVec& row) const {
+  const Limbs a = limbs_from_row(row, 0, k_);
+  return get_bit(isqrt(a), out_bit_);
+}
+
+}  // namespace lsml::oracle

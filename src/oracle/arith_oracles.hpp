@@ -1,0 +1,76 @@
+#pragma once
+// Arithmetic benchmark oracles (Table I, ex00-ex49).
+//
+// Input layout follows the contest convention: both operand words appear
+// LSB-to-MSB, first all bits of a, then all bits of b.
+
+#include "oracle/bigint.hpp"
+#include "oracle/oracle.hpp"
+
+namespace lsml::oracle {
+
+/// Bit `out_bit` of the (k+1)-bit sum a+b (out_bit = k is the carry/MSB).
+class AdderBitOracle final : public Oracle {
+ public:
+  AdderBitOracle(std::size_t k, std::size_t out_bit)
+      : k_(k), out_bit_(out_bit) {}
+  [[nodiscard]] std::size_t num_inputs() const override { return 2 * k_; }
+  [[nodiscard]] bool eval(const core::BitVec& row) const override;
+
+ private:
+  std::size_t k_;
+  std::size_t out_bit_;
+};
+
+/// Bit `out_bit` of a/b (quotient = true) or a%b (quotient = false).
+class DividerBitOracle final : public Oracle {
+ public:
+  DividerBitOracle(std::size_t k, std::size_t out_bit, bool quotient)
+      : k_(k), out_bit_(out_bit), quotient_(quotient) {}
+  [[nodiscard]] std::size_t num_inputs() const override { return 2 * k_; }
+  [[nodiscard]] bool eval(const core::BitVec& row) const override;
+
+ private:
+  std::size_t k_;
+  std::size_t out_bit_;
+  bool quotient_;
+};
+
+/// Bit `out_bit` of the 2k-bit product a*b.
+class MultiplierBitOracle final : public Oracle {
+ public:
+  MultiplierBitOracle(std::size_t k, std::size_t out_bit)
+      : k_(k), out_bit_(out_bit) {}
+  [[nodiscard]] std::size_t num_inputs() const override { return 2 * k_; }
+  [[nodiscard]] bool eval(const core::BitVec& row) const override;
+
+ private:
+  std::size_t k_;
+  std::size_t out_bit_;
+};
+
+/// a > b over k-bit unsigned words.
+class ComparatorOracle final : public Oracle {
+ public:
+  explicit ComparatorOracle(std::size_t k) : k_(k) {}
+  [[nodiscard]] std::size_t num_inputs() const override { return 2 * k_; }
+  [[nodiscard]] bool eval(const core::BitVec& row) const override;
+
+ private:
+  std::size_t k_;
+};
+
+/// Bit `out_bit` of floor(sqrt(a)) for a k-bit radicand.
+class SqrtBitOracle final : public Oracle {
+ public:
+  SqrtBitOracle(std::size_t k, std::size_t out_bit)
+      : k_(k), out_bit_(out_bit) {}
+  [[nodiscard]] std::size_t num_inputs() const override { return k_; }
+  [[nodiscard]] bool eval(const core::BitVec& row) const override;
+
+ private:
+  std::size_t k_;
+  std::size_t out_bit_;
+};
+
+}  // namespace lsml::oracle

@@ -1,0 +1,187 @@
+#include "oracle/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lsml::oracle {
+
+Limbs limbs_from_row(const core::BitVec& row, std::size_t start,
+                     std::size_t width) {
+  Limbs out((width + 63) / 64, 0);
+  for (std::size_t i = 0; i < width; ++i) {
+    if (row.get(start + i)) {
+      out[i >> 6] |= 1ULL << (i & 63);
+    }
+  }
+  return out;
+}
+
+bool get_bit(const Limbs& x, std::size_t i) {
+  const std::size_t limb = i >> 6;
+  if (limb >= x.size()) {
+    return false;
+  }
+  return (x[limb] >> (i & 63)) & 1ULL;
+}
+
+Limbs add(const Limbs& a, const Limbs& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  Limbs out(n + 1, 0);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned __int128 s = carry;
+    if (i < a.size()) {
+      s += a[i];
+    }
+    if (i < b.size()) {
+      s += b[i];
+    }
+    out[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  out[n] = static_cast<std::uint64_t>(carry);
+  return out;
+}
+
+Limbs mul(const Limbs& a, const Limbs& b) {
+  Limbs out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      unsigned __int128 cur = out[i + j];
+      cur += static_cast<unsigned __int128>(a[i]) * b[j];
+      cur += carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      unsigned __int128 cur = out[k];
+      cur += carry;
+      out[k] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+      ++k;
+    }
+  }
+  return out;
+}
+
+int compare(const Limbs& a, const Limbs& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint64_t av = i < a.size() ? a[i] : 0;
+    const std::uint64_t bv = i < b.size() ? b[i] : 0;
+    if (av != bv) {
+      return av < bv ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+bool is_zero(const Limbs& x) {
+  return std::all_of(x.begin(), x.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+// x -= y, assuming x >= y; operands same size.
+void sub_in_place(Limbs& x, const Limbs& y) {
+  unsigned __int128 borrow = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const unsigned __int128 yv = (i < y.size() ? y[i] : 0) + borrow;
+    if (x[i] >= yv) {
+      x[i] = static_cast<std::uint64_t>(x[i] - yv);
+      borrow = 0;
+    } else {
+      x[i] = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(1) << 64) + x[i] - yv);
+      borrow = 1;
+    }
+  }
+  assert(borrow == 0 && "sub_in_place underflow");
+}
+
+// x = (x << 1) | bit.
+void shl1_in_place(Limbs& x, bool bit) {
+  std::uint64_t carry = bit ? 1 : 0;
+  for (auto& limb : x) {
+    const std::uint64_t next = limb >> 63;
+    limb = (limb << 1) | carry;
+    carry = next;
+  }
+}
+
+void set_bit(Limbs& x, std::size_t i) {
+  if ((i >> 6) < x.size()) {
+    x[i >> 6] |= 1ULL << (i & 63);
+  }
+}
+
+}  // namespace
+
+Limbs divrem(const Limbs& a, const Limbs& b, Limbs* rem) {
+  Limbs q(a.size(), 0);
+  if (is_zero(b)) {
+    // Saturating divider convention: q = all ones, remainder = a.
+    for (auto& limb : q) {
+      limb = ~0ULL;
+    }
+    if (rem != nullptr) {
+      *rem = a;
+    }
+    return q;
+  }
+  Limbs r(std::max(a.size(), b.size()) + 1, 0);
+  for (std::size_t i = a.size() * 64; i-- > 0;) {
+    shl1_in_place(r, get_bit(a, i));
+    if (compare(r, b) >= 0) {
+      sub_in_place(r, b);
+      set_bit(q, i);
+    }
+  }
+  if (rem != nullptr) {
+    *rem = r;
+    rem->resize(a.size(), 0);
+  }
+  return q;
+}
+
+Limbs isqrt(const Limbs& a) {
+  const std::size_t width = a.size() * 64;
+  // Digit-by-digit method in base 2.
+  Limbs x = a;
+  Limbs res(a.size(), 0);
+  // `bit` starts at the highest even power of two <= width-1.
+  std::size_t bit_pos = width - 2;
+  while (true) {
+    // one = res + 2^bit_pos
+    Limbs trial = res;
+    set_bit(trial, bit_pos);
+    if (compare(x, trial) >= 0) {
+      sub_in_place(x, trial);
+      // res = (res >> 1) + 2^bit_pos
+      std::uint64_t carry = 0;
+      for (std::size_t i = res.size(); i-- > 0;) {
+        const std::uint64_t next = res[i] & 1;
+        res[i] = (res[i] >> 1) | (carry << 63);
+        carry = next;
+      }
+      set_bit(res, bit_pos);
+    } else {
+      std::uint64_t carry = 0;
+      for (std::size_t i = res.size(); i-- > 0;) {
+        const std::uint64_t next = res[i] & 1;
+        res[i] = (res[i] >> 1) | (carry << 63);
+        carry = next;
+      }
+    }
+    if (bit_pos < 2) {
+      break;
+    }
+    bit_pos -= 2;
+  }
+  return res;
+}
+
+}  // namespace lsml::oracle

@@ -1,0 +1,40 @@
+#pragma once
+// Arbitrary-width unsigned integer arithmetic on 64-bit limbs.
+//
+// Backing store for the arithmetic benchmark oracles (Table I): adders,
+// dividers/remainders, multipliers, comparators and square-rooters with
+// operand widths up to 256 bits.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bits.hpp"
+
+namespace lsml::oracle {
+
+/// Little-endian limb vector (limb 0 = least significant 64 bits).
+using Limbs = std::vector<std::uint64_t>;
+
+/// Extracts bits [start, start+width) of a row as a number (LSB first).
+Limbs limbs_from_row(const core::BitVec& row, std::size_t start,
+                     std::size_t width);
+
+[[nodiscard]] bool get_bit(const Limbs& x, std::size_t i);
+
+/// a + b, result one limb wider than the wider operand (carry preserved).
+Limbs add(const Limbs& a, const Limbs& b);
+
+/// a * b, full double-width product.
+Limbs mul(const Limbs& a, const Limbs& b);
+
+/// Floor division; *rem receives the remainder. By convention a/0 returns
+/// all-ones of a's width with remainder a (matching a saturating divider).
+Limbs divrem(const Limbs& a, const Limbs& b, Limbs* rem);
+
+/// Floor square root (result has ceil(width/2) meaningful bits).
+Limbs isqrt(const Limbs& a);
+
+/// -1, 0, +1 for a < b, a == b, a > b (operands zero-extended as needed).
+int compare(const Limbs& a, const Limbs& b);
+
+}  // namespace lsml::oracle

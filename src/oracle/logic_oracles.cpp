@@ -1,0 +1,62 @@
+#include "oracle/logic_oracles.hpp"
+
+#include <stdexcept>
+
+namespace lsml::oracle {
+
+bool AigOracle::eval(const core::BitVec& row) const {
+  std::vector<std::uint8_t> bits(aig_.num_pis());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = row.get(i) ? 1 : 0;
+  }
+  return aig_.eval_row(bits)[0];
+}
+
+core::BitVec AigOracle::label_rows(const data::Dataset& inputs) const {
+  const auto out = aig_.simulate(inputs.column_ptrs());
+  return out[0];
+}
+
+SymmetricOracle::SymmetricOracle(std::size_t num_inputs,
+                                 const std::string& signature)
+    : n_(num_inputs) {
+  if (signature.size() != num_inputs + 1) {
+    throw std::invalid_argument("SymmetricOracle: bad signature length");
+  }
+  signature_.reserve(signature.size());
+  for (char c : signature) {
+    signature_.push_back(c == '1');
+  }
+}
+
+bool SymmetricOracle::eval(const core::BitVec& row) const {
+  return signature_[row.count()];
+}
+
+bool NestedOracle::eval(const core::BitVec& row) const {
+  // g(a,b,c,d) = (a XOR b) OR (c AND !d): a mixing function with both
+  // linear and monotone parts, applied over a 4x4 -> 1 tree.
+  const auto g = [](bool a, bool b, bool c, bool d) {
+    return (a != b) || (c && !d);
+  };
+  bool mid[4];
+  for (int block = 0; block < 4; ++block) {
+    mid[block] = g(row.get(4 * block), row.get(4 * block + 1),
+                   row.get(4 * block + 2), row.get(4 * block + 3));
+  }
+  return g(mid[0], mid[1], mid[2], mid[3]);
+}
+
+std::unique_ptr<AigOracle> make_cone_oracle(std::uint32_t num_inputs,
+                                            std::uint32_t num_ands,
+                                            aig::ConeFlavor flavor,
+                                            std::uint64_t seed) {
+  aig::ConeOptions options;
+  options.num_inputs = num_inputs;
+  options.num_ands = num_ands;
+  options.flavor = flavor;
+  core::Rng rng(seed);
+  return std::make_unique<AigOracle>(aig::random_cone(options, rng));
+}
+
+}  // namespace lsml::oracle

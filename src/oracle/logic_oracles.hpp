@@ -1,0 +1,77 @@
+#pragma once
+// Random-logic and symmetric benchmark oracles (Table I, ex50-ex79).
+//
+// The PicoJava / MCNC cones are substituted by seeded random AIG cones with
+// the paper's input counts and balance requirement; see DESIGN.md.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/aig_random.hpp"
+#include "oracle/oracle.hpp"
+
+namespace lsml::oracle {
+
+/// A logic cone backed by an AIG (random or constructed).
+class AigOracle final : public Oracle {
+ public:
+  explicit AigOracle(aig::Aig g) : aig_(std::move(g)) {}
+  [[nodiscard]] std::size_t num_inputs() const override {
+    return aig_.num_pis();
+  }
+  [[nodiscard]] bool eval(const core::BitVec& row) const override;
+  [[nodiscard]] const aig::Aig& graph() const { return aig_; }
+
+  /// Labels a whole dataset's rows in one packed simulation.
+  [[nodiscard]] core::BitVec label_rows(const data::Dataset& inputs) const;
+
+ private:
+  aig::Aig aig_;
+};
+
+/// Totally symmetric function from a popcount signature (ex75-ex79).
+class SymmetricOracle final : public Oracle {
+ public:
+  /// `signature` has num_inputs+1 characters of '0'/'1'.
+  SymmetricOracle(std::size_t num_inputs, const std::string& signature);
+  [[nodiscard]] std::size_t num_inputs() const override { return n_; }
+  [[nodiscard]] bool eval(const core::BitVec& row) const override;
+  [[nodiscard]] const std::vector<bool>& signature() const {
+    return signature_;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<bool> signature_;
+};
+
+/// Odd parity of n inputs (ex74; "16-XOR" in the paper's appendix).
+class ParityOracle final : public Oracle {
+ public:
+  explicit ParityOracle(std::size_t n) : n_(n) {}
+  [[nodiscard]] std::size_t num_inputs() const override { return n_; }
+  [[nodiscard]] bool eval(const core::BitVec& row) const override {
+    return row.count() & 1;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+/// t481 substitute: a two-level recursive composition g(g(..),..) of a fixed
+/// 4-input function, giving a compact structured 16-input function.
+class NestedOracle final : public Oracle {
+ public:
+  [[nodiscard]] std::size_t num_inputs() const override { return 16; }
+  [[nodiscard]] bool eval(const core::BitVec& row) const override;
+};
+
+/// Factory for the random-cone benchmarks (ex50-ex73 substitutes).
+std::unique_ptr<AigOracle> make_cone_oracle(std::uint32_t num_inputs,
+                                            std::uint32_t num_ands,
+                                            aig::ConeFlavor flavor,
+                                            std::uint64_t seed);
+
+}  // namespace lsml::oracle

@@ -1,0 +1,40 @@
+#pragma once
+// Oracle interface: a (possibly stochastic) source of labelled rows.
+//
+// Deterministic oracles (arithmetic, logic cones) label uniformly sampled
+// input rows; generative oracles (the synthetic MNIST/CIFAR substitutes)
+// sample rows from a class-conditional distribution together with their
+// label, mirroring how the contest's ML benchmarks were produced.
+
+#include <memory>
+
+#include "core/bits.hpp"
+#include "core/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace lsml::oracle {
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  [[nodiscard]] virtual std::size_t num_inputs() const = 0;
+
+  /// Label of a fully specified input row. Generative oracles return the
+  /// Bayes-optimal label here (used only for diagnostics).
+  [[nodiscard]] virtual bool eval(const core::BitVec& row) const = 0;
+
+  /// Draws one labelled example. Default: uniform row, label = eval(row).
+  virtual void sample(core::BitVec* row, bool* label, core::Rng& rng) const;
+};
+
+/// Draws `rows` distinct examples from the oracle.
+data::Dataset sample_dataset(const Oracle& oracle, std::size_t rows,
+                             core::Rng& rng);
+
+/// Draws train/valid/test with mutually distinct rows (contest protocol).
+void sample_disjoint(const Oracle& oracle, std::size_t rows_each,
+                     core::Rng& rng, data::Dataset* train,
+                     data::Dataset* valid, data::Dataset* test);
+
+}  // namespace lsml::oracle

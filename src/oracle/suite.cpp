@@ -1,0 +1,222 @@
+#include "oracle/suite.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "oracle/arith_oracles.hpp"
+#include "oracle/logic_oracles.hpp"
+#include "oracle/vision_oracles.hpp"
+
+namespace lsml::oracle {
+
+void Oracle::sample(core::BitVec* row, bool* label, core::Rng& rng) const {
+  *row = core::BitVec(num_inputs());
+  row->randomize(rng);
+  *label = eval(*row);
+}
+
+namespace {
+
+data::Dataset rows_to_dataset(const std::vector<core::BitVec>& rows,
+                              const std::vector<bool>& labels) {
+  data::Dataset ds(rows.empty() ? 0 : rows[0].size(), rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      if (rows[r].get(c)) {
+        ds.set_input(r, c, true);
+      }
+    }
+    ds.set_label(r, labels[r]);
+  }
+  return ds;
+}
+
+}  // namespace
+
+data::Dataset sample_dataset(const Oracle& oracle, std::size_t rows,
+                             core::Rng& rng) {
+  std::vector<core::BitVec> collected;
+  std::vector<bool> labels;
+  std::unordered_set<std::uint64_t> seen;
+  while (collected.size() < rows) {
+    core::BitVec row;
+    bool label = false;
+    oracle.sample(&row, &label, rng);
+    if (!seen.insert(row.hash()).second) {
+      continue;
+    }
+    collected.push_back(std::move(row));
+    labels.push_back(label);
+  }
+  return rows_to_dataset(collected, labels);
+}
+
+void sample_disjoint(const Oracle& oracle, std::size_t rows_each,
+                     core::Rng& rng, data::Dataset* train,
+                     data::Dataset* valid, data::Dataset* test) {
+  std::unordered_set<std::uint64_t> seen;
+  const auto fill = [&](data::Dataset* out) {
+    std::vector<core::BitVec> collected;
+    std::vector<bool> labels;
+    while (collected.size() < rows_each) {
+      core::BitVec row;
+      bool label = false;
+      oracle.sample(&row, &label, rng);
+      if (!seen.insert(row.hash()).second) {
+        continue;
+      }
+      collected.push_back(std::move(row));
+      labels.push_back(label);
+    }
+    *out = rows_to_dataset(collected, labels);
+  };
+  fill(train);
+  fill(valid);
+  fill(test);
+}
+
+namespace {
+
+constexpr std::array<std::size_t, 5> kAdderWidths{16, 32, 64, 128, 256};
+constexpr std::array<std::size_t, 5> kMultWidths{8, 16, 32, 64, 128};
+constexpr std::array<std::size_t, 5> kSqrtWidths{16, 32, 64, 128, 256};
+
+// Input counts for the PicoJava-like and i10-like cone substitutes; the
+// paper specifies "16-200 inputs".
+constexpr std::array<std::uint32_t, 10> kPicoInputs{16,  32,  50,  66,  82,
+                                                    100, 120, 145, 170, 200};
+constexpr std::array<std::uint32_t, 10> kI10Inputs{18,  25,  40,  60,  80,
+                                                   105, 130, 155, 180, 200};
+
+const char* kSymSignatures[5] = {
+    "00000000111111111", "11111100000111111", "00011110001111000",
+    "00001110101110000", "00000011111000000"};
+
+}  // namespace
+
+std::string benchmark_category(int id) {
+  if (id < 10) {
+    return id % 2 == 0 ? "adder-msb" : "adder-msb2";
+  }
+  if (id < 20) {
+    return id % 2 == 0 ? "divider-msb" : "remainder-msb";
+  }
+  if (id < 30) {
+    return id % 2 == 0 ? "multiplier-msb" : "multiplier-mid";
+  }
+  if (id < 40) {
+    return "comparator";
+  }
+  if (id < 50) {
+    return id % 2 == 0 ? "sqrt-lsb" : "sqrt-mid";
+  }
+  if (id < 60) {
+    return "picojava-cone";
+  }
+  if (id < 70) {
+    return "i10-cone";
+  }
+  if (id < 75) {
+    return "mcnc-misc";
+  }
+  if (id < 80) {
+    return "symmetric";
+  }
+  if (id < 90) {
+    return "mnist-like";
+  }
+  return "cifar-like";
+}
+
+std::unique_ptr<Oracle> make_oracle(int id, std::uint64_t seed) {
+  if (id < 0 || id >= 100) {
+    throw std::invalid_argument("make_oracle: id out of range");
+  }
+  if (id < 10) {
+    const std::size_t k = kAdderWidths[static_cast<std::size_t>(id) / 2];
+    const std::size_t bit = id % 2 == 0 ? k : k - 1;  // MSB / 2nd MSB
+    return std::make_unique<AdderBitOracle>(k, bit);
+  }
+  if (id < 20) {
+    const std::size_t k = kAdderWidths[static_cast<std::size_t>(id - 10) / 2];
+    return std::make_unique<DividerBitOracle>(k, k - 1, id % 2 == 0);
+  }
+  if (id < 30) {
+    const std::size_t k = kMultWidths[static_cast<std::size_t>(id - 20) / 2];
+    const std::size_t bit = id % 2 == 0 ? 2 * k - 1 : k - 1;
+    return std::make_unique<MultiplierBitOracle>(k, bit);
+  }
+  if (id < 40) {
+    return std::make_unique<ComparatorOracle>(
+        static_cast<std::size_t>(id - 29) * 10);
+  }
+  if (id < 50) {
+    const std::size_t k = kSqrtWidths[static_cast<std::size_t>(id - 40) / 2];
+    const std::size_t bit = id % 2 == 0 ? 0 : k / 4;
+    return std::make_unique<SqrtBitOracle>(k, bit);
+  }
+  if (id < 60) {
+    const auto inputs = kPicoInputs[static_cast<std::size_t>(id - 50)];
+    return make_cone_oracle(inputs, inputs * 12, aig::ConeFlavor::kRandom,
+                            seed * 7919 + static_cast<std::uint64_t>(id));
+  }
+  if (id < 70) {
+    const auto inputs = kI10Inputs[static_cast<std::size_t>(id - 60)];
+    return make_cone_oracle(inputs, inputs * 10, aig::ConeFlavor::kRandom,
+                            seed * 104729 + static_cast<std::uint64_t>(id));
+  }
+  if (id == 70 || id == 71) {
+    // cordic substitutes: 23-input arithmetic-flavoured cones.
+    return make_cone_oracle(23, 300, aig::ConeFlavor::kArith,
+                            seed * 1299709 + static_cast<std::uint64_t>(id));
+  }
+  if (id == 72) {
+    // too_large substitute: 38-input XOR-rich cone.
+    return make_cone_oracle(38, 500, aig::ConeFlavor::kXorRich,
+                            seed * 15485863 + 72);
+  }
+  if (id == 73) {
+    return std::make_unique<NestedOracle>();  // t481 substitute
+  }
+  if (id == 74) {
+    return std::make_unique<ParityOracle>(16);
+  }
+  if (id < 80) {
+    return std::make_unique<SymmetricOracle>(
+        16, kSymSignatures[static_cast<std::size_t>(id - 75)]);
+  }
+  if (id < 90) {
+    return std::make_unique<VisionOracle>(VisionDomain::kMnistLike,
+                                          table2_groups(id - 80),
+                                          seed + static_cast<std::uint64_t>(id));
+  }
+  return std::make_unique<VisionOracle>(VisionDomain::kCifarLike,
+                                        table2_groups(id - 90),
+                                        seed + static_cast<std::uint64_t>(id));
+}
+
+Benchmark make_benchmark(int id, const SuiteOptions& options) {
+  Benchmark b;
+  b.id = id;
+  b.name = id < 10 ? "ex0" + std::to_string(id) : "ex" + std::to_string(id);
+  b.category = benchmark_category(id);
+  const auto oracle = make_oracle(id, options.seed);
+  b.num_inputs = oracle->num_inputs();
+  core::Rng rng(options.seed * 6364136223846793005ULL +
+                static_cast<std::uint64_t>(id));
+  sample_disjoint(*oracle, options.rows_per_split, rng, &b.train, &b.valid,
+                  &b.test);
+  return b;
+}
+
+std::vector<Benchmark> make_suite(const SuiteOptions& options, int count) {
+  std::vector<Benchmark> suite;
+  suite.reserve(static_cast<std::size_t>(count));
+  for (int id = 0; id < count; ++id) {
+    suite.push_back(make_benchmark(id, options));
+  }
+  return suite;
+}
+
+}  // namespace lsml::oracle

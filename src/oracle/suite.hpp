@@ -1,0 +1,61 @@
+#pragma once
+// The 100-benchmark contest suite (Table I).
+//
+// ex00-09  2 MSBs of k-bit adders,            k in {16,32,64,128,256}
+// ex10-19  MSB of k-bit dividers/remainders,  k in {16,32,64,128,256}
+// ex20-29  MSB and middle bit of multipliers, k in {8,16,32,64,128}
+// ex30-39  k-bit comparators,                 k in {10,20,...,100}
+// ex40-49  LSB and middle bit of square-rooters, k in {16,...,256}
+// ex50-59  PicoJava-like cones (16-200 inputs, balanced; substitute)
+// ex60-69  MCNC i10-like cones (16-200 inputs, balanced; substitute)
+// ex70-74  cordic x2 / too_large / t481 substitutes + 16-input parity
+// ex75-79  16-input symmetric functions (signatures from the paper)
+// ex80-89  MNIST-like group comparisons (Table II; synthetic substitute)
+// ex90-99  CIFAR-like group comparisons (Table II; synthetic substitute)
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/rng.hpp"
+#include "data/dataset.hpp"
+#include "oracle/oracle.hpp"
+
+namespace lsml::oracle {
+
+struct Benchmark {
+  int id = 0;                ///< 0..99
+  std::string name;          ///< "ex00".."ex99"
+  std::string category;      ///< e.g. "adder-msb"
+  std::size_t num_inputs = 0;
+  data::Dataset train;
+  data::Dataset valid;
+  data::Dataset test;
+};
+
+struct SuiteOptions {
+  std::size_t rows_per_split = 6400;  ///< contest protocol value
+  std::uint64_t seed = 2020;          ///< IWLS vintage
+
+  static SuiteOptions from_scale(const core::ScaleConfig& cfg) {
+    SuiteOptions o;
+    o.rows_per_split = cfg.train_rows;
+    return o;
+  }
+};
+
+/// Builds the oracle behind benchmark `id` (owned by the caller).
+std::unique_ptr<Oracle> make_oracle(int id, std::uint64_t seed);
+
+/// Category string for a benchmark id.
+std::string benchmark_category(int id);
+
+/// Generates one benchmark with disjoint train/valid/test splits.
+Benchmark make_benchmark(int id, const SuiteOptions& options);
+
+/// Generates benchmarks [0, count).
+std::vector<Benchmark> make_suite(const SuiteOptions& options,
+                                  int count = 100);
+
+}  // namespace lsml::oracle

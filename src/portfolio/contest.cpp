@@ -1,0 +1,178 @@
+#include "portfolio/contest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "learn/dt.hpp"
+
+namespace lsml::portfolio {
+
+namespace {
+
+double mean(const std::vector<BenchmarkResult>& results,
+            double (*get)(const BenchmarkResult&)) {
+  if (results.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& r : results) {
+    total += get(r);
+  }
+  return total / static_cast<double>(results.size());
+}
+
+}  // namespace
+
+double TeamRun::avg_test_acc() const {
+  return mean(results, [](const BenchmarkResult& r) { return r.test_acc; });
+}
+double TeamRun::avg_valid_acc() const {
+  return mean(results, [](const BenchmarkResult& r) { return r.valid_acc; });
+}
+double TeamRun::avg_ands() const {
+  return mean(results, [](const BenchmarkResult& r) {
+    return static_cast<double>(r.num_ands);
+  });
+}
+double TeamRun::avg_levels() const {
+  return mean(results, [](const BenchmarkResult& r) {
+    return static_cast<double>(r.num_levels);
+  });
+}
+double TeamRun::overfit() const {
+  return mean(results, [](const BenchmarkResult& r) {
+    return r.valid_acc - r.test_acc;
+  });
+}
+
+BenchmarkResult evaluate_on(learn::Learner& learner,
+                            const oracle::Benchmark& bench, core::Rng& rng) {
+  const learn::TrainedModel model =
+      learner.fit(bench.train, bench.valid, rng);
+  BenchmarkResult result;
+  result.benchmark_id = bench.id;
+  result.benchmark = bench.name;
+  result.method = model.method;
+  result.train_acc = model.train_acc;
+  result.valid_acc = model.valid_acc;
+  result.test_acc = learn::circuit_accuracy(model.circuit, bench.test);
+  result.num_ands = model.circuit.num_ands();
+  result.num_levels = model.circuit.num_levels();
+  return result;
+}
+
+TeamRun run_suite(learn::Learner& learner, int team_number,
+                  const std::vector<oracle::Benchmark>& suite,
+                  std::uint64_t seed) {
+  TeamRun run;
+  run.team = team_number;
+  run.results.reserve(suite.size());
+  for (const auto& bench : suite) {
+    core::Rng rng(seed * 2654435761ULL +
+                  static_cast<std::uint64_t>(bench.id) * 97 +
+                  static_cast<std::uint64_t>(team_number));
+    run.results.push_back(evaluate_on(learner, bench, rng));
+  }
+  return run;
+}
+
+std::vector<ParetoPoint> virtual_best_pareto(
+    const std::vector<TeamRun>& runs, const std::vector<double>& budgets) {
+  std::vector<ParetoPoint> points;
+  if (runs.empty()) {
+    return points;
+  }
+  const std::size_t num_benchmarks = runs[0].results.size();
+  points.reserve(budgets.size());
+  for (const double budget : budgets) {
+    double acc_total = 0.0;
+    double size_total = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t b = 0; b < num_benchmarks; ++b) {
+      double best_acc = -1.0;
+      double best_size = 0.0;
+      for (const auto& run : runs) {
+        const auto& r = run.results[b];
+        if (static_cast<double>(r.num_ands) > budget) {
+          continue;
+        }
+        if (r.test_acc > best_acc) {
+          best_acc = r.test_acc;
+          best_size = static_cast<double>(r.num_ands);
+        }
+      }
+      if (best_acc >= 0.0) {
+        acc_total += best_acc;
+        size_total += best_size;
+        ++counted;
+      }
+    }
+    if (counted > 0) {
+      points.push_back({size_total / static_cast<double>(counted),
+                        acc_total / static_cast<double>(counted)});
+    }
+  }
+  return points;
+}
+
+std::vector<double> max_accuracy_per_benchmark(
+    const std::vector<TeamRun>& runs) {
+  if (runs.empty()) {
+    return {};
+  }
+  std::vector<double> best(runs[0].results.size(), 0.0);
+  for (const auto& run : runs) {
+    for (std::size_t b = 0; b < run.results.size(); ++b) {
+      best[b] = std::max(best[b], run.results[b].test_acc);
+    }
+  }
+  return best;
+}
+
+std::vector<WinRate> win_rates(const std::vector<TeamRun>& runs) {
+  std::vector<WinRate> rates;
+  rates.reserve(runs.size());
+  for (const auto& run : runs) {
+    rates.push_back(WinRate{run.team, 0, 0});
+  }
+  if (runs.empty()) {
+    return rates;
+  }
+  const std::size_t num_benchmarks = runs[0].results.size();
+  for (std::size_t b = 0; b < num_benchmarks; ++b) {
+    double best = -1.0;
+    for (const auto& run : runs) {
+      best = std::max(best, run.results[b].test_acc);
+    }
+    for (std::size_t t = 0; t < runs.size(); ++t) {
+      const double acc = runs[t].results[b].test_acc;
+      if (acc == best) {
+        ++rates[t].best;
+      }
+      if (acc >= best - 0.01) {
+        ++rates[t].within_top1pct;
+      }
+    }
+  }
+  return rates;
+}
+
+std::string format_leaderboard(std::vector<TeamRun> runs) {
+  std::sort(runs.begin(), runs.end(), [](const TeamRun& a, const TeamRun& b) {
+    return a.avg_test_acc() > b.avg_test_acc();
+  });
+  std::ostringstream os;
+  os << "team | test accuracy | And gates | levels | overfit\n";
+  os << "-----+---------------+-----------+--------+--------\n";
+  os.setf(std::ios::fixed);
+  for (const auto& run : runs) {
+    os.precision(2);
+    os << "  " << run.team << (run.team < 10 ? " " : "") << " |         "
+       << 100.0 * run.avg_test_acc() << " |   " << run.avg_ands() << " |  "
+       << run.avg_levels() << " |   " << 100.0 * run.overfit() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lsml::portfolio

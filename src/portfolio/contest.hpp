@@ -1,0 +1,74 @@
+#pragma once
+// Contest runner and evaluation analytics.
+//
+// Runs learners over the benchmark suite and computes every aggregate the
+// paper reports: Table III rows (test accuracy / AND gates / levels /
+// overfit), the accuracy-size Pareto frontier of the virtual best (Fig. 2),
+// per-benchmark maximum accuracy (Fig. 3), and win rates (Fig. 4).
+
+#include <string>
+#include <vector>
+
+#include "learn/learner.hpp"
+#include "oracle/suite.hpp"
+
+namespace lsml::portfolio {
+
+struct BenchmarkResult {
+  int benchmark_id = 0;
+  std::string benchmark;
+  std::string method;        ///< what the portfolio picked
+  double train_acc = 0.0;
+  double valid_acc = 0.0;
+  double test_acc = 0.0;
+  std::uint32_t num_ands = 0;
+  std::uint32_t num_levels = 0;
+};
+
+struct TeamRun {
+  int team = 0;
+  std::vector<BenchmarkResult> results;
+
+  [[nodiscard]] double avg_test_acc() const;
+  [[nodiscard]] double avg_valid_acc() const;
+  [[nodiscard]] double avg_ands() const;
+  [[nodiscard]] double avg_levels() const;
+  /// The paper's overfit metric: mean (validation - test) accuracy.
+  [[nodiscard]] double overfit() const;
+};
+
+/// Evaluates one learner on one benchmark.
+BenchmarkResult evaluate_on(learn::Learner& learner,
+                            const oracle::Benchmark& bench, core::Rng& rng);
+
+/// Runs a learner over the whole suite.
+TeamRun run_suite(learn::Learner& learner, int team_number,
+                  const std::vector<oracle::Benchmark>& suite,
+                  std::uint64_t seed);
+
+/// One (size, accuracy) point per budget: for each budget, each benchmark
+/// contributes its best candidate among all runs whose size fits.
+struct ParetoPoint {
+  double avg_ands = 0.0;
+  double avg_test_acc = 0.0;
+};
+std::vector<ParetoPoint> virtual_best_pareto(
+    const std::vector<TeamRun>& runs, const std::vector<double>& budgets);
+
+/// Fig. 3: maximum test accuracy over all runs, per benchmark.
+std::vector<double> max_accuracy_per_benchmark(
+    const std::vector<TeamRun>& runs);
+
+/// Fig. 4: per team, how many benchmarks it wins outright / is within 1%
+/// of the best on.
+struct WinRate {
+  int team = 0;
+  int best = 0;
+  int within_top1pct = 0;
+};
+std::vector<WinRate> win_rates(const std::vector<TeamRun>& runs);
+
+/// Table III-style leaderboard, sorted by average test accuracy.
+std::string format_leaderboard(std::vector<TeamRun> runs);
+
+}  // namespace lsml::portfolio

@@ -1,0 +1,148 @@
+#include "sop/espresso.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+namespace lsml::sop {
+
+namespace {
+
+// Number of bound variables of `cube` on which `row` disagrees.
+std::size_t diff_count(const Cube& cube, const core::BitVec& row) {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < cube.mask.num_words(); ++w) {
+    count += static_cast<std::size_t>(std::popcount(
+        (row.word(w) ^ cube.value.word(w)) & cube.mask.word(w)));
+  }
+  return count;
+}
+
+}  // namespace
+
+void expand_against_offset(Cover& cover,
+                           const std::vector<core::BitVec>& offset_rows,
+                           bool shuffle, core::Rng& rng) {
+  if (cover.empty()) {
+    return;
+  }
+  const std::size_t num_vars = cover[0].num_vars();
+  std::vector<std::size_t> var_order(num_vars);
+  std::iota(var_order.begin(), var_order.end(), 0);
+
+  std::vector<std::size_t> diff(offset_rows.size());
+  std::vector<std::size_t> critical;  // offset rows with exactly one diff
+  for (Cube& cube : cover) {
+    for (std::size_t r = 0; r < offset_rows.size(); ++r) {
+      diff[r] = diff_count(cube, offset_rows[r]);
+    }
+    critical.clear();
+    for (std::size_t r = 0; r < offset_rows.size(); ++r) {
+      if (diff[r] == 1) {
+        critical.push_back(r);
+      }
+    }
+    if (shuffle) {
+      for (std::size_t i = var_order.size(); i > 1; --i) {
+        std::swap(var_order[i - 1], var_order[rng.below(i)]);
+      }
+    }
+    for (std::size_t v : var_order) {
+      if (!cube.mask.get(v)) {
+        continue;
+      }
+      // Raising v is illegal iff some offset row's only disagreement is v.
+      const bool blocked = std::any_of(
+          critical.begin(), critical.end(), [&](std::size_t r) {
+            return offset_rows[r].get(v) != cube.value.get(v);
+          });
+      if (blocked) {
+        continue;
+      }
+      cube.mask.set(v, false);
+      // Update diff counts of rows that disagreed at v.
+      for (std::size_t r = 0; r < offset_rows.size(); ++r) {
+        if (offset_rows[r].get(v) != cube.value.get(v) && diff[r] > 0) {
+          if (--diff[r] == 1) {
+            critical.push_back(r);
+          }
+        }
+      }
+      // Drop stale entries lazily: rows whose diff left 1 are re-filtered
+      // inside the `blocked` predicate by rechecking membership cheaply.
+      critical.erase(std::remove_if(critical.begin(), critical.end(),
+                                    [&](std::size_t r) { return diff[r] != 1; }),
+                     critical.end());
+    }
+  }
+}
+
+void irredundant(Cover& cover, const std::vector<core::BitVec>& onset_rows) {
+  if (cover.empty()) {
+    return;
+  }
+  // covered[c] = bitset over onset rows covered by cube c.
+  std::vector<core::BitVec> covered(cover.size(),
+                                    core::BitVec(onset_rows.size()));
+  for (std::size_t c = 0; c < cover.size(); ++c) {
+    for (std::size_t r = 0; r < onset_rows.size(); ++r) {
+      if (cover[c].covers_row(onset_rows[r])) {
+        covered[c].set(r, true);
+      }
+    }
+  }
+  // Greedy set cover, biggest contribution first.
+  core::BitVec uncovered(onset_rows.size(), true);
+  std::vector<std::size_t> order(cover.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return covered[a].count() > covered[b].count();
+  });
+  Cover kept;
+  kept.reserve(cover.size());
+  for (std::size_t c : order) {
+    if (uncovered.count_and(covered[c]) == 0) {
+      continue;
+    }
+    uncovered &= ~covered[c];
+    kept.push_back(cover[c]);
+    if (uncovered.count() == 0) {
+      break;
+    }
+  }
+  cover = std::move(kept);
+}
+
+Cover espresso(const data::Dataset& train, const EspressoOptions& options,
+               core::Rng& rng) {
+  const auto rows = dataset_rows(train);
+  std::vector<core::BitVec> onset_rows;
+  std::vector<core::BitVec> offset_rows;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    (train.label(r) ? onset_rows : offset_rows).push_back(rows[r]);
+  }
+  if (options.max_onset != 0 && onset_rows.size() > options.max_onset) {
+    onset_rows.resize(options.max_onset);
+  }
+  if (options.max_offset != 0 && offset_rows.size() > options.max_offset) {
+    offset_rows.resize(options.max_offset);
+  }
+  Cover cover;
+  cover.reserve(onset_rows.size());
+  for (const auto& row : onset_rows) {
+    cover.push_back(Cube::minterm(row));
+  }
+  remove_absorbed(cover);
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    const std::size_t before = cover.size();
+    expand_against_offset(cover, offset_rows, options.shuffle_vars, rng);
+    remove_absorbed(cover);
+    irredundant(cover, onset_rows);
+    if (cover.size() >= before && pass > 0) {
+      break;
+    }
+  }
+  return cover;
+}
+
+}  // namespace lsml::sop

@@ -1,0 +1,43 @@
+#pragma once
+// ESPRESSO-style heuristic two-level minimization on sampled data.
+//
+// The contest's functions are incompletely specified: the onset/offset are
+// the sampled training minterms and everything else is a don't-care. The
+// minimizer starts from the onset minterms and runs the classic
+// EXPAND -> (absorb) -> IRREDUNDANT loop against the sampled offset, which
+// is exactly how the teams used ESPRESSO ("finish optimization after the
+// first irredundant operation", Team 1).
+
+#include "core/rng.hpp"
+#include "data/dataset.hpp"
+#include "sop/cube.hpp"
+
+namespace lsml::sop {
+
+struct EspressoOptions {
+  int max_passes = 1;          ///< expand+irredundant rounds (1 = Team 1's)
+  bool shuffle_vars = true;    ///< randomized literal-raising order
+  /// Optional caps on the onset/offset sample sizes used by EXPAND
+  /// (0 = no cap). Used at reduced bench scales to bound runtime on the
+  /// widest benchmarks; the algorithm is unchanged.
+  std::size_t max_onset = 0;
+  std::size_t max_offset = 0;
+};
+
+/// Minimizes the incompletely specified function given by `train`
+/// (label 1 = onset sample, label 0 = offset sample). Returns a cover whose
+/// predictions match every training row.
+Cover espresso(const data::Dataset& train, const EspressoOptions& options,
+               core::Rng& rng);
+
+/// Single EXPAND pass: raises literals of each cube as long as no offset
+/// row becomes covered. Exposed for testing.
+void expand_against_offset(Cover& cover,
+                           const std::vector<core::BitVec>& offset_rows,
+                           bool shuffle, core::Rng& rng);
+
+/// Greedy IRREDUNDANT: keeps a minimal subset of cubes that still covers
+/// all onset rows. Exposed for testing.
+void irredundant(Cover& cover, const std::vector<core::BitVec>& onset_rows);
+
+}  // namespace lsml::sop

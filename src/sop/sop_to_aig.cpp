@@ -1,0 +1,40 @@
+#include "sop/sop_to_aig.hpp"
+
+#include <stdexcept>
+
+#include "aig/aig_build.hpp"
+
+namespace lsml::sop {
+
+aig::Lit cover_to_lit(aig::Aig& g, const Cover& cover,
+                      const std::vector<aig::Lit>& leaves) {
+  std::vector<aig::Lit> terms;
+  terms.reserve(cover.size());
+  for (const Cube& cube : cover) {
+    if (cube.num_vars() > leaves.size()) {
+      throw std::invalid_argument("cover_to_lit: cube wider than leaves");
+    }
+    std::vector<aig::Lit> lits;
+    lits.reserve(cube.num_literals());
+    for (std::size_t v = 0; v < cube.num_vars(); ++v) {
+      if (cube.mask.get(v)) {
+        lits.push_back(aig::lit_notc(leaves[v], !cube.value.get(v)));
+      }
+    }
+    terms.push_back(aig::and_tree(g, std::move(lits)));
+  }
+  return aig::or_tree(g, std::move(terms));
+}
+
+aig::Aig cover_to_aig(const Cover& cover, std::size_t num_inputs) {
+  aig::Aig g(static_cast<std::uint32_t>(num_inputs));
+  std::vector<aig::Lit> leaves;
+  leaves.reserve(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    leaves.push_back(g.pi(static_cast<std::uint32_t>(i)));
+  }
+  g.add_output(cover_to_lit(g, cover, leaves));
+  return g;
+}
+
+}  // namespace lsml::sop

@@ -1,0 +1,21 @@
+#pragma once
+// Cover-to-AIG synthesis.
+//
+// Converts a wide-cube cover (e.g. an ESPRESSO result or a decision-tree
+// path cover) into an AIG: balanced AND tree per cube, balanced OR tree
+// over cubes. This is the PLA -> AIG step every team performed with ABC.
+
+#include "aig/aig.hpp"
+#include "sop/cube.hpp"
+
+namespace lsml::sop {
+
+/// Builds the cover as the single output of a fresh AIG over `num_inputs`
+/// primary inputs (cube variables map 1:1 to PIs).
+aig::Aig cover_to_aig(const Cover& cover, std::size_t num_inputs);
+
+/// Builds the cover inside an existing AIG over the given leaf literals.
+aig::Lit cover_to_lit(aig::Aig& g, const Cover& cover,
+                      const std::vector<aig::Lit>& leaves);
+
+}  // namespace lsml::sop

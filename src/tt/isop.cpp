@@ -1,0 +1,96 @@
+#include "tt/isop.hpp"
+
+#include <cassert>
+
+namespace lsml::tt {
+
+namespace {
+
+// Recursive Minato-Morreale. Computes a cover of some g with
+// on <= g <= upper, where upper = on | dc. Returns the cover and sets
+// `result` to the truth table of the cover.
+std::vector<SmallCube> isop_rec(const TruthTable& on, const TruthTable& upper,
+                                int num_vars, int var, TruthTable* result) {
+  assert(var <= num_vars);
+  if (on.is_const0()) {
+    *result = TruthTable::constant(num_vars, false);
+    return {};
+  }
+  if (upper.is_const1()) {
+    *result = TruthTable::constant(num_vars, true);
+    return {SmallCube{}};
+  }
+  // Find the topmost variable that matters.
+  int v = var - 1;
+  while (v >= 0 && !on.depends_on(v) && !upper.depends_on(v)) {
+    --v;
+  }
+  assert(v >= 0 && "non-trivial function must depend on something");
+
+  const TruthTable on0 = on.cofactor(v, false);
+  const TruthTable on1 = on.cofactor(v, true);
+  const TruthTable up0 = upper.cofactor(v, false);
+  const TruthTable up1 = upper.cofactor(v, true);
+
+  // Cubes that must contain literal !v: on0 minterms not allowed under v=1.
+  TruthTable res0;
+  auto cover0 = isop_rec(on0 & ~up1, up0, num_vars, v, &res0);
+  // Cubes that must contain literal v.
+  TruthTable res1;
+  auto cover1 = isop_rec(on1 & ~up0, up1, num_vars, v, &res1);
+  // Remaining onset handled by cubes independent of v.
+  const TruthTable on_rest = (on0 & ~res0) | (on1 & ~res1);
+  TruthTable res2;
+  auto cover2 = isop_rec(on_rest, up0 & up1, num_vars, v, &res2);
+
+  const TruthTable tv = TruthTable::var(num_vars, v);
+  *result = (res0 & ~tv) | (res1 & tv) | res2;
+
+  std::vector<SmallCube> out;
+  out.reserve(cover0.size() + cover1.size() + cover2.size());
+  for (auto cube : cover0) {
+    cube.neg |= 1u << v;
+    out.push_back(cube);
+  }
+  for (auto cube : cover1) {
+    cube.pos |= 1u << v;
+    out.push_back(cube);
+  }
+  for (auto cube : cover2) {
+    out.push_back(cube);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SmallCube> isop(const TruthTable& on, const TruthTable& dc) {
+  assert(on.num_vars() == dc.num_vars());
+  TruthTable result;
+  auto cover =
+      isop_rec(on, on | dc, on.num_vars(), on.num_vars(), &result);
+  // Correctness: on <= result <= on | dc.
+  assert((on & ~result).is_const0());
+  assert((result & ~(on | dc)).is_const0());
+  return cover;
+}
+
+std::vector<SmallCube> isop(const TruthTable& f) {
+  return isop(f, TruthTable::constant(f.num_vars(), false));
+}
+
+int sop_gate_cost(const std::vector<SmallCube>& cubes) {
+  if (cubes.empty()) {
+    return 0;
+  }
+  int cost = static_cast<int>(cubes.size()) - 1;
+  for (const auto& cube : cubes) {
+    const int lits = cube.num_literals();
+    if (lits > 0) {
+      cost += lits - 1;
+    }
+  }
+  return cost;
+}
+
+}  // namespace lsml::tt

@@ -1,0 +1,27 @@
+#pragma once
+// Irredundant sum-of-products computation (Minato-Morreale ISOP).
+//
+// Given an incompletely specified function as (onset, careset don't-care
+// upper bound), produces a cube cover F with on <= F <= on|dc that is
+// irredundant by construction. This is the standard way to resynthesize a
+// small cut or LUT into two-level logic before mapping it to AIG gates.
+
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace lsml::tt {
+
+/// Computes an irredundant SOP for any f with on <= f <= on | dc.
+/// `on` and `dc` must be disjoint is NOT required (dc is treated as
+/// "additional allowed minterms"); both must have the same variable count.
+std::vector<SmallCube> isop(const TruthTable& on, const TruthTable& dc);
+
+/// Convenience: ISOP of a completely specified function.
+std::vector<SmallCube> isop(const TruthTable& f);
+
+/// Number of AND2 gates of the naive AND/OR tree realization of a cover
+/// (literals-1 per cube plus cubes-1 for the OR). Useful as a cost proxy.
+int sop_gate_cost(const std::vector<SmallCube>& cubes);
+
+}  // namespace lsml::tt

@@ -1,0 +1,81 @@
+#pragma once
+// Dynamic truth tables over up to 16 variables.
+//
+// Used wherever a complete function over a small support is manipulated:
+// LUT contents, cut functions during AIG rewriting, neuron-to-LUT
+// conversion, and ISOP-based resynthesis.
+
+#include <cstdint>
+#include <vector>
+
+namespace lsml::tt {
+
+inline constexpr int kMaxVars = 16;
+
+/// Truth table of a Boolean function over `num_vars` variables.
+/// Bit m of the table is f(m) where variable i is bit i of the minterm m.
+class TruthTable {
+ public:
+  TruthTable() : TruthTable(0) {}
+  explicit TruthTable(int num_vars);
+
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+  [[nodiscard]] std::uint64_t num_minterms() const {
+    return 1ULL << num_vars_;
+  }
+
+  [[nodiscard]] bool get(std::uint64_t minterm) const {
+    return (words_[minterm >> 6] >> (minterm & 63)) & 1ULL;
+  }
+  void set(std::uint64_t minterm, bool v);
+
+  /// The projection function of variable `var`.
+  static TruthTable var(int num_vars, int var);
+  static TruthTable constant(int num_vars, bool value);
+
+  [[nodiscard]] std::uint64_t count_ones() const;
+  [[nodiscard]] bool is_const0() const;
+  [[nodiscard]] bool is_const1() const;
+
+  TruthTable& operator&=(const TruthTable& o);
+  TruthTable& operator|=(const TruthTable& o);
+  TruthTable& operator^=(const TruthTable& o);
+  [[nodiscard]] TruthTable operator&(const TruthTable& o) const;
+  [[nodiscard]] TruthTable operator|(const TruthTable& o) const;
+  [[nodiscard]] TruthTable operator^(const TruthTable& o) const;
+  [[nodiscard]] TruthTable operator~() const;
+  bool operator==(const TruthTable& o) const = default;
+
+  /// Positive / negative cofactor with respect to `var` (same num_vars).
+  [[nodiscard]] TruthTable cofactor(int var, bool value) const;
+
+  /// True if the function depends on `var`.
+  [[nodiscard]] bool depends_on(int var) const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
+ private:
+  int num_vars_ = 0;
+  std::vector<std::uint64_t> words_;
+  void mask_tail();
+};
+
+/// A product term over a small support: variable i appears positively if
+/// bit i of `pos` is set, negatively if bit i of `neg` is set.
+struct SmallCube {
+  std::uint32_t pos = 0;
+  std::uint32_t neg = 0;
+
+  [[nodiscard]] int num_literals() const;
+  bool operator==(const SmallCube&) const = default;
+};
+
+/// Truth table of a single cube.
+TruthTable cube_to_tt(const SmallCube& cube, int num_vars);
+
+/// Truth table of a sum of cubes.
+TruthTable sop_to_tt(const std::vector<SmallCube>& cubes, int num_vars);
+
+}  // namespace lsml::tt

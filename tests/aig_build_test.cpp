@@ -1,0 +1,270 @@
+// Arithmetic/symmetric AIG builders checked against integer references,
+// with parameterized width sweeps.
+
+#include <gtest/gtest.h>
+
+#include "aig/aig_build.hpp"
+#include "core/rng.hpp"
+
+namespace lsml::aig {
+namespace {
+
+std::vector<Lit> pi_word(Aig& g, std::size_t start, std::size_t width) {
+  std::vector<Lit> w;
+  for (std::size_t i = 0; i < width; ++i) {
+    w.push_back(g.pi(static_cast<std::uint32_t>(start + i)));
+  }
+  return w;
+}
+
+std::vector<std::uint8_t> row_from_words(std::uint64_t a, std::uint64_t b,
+                                         std::size_t k) {
+  std::vector<std::uint8_t> row(2 * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    row[i] = (a >> i) & 1;
+    row[k + i] = (b >> i) & 1;
+  }
+  return row;
+}
+
+class AdderWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdderWidths, RippleAdderMatchesInteger) {
+  const std::size_t k = GetParam();
+  Aig g(static_cast<std::uint32_t>(2 * k));
+  const auto sum = ripple_adder(g, pi_word(g, 0, k), pi_word(g, k, k));
+  ASSERT_EQ(sum.size(), k + 1);
+  for (Lit s : sum) {
+    g.add_output(s);
+  }
+  core::Rng rng(k);
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::uint64_t mask = k == 64 ? ~0ULL : (1ULL << k) - 1;
+    const std::uint64_t a = rng.next() & mask;
+    const std::uint64_t b = rng.next() & mask;
+    const auto out = g.eval_row(row_from_words(a, b, k));
+    const unsigned __int128 expect =
+        static_cast<unsigned __int128>(a) + b;
+    for (std::size_t i = 0; i <= k; ++i) {
+      EXPECT_EQ(out[i], static_cast<bool>((expect >> i) & 1))
+          << "k=" << k << " bit=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidths,
+                         ::testing::Values(1, 2, 3, 8, 16, 33));
+
+class ComparatorWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ComparatorWidths, GreaterThanMatchesInteger) {
+  const std::size_t k = GetParam();
+  Aig g(static_cast<std::uint32_t>(2 * k));
+  g.add_output(greater_than(g, pi_word(g, 0, k), pi_word(g, k, k)));
+  g.add_output(greater_equal(g, pi_word(g, 0, k), pi_word(g, k, k)));
+  g.add_output(equals(g, pi_word(g, 0, k), pi_word(g, k, k)));
+  core::Rng rng(k * 7 + 1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t mask = (1ULL << k) - 1;
+    // Mix nearby values so equality paths get exercised.
+    const std::uint64_t a = rng.next() & mask;
+    const std::uint64_t b = trial % 3 == 0 ? a : rng.next() & mask;
+    const auto out = g.eval_row(row_from_words(a, b, k));
+    EXPECT_EQ(out[0], a > b);
+    EXPECT_EQ(out[1], a >= b);
+    EXPECT_EQ(out[2], a == b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ComparatorWidths,
+                         ::testing::Values(1, 2, 5, 10, 20));
+
+TEST(Popcount, MatchesBuiltin) {
+  for (const std::size_t n : {1u, 3u, 7u, 16u, 21u}) {
+    Aig g(static_cast<std::uint32_t>(n));
+    std::vector<Lit> lits;
+    for (std::size_t i = 0; i < n; ++i) {
+      lits.push_back(g.pi(static_cast<std::uint32_t>(i)));
+    }
+    const auto count = popcount(g, lits);
+    for (Lit c : count) {
+      g.add_output(c);
+    }
+    core::Rng rng(n);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<std::uint8_t> row(n);
+      int expect = 0;
+      for (auto& bit : row) {
+        bit = rng.flip(0.5) ? 1 : 0;
+        expect += bit;
+      }
+      const auto out = g.eval_row(row);
+      int got = 0;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        got |= out[i] ? (1 << i) : 0;
+      }
+      EXPECT_EQ(got, expect);
+    }
+  }
+}
+
+TEST(Threshold, BoundaryBehaviour) {
+  const std::size_t n = 9;
+  Aig g(n);
+  std::vector<Lit> lits;
+  for (std::size_t i = 0; i < n; ++i) {
+    lits.push_back(g.pi(static_cast<std::uint32_t>(i)));
+  }
+  for (std::uint32_t k = 0; k <= n + 1; ++k) {
+    g.add_output(threshold_ge(g, lits, k));
+  }
+  for (std::size_t ones = 0; ones <= n; ++ones) {
+    std::vector<std::uint8_t> row(n, 0);
+    for (std::size_t i = 0; i < ones; ++i) {
+      row[i] = 1;
+    }
+    const auto out = g.eval_row(row);
+    for (std::uint32_t k = 0; k <= n + 1; ++k) {
+      EXPECT_EQ(out[k], ones >= k) << "ones=" << ones << " k=" << k;
+    }
+  }
+}
+
+TEST(Majority, OddVoters) {
+  for (const std::size_t n : {3u, 5u, 17u}) {
+    Aig g(static_cast<std::uint32_t>(n));
+    std::vector<Lit> lits;
+    for (std::size_t i = 0; i < n; ++i) {
+      lits.push_back(g.pi(static_cast<std::uint32_t>(i)));
+    }
+    g.add_output(majority(g, lits));
+    core::Rng rng(n);
+    for (int trial = 0; trial < 60; ++trial) {
+      std::vector<std::uint8_t> row(n);
+      std::size_t ones = 0;
+      for (auto& bit : row) {
+        bit = rng.flip(0.5) ? 1 : 0;
+        ones += bit;
+      }
+      EXPECT_EQ(g.eval_row(row)[0], ones > n / 2);
+    }
+  }
+}
+
+TEST(Majority125, NetworkApproximatesTrueMajority) {
+  Aig g(125);
+  std::vector<Lit> lits;
+  for (std::uint32_t i = 0; i < 125; ++i) {
+    lits.push_back(g.pi(i));
+  }
+  g.add_output(majority125_network(g, lits));
+  // The 3-layer 5-input majority network is exact at the extremes and a
+  // good approximation near the middle; check extremes plus monotone-ish
+  // agreement with the real majority.
+  std::vector<std::uint8_t> row(125, 0);
+  EXPECT_FALSE(g.eval_row(row)[0]);
+  std::fill(row.begin(), row.end(), 1);
+  EXPECT_TRUE(g.eval_row(row)[0]);
+  core::Rng rng(9);
+  int agree = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    int ones = 0;
+    for (auto& bit : row) {
+      bit = rng.flip(0.5) ? 1 : 0;
+      ones += bit;
+    }
+    agree += g.eval_row(row)[0] == (ones > 62) ? 1 : 0;
+  }
+  EXPECT_GT(agree, trials * 7 / 10);
+}
+
+TEST(Symmetric, SignatureFunction) {
+  const std::size_t n = 6;
+  Aig g(n);
+  std::vector<Lit> lits;
+  for (std::size_t i = 0; i < n; ++i) {
+    lits.push_back(g.pi(static_cast<std::uint32_t>(i)));
+  }
+  // signature: 1 iff popcount in {2, 5}
+  std::vector<bool> sig(n + 1, false);
+  sig[2] = sig[5] = true;
+  g.add_output(symmetric_function(g, lits, sig));
+  for (int m = 0; m < 64; ++m) {
+    std::vector<std::uint8_t> row(n);
+    int ones = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      row[i] = (m >> i) & 1;
+      ones += row[i];
+    }
+    EXPECT_EQ(g.eval_row(row)[0], ones == 2 || ones == 5);
+  }
+}
+
+TEST(Symmetric, ParityViaXorTree) {
+  Aig g(8);
+  std::vector<Lit> lits;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    lits.push_back(g.pi(i));
+  }
+  g.add_output(xor_tree(g, lits));
+  core::Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> row(8);
+    int ones = 0;
+    for (auto& bit : row) {
+      bit = rng.flip(0.5) ? 1 : 0;
+      ones += bit;
+    }
+    EXPECT_EQ(g.eval_row(row)[0], ones % 2 == 1);
+  }
+}
+
+TEST(Multiplier, MatchesInteger) {
+  const std::size_t k = 6;
+  Aig g(2 * k);
+  const auto product =
+      multiplier(g, pi_word(g, 0, k), pi_word(g, k, k));
+  ASSERT_EQ(product.size(), 2 * k);
+  for (Lit p : product) {
+    g.add_output(p);
+  }
+  for (std::uint64_t a = 0; a < 64; a += 7) {
+    for (std::uint64_t b = 0; b < 64; b += 5) {
+      const auto out = g.eval_row(row_from_words(a, b, k));
+      const std::uint64_t expect = a * b;
+      for (std::size_t i = 0; i < 2 * k; ++i) {
+        EXPECT_EQ(out[i], static_cast<bool>((expect >> i) & 1));
+      }
+    }
+  }
+}
+
+TEST(FromTruthTable, ChoosesPolarityAndIsCorrect) {
+  core::Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int vars = 2 + static_cast<int>(rng.below(5));
+    tt::TruthTable f(vars);
+    for (std::uint64_t m = 0; m < f.num_minterms(); ++m) {
+      if (rng.flip(0.5)) {
+        f.set(m, true);
+      }
+    }
+    Aig g(static_cast<std::uint32_t>(vars));
+    std::vector<Lit> leaves;
+    for (int i = 0; i < vars; ++i) {
+      leaves.push_back(g.pi(static_cast<std::uint32_t>(i)));
+    }
+    g.add_output(from_truth_table(g, f, leaves));
+    for (std::uint64_t m = 0; m < f.num_minterms(); ++m) {
+      std::vector<std::uint8_t> row(static_cast<std::size_t>(vars));
+      for (int i = 0; i < vars; ++i) {
+        row[static_cast<std::size_t>(i)] = (m >> i) & 1;
+      }
+      EXPECT_EQ(g.eval_row(row)[0], f.get(m));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsml::aig

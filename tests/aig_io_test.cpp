@@ -1,0 +1,79 @@
+// ASCII AIGER round-trip tests.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/aig_io.hpp"
+#include "aig/aig_random.hpp"
+#include "core/rng.hpp"
+
+namespace lsml::aig {
+namespace {
+
+TEST(AigIo, WritesHeaderAndBody) {
+  Aig g(2);
+  g.add_output(g.and2(g.pi(0), lit_not(g.pi(1))));
+  std::ostringstream os;
+  write_aag(g, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("aag 3 2 0 1 1"), std::string::npos);
+  EXPECT_NE(text.find("6 2 5"), std::string::npos);
+}
+
+TEST(AigIo, RoundTripPreservesFunction) {
+  core::Rng rng(3);
+  ConeOptions options;
+  options.num_inputs = 8;
+  options.num_ands = 60;
+  const Aig original = random_cone(options, rng);
+
+  std::stringstream ss;
+  write_aag(original, ss);
+  const Aig parsed = read_aag(ss);
+  ASSERT_EQ(parsed.num_pis(), original.num_pis());
+  ASSERT_EQ(parsed.num_outputs(), original.num_outputs());
+  for (int trial = 0; trial < 256; ++trial) {
+    std::vector<std::uint8_t> row(8);
+    for (auto& bit : row) {
+      bit = rng.flip(0.5) ? 1 : 0;
+    }
+    EXPECT_EQ(original.eval_row(row)[0], parsed.eval_row(row)[0]);
+  }
+}
+
+TEST(AigIo, RejectsBadHeader) {
+  std::istringstream is("agg 1 1 0 1 0\n2\n2\n");
+  EXPECT_THROW(read_aag(is), std::runtime_error);
+}
+
+TEST(AigIo, RejectsLatches) {
+  std::istringstream is("aag 1 1 1 0 0\n2\n");
+  EXPECT_THROW(read_aag(is), std::runtime_error);
+}
+
+TEST(AigIo, ConstantOutputs) {
+  Aig g(1);
+  g.add_output(kLitTrue);
+  g.add_output(kLitFalse);
+  std::stringstream ss;
+  write_aag(g, ss);
+  const Aig parsed = read_aag(ss);
+  const auto out = parsed.eval_row({0});
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(AigIo, FileRoundTrip) {
+  Aig g(2);
+  g.add_output(g.or2(g.pi(0), g.pi(1)));
+  const std::string path = ::testing::TempDir() + "/lsml_io_test.aag";
+  write_aag_file(g, path);
+  const Aig parsed = read_aag_file(path);
+  EXPECT_EQ(parsed.num_pis(), 2u);
+  EXPECT_TRUE(parsed.eval_row({1, 0})[0]);
+  EXPECT_FALSE(parsed.eval_row({0, 0})[0]);
+}
+
+}  // namespace
+}  // namespace lsml::aig

@@ -1,0 +1,77 @@
+// Random logic-cone generator tests, including the regression for the
+// wide-cone fallback (a 200-input cone must always come back with an
+// output, even when every attempt collapses below the size target).
+
+#include <gtest/gtest.h>
+
+#include "aig/aig_random.hpp"
+#include "core/rng.hpp"
+
+namespace lsml::aig {
+namespace {
+
+TEST(RandomCone, AlwaysHasAnOutput) {
+  // Regression: ex59-sized cones (200 inputs) used to return an empty AIG
+  // when no attempt met the structural-size threshold.
+  for (const std::uint32_t inputs : {16u, 82u, 200u}) {
+    core::Rng rng(inputs);
+    ConeOptions options;
+    options.num_inputs = inputs;
+    options.num_ands = inputs * 12;
+    options.max_tries = 8;  // few tries makes the fallback path likely
+    const Aig g = random_cone(options, rng);
+    ASSERT_EQ(g.num_outputs(), 1u) << inputs << " inputs";
+    // And it must be evaluable.
+    std::vector<std::uint8_t> row(inputs, 0);
+    (void)g.eval_row(row);
+  }
+}
+
+TEST(RandomCone, DeterministicGivenSeed) {
+  ConeOptions options;
+  options.num_inputs = 24;
+  options.num_ands = 200;
+  core::Rng rng_a(5);
+  core::Rng rng_b(5);
+  const Aig a = random_cone(options, rng_a);
+  const Aig b = random_cone(options, rng_b);
+  ASSERT_EQ(a.num_ands(), b.num_ands());
+  core::Rng probe(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> row(24);
+    for (auto& bit : row) {
+      bit = probe.flip(0.5) ? 1 : 0;
+    }
+    ASSERT_EQ(a.eval_row(row)[0], b.eval_row(row)[0]);
+  }
+}
+
+TEST(RandomCone, FlavorsProduceSubstantialCones) {
+  for (const auto flavor :
+       {ConeFlavor::kRandom, ConeFlavor::kXorRich, ConeFlavor::kArith}) {
+    core::Rng rng(static_cast<std::uint64_t>(flavor) + 11);
+    ConeOptions options;
+    options.num_inputs = 23;
+    options.num_ands = 300;
+    options.flavor = flavor;
+    const Aig g = random_cone(options, rng);
+    EXPECT_GT(g.num_ands(), 30u);
+    core::Rng probe(3);
+    const double onset = onset_fraction(g, 2048, probe);
+    EXPECT_GT(onset, 0.05);
+    EXPECT_LT(onset, 0.95);
+  }
+}
+
+TEST(OnsetFraction, ConstantCircuits) {
+  Aig g(4);
+  g.add_output(kLitTrue);
+  core::Rng rng(1);
+  EXPECT_DOUBLE_EQ(onset_fraction(g, 512, rng), 1.0);
+  Aig z(4);
+  z.add_output(kLitFalse);
+  EXPECT_DOUBLE_EQ(onset_fraction(z, 512, rng), 0.0);
+}
+
+}  // namespace
+}  // namespace lsml::aig

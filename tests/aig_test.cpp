@@ -1,0 +1,165 @@
+// AIG core tests: structural hashing, gate semantics, simulation paths,
+// levels, cleanup, and ensemble append.
+
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "core/rng.hpp"
+
+namespace lsml::aig {
+namespace {
+
+TEST(Aig, TrivialAndSimplifications) {
+  Aig g(2);
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  EXPECT_EQ(g.and2(kLitFalse, a), kLitFalse);
+  EXPECT_EQ(g.and2(kLitTrue, a), a);
+  EXPECT_EQ(g.and2(a, a), a);
+  EXPECT_EQ(g.and2(a, lit_not(a)), kLitFalse);
+  EXPECT_EQ(g.num_ands(), 0u);
+  const Lit ab = g.and2(a, b);
+  EXPECT_EQ(g.num_ands(), 1u);
+  EXPECT_EQ(g.and2(b, a), ab) << "structural hashing must be commutative";
+  EXPECT_EQ(g.num_ands(), 1u);
+}
+
+TEST(Aig, GateSemantics) {
+  Aig g(3);
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  const Lit c = g.pi(2);
+  g.add_output(g.and2(a, b));
+  g.add_output(g.or2(a, b));
+  g.add_output(g.xor2(a, b));
+  g.add_output(g.xnor2(a, b));
+  g.add_output(g.mux(a, b, c));
+  g.add_output(g.maj3(a, b, c));
+  for (int m = 0; m < 8; ++m) {
+    const bool va = m & 1;
+    const bool vb = m & 2;
+    const bool vc = m & 4;
+    const auto out = g.eval_row({static_cast<std::uint8_t>(va),
+                                 static_cast<std::uint8_t>(vb),
+                                 static_cast<std::uint8_t>(vc)});
+    EXPECT_EQ(out[0], va && vb);
+    EXPECT_EQ(out[1], va || vb);
+    EXPECT_EQ(out[2], va != vb);
+    EXPECT_EQ(out[3], va == vb);
+    EXPECT_EQ(out[4], va ? vb : vc);
+    EXPECT_EQ(out[5], (va && vb) || (va && vc) || (vb && vc));
+  }
+}
+
+TEST(Aig, SimulateMatchesEvalRow) {
+  core::Rng rng(5);
+  Aig g(6);
+  // Random structure.
+  std::vector<Lit> pool;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    pool.push_back(g.pi(i));
+  }
+  for (int i = 0; i < 40; ++i) {
+    const Lit a = lit_notc(pool[rng.below(pool.size())], rng.flip(0.5));
+    const Lit b = lit_notc(pool[rng.below(pool.size())], rng.flip(0.5));
+    pool.push_back(g.and2(a, b));
+  }
+  g.add_output(lit_notc(pool.back(), true));
+
+  const std::size_t rows = 100;
+  std::vector<core::BitVec> cols(6, core::BitVec(rows));
+  std::vector<const core::BitVec*> ptrs;
+  for (auto& c : cols) {
+    c.randomize(rng);
+    ptrs.push_back(&c);
+  }
+  const auto sim = g.simulate(ptrs);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::uint8_t> row(6);
+    for (int i = 0; i < 6; ++i) {
+      row[static_cast<std::size_t>(i)] = cols[static_cast<std::size_t>(i)].get(r);
+    }
+    EXPECT_EQ(sim[0].get(r), g.eval_row(row)[0]) << "row " << r;
+  }
+}
+
+TEST(Aig, SimulateComplementedOutputKeepsTailClean) {
+  Aig g(1);
+  g.add_output(lit_not(g.pi(0)));
+  core::BitVec col(70);  // deliberately not a multiple of 64
+  std::vector<const core::BitVec*> ptrs{&col};
+  const auto out = g.simulate(ptrs);
+  EXPECT_EQ(out[0].count(), 70u) << "tail bits beyond size must stay zero";
+}
+
+TEST(Aig, LevelsAndDepth) {
+  Aig g(4);
+  const Lit n1 = g.and2(g.pi(0), g.pi(1));
+  const Lit n2 = g.and2(g.pi(2), g.pi(3));
+  const Lit n3 = g.and2(n1, n2);
+  g.add_output(n3);
+  EXPECT_EQ(g.num_levels(), 2u);
+  const auto levels = g.levels();
+  EXPECT_EQ(levels[lit_var(n1)], 1u);
+  EXPECT_EQ(levels[lit_var(n3)], 2u);
+}
+
+TEST(Aig, CleanupDropsDanglingAndPreservesFunction) {
+  Aig g(3);
+  const Lit keep = g.and2(g.pi(0), g.pi(1));
+  (void)g.and2(g.pi(1), g.pi(2));  // dangling
+  g.add_output(lit_not(keep));
+  EXPECT_EQ(g.num_ands(), 2u);
+  EXPECT_EQ(g.cone_size(), 1u);
+  const Aig clean = g.cleanup();
+  EXPECT_EQ(clean.num_ands(), 1u);
+  for (int m = 0; m < 8; ++m) {
+    const std::vector<std::uint8_t> row{
+        static_cast<std::uint8_t>(m & 1), static_cast<std::uint8_t>(m / 2 & 1),
+        static_cast<std::uint8_t>(m / 4 & 1)};
+    EXPECT_EQ(g.eval_row(row)[0], clean.eval_row(row)[0]);
+  }
+}
+
+TEST(Aig, FanoutCounts) {
+  Aig g(2);
+  const Lit shared = g.and2(g.pi(0), g.pi(1));
+  const Lit top = g.and2(shared, lit_not(g.pi(0)));
+  g.add_output(shared);
+  g.add_output(top);
+  const auto refs = g.fanout_counts();
+  EXPECT_EQ(refs[lit_var(shared)], 2u);  // used by top and as output
+  EXPECT_EQ(refs[lit_var(top)], 1u);
+}
+
+TEST(Aig, AppendAigComputesSameFunction) {
+  Aig src(2);
+  src.add_output(src.xor2(src.pi(0), src.pi(1)));
+  Aig dst(4);
+  const Lit sub = append_aig(dst, src);
+  dst.add_output(dst.and2(sub, dst.pi(2)));
+  for (int m = 0; m < 16; ++m) {
+    const bool x0 = m & 1;
+    const bool x1 = m & 2;
+    const bool x2 = m & 4;
+    const auto out = dst.eval_row({static_cast<std::uint8_t>(x0),
+                                   static_cast<std::uint8_t>(x1),
+                                   static_cast<std::uint8_t>(x2), 0});
+    EXPECT_EQ(out[0], (x0 != x1) && x2);
+  }
+}
+
+TEST(Aig, AgreementMetric) {
+  Aig g(1);
+  g.add_output(g.pi(0));
+  core::BitVec col(8);
+  col.set(0, true);
+  col.set(1, true);
+  core::BitVec labels(8);
+  labels.set(0, true);  // agree on row 0; disagree on row 1; agree on 2..7
+  std::vector<const core::BitVec*> ptrs{&col};
+  EXPECT_DOUBLE_EQ(agreement(g, ptrs, labels), 7.0 / 8.0);
+}
+
+}  // namespace
+}  // namespace lsml::aig

@@ -1,0 +1,167 @@
+// BDD package tests: apply correctness, minterm construction, don't-care
+// minimization soundness, and the adder-learning result from the appendix.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "learn/bdd.hpp"
+#include "oracle/arith_oracles.hpp"
+#include "oracle/suite.hpp"
+
+namespace lsml::learn {
+namespace {
+
+TEST(BddMgr, ApplyMatchesTruthTables) {
+  BddMgr mgr(4);
+  const auto a = mgr.var(0);
+  const auto b = mgr.var(1);
+  const auto c = mgr.var(2);
+  const auto f = mgr.bdd_or(mgr.bdd_and(a, b), mgr.bdd_xor(b, c));
+  for (int m = 0; m < 16; ++m) {
+    core::BitVec row(4);
+    for (int i = 0; i < 4; ++i) {
+      row.set(static_cast<std::size_t>(i), (m >> i) & 1);
+    }
+    const bool va = m & 1;
+    const bool vb = m & 2;
+    const bool vc = m & 4;
+    EXPECT_EQ(mgr.eval(f, row), (va && vb) || (vb != vc));
+  }
+}
+
+TEST(BddMgr, NotViaXor) {
+  BddMgr mgr(2);
+  const auto a = mgr.var(0);
+  const auto na = mgr.bdd_not(a);
+  core::BitVec row(2);
+  EXPECT_TRUE(mgr.eval(na, row));
+  row.set(0, true);
+  EXPECT_FALSE(mgr.eval(na, row));
+}
+
+TEST(BddMgr, MintermEvaluatesUniquely) {
+  BddMgr mgr(6);
+  core::Rng rng(1);
+  core::BitVec target(6);
+  target.randomize(rng);
+  const auto m = mgr.minterm(target);
+  EXPECT_TRUE(mgr.eval(m, target));
+  for (int flip = 0; flip < 6; ++flip) {
+    core::BitVec other = target;
+    other.set(static_cast<std::size_t>(flip), !other.get(static_cast<std::size_t>(flip)));
+    EXPECT_FALSE(mgr.eval(m, other));
+  }
+}
+
+TEST(BddMgr, HashConsingSharesStructure) {
+  BddMgr mgr(3);
+  const auto f1 = mgr.bdd_and(mgr.var(0), mgr.var(1));
+  const auto f2 = mgr.bdd_and(mgr.var(1), mgr.var(0));
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(BddMgr, MinimizeRespectsCareSet) {
+  // Property: on&care <= minimized <= on | ~care, checked exhaustively.
+  core::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    BddMgr mgr(5);
+    // Random onset/careset from minterms.
+    auto on = BddMgr::kFalse;
+    auto care = BddMgr::kFalse;
+    std::vector<bool> on_tt(32, false);
+    std::vector<bool> care_tt(32, false);
+    for (int m = 0; m < 32; ++m) {
+      core::BitVec row(5);
+      for (int i = 0; i < 5; ++i) {
+        row.set(static_cast<std::size_t>(i), (m >> i) & 1);
+      }
+      if (rng.flip(0.6)) {
+        care = mgr.bdd_or(care, mgr.minterm(row));
+        care_tt[static_cast<std::size_t>(m)] = true;
+        if (rng.flip(0.5)) {
+          on = mgr.bdd_or(on, mgr.minterm(row));
+          on_tt[static_cast<std::size_t>(m)] = true;
+        }
+      }
+    }
+    const auto minimized = mgr.minimize(on, care);
+    for (int m = 0; m < 32; ++m) {
+      if (!care_tt[static_cast<std::size_t>(m)]) {
+        continue;  // free to be anything outside the care set
+      }
+      core::BitVec row(5);
+      for (int i = 0; i < 5; ++i) {
+        row.set(static_cast<std::size_t>(i), (m >> i) & 1);
+      }
+      EXPECT_EQ(mgr.eval(minimized, row), on_tt[static_cast<std::size_t>(m)])
+          << "care minterm " << m << " must keep its value";
+    }
+  }
+}
+
+TEST(BddMgr, MinimizeShrinksSize) {
+  BddMgr mgr(8);
+  core::Rng rng(3);
+  auto on = BddMgr::kFalse;
+  auto care = BddMgr::kFalse;
+  for (int s = 0; s < 60; ++s) {
+    core::BitVec row(8);
+    row.randomize(rng);
+    const auto m = mgr.minterm(row);
+    care = mgr.bdd_or(care, m);
+    if (row.get(0)) {  // underlying function: x0
+      on = mgr.bdd_or(on, m);
+    }
+  }
+  const auto minimized = mgr.minimize(on, care);
+  EXPECT_LT(mgr.size(minimized), mgr.size(on));
+}
+
+TEST(BddMgr, ToLitMatchesEval) {
+  BddMgr mgr(5);
+  const auto f = mgr.bdd_xor(mgr.bdd_and(mgr.var(0), mgr.var(3)), mgr.var(4));
+  aig::Aig g(5);
+  std::vector<aig::Lit> leaves;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    leaves.push_back(g.pi(i));
+  }
+  g.add_output(mgr.to_lit(f, g, leaves));
+  for (int m = 0; m < 32; ++m) {
+    core::BitVec row(5);
+    std::vector<std::uint8_t> bytes(5);
+    for (int i = 0; i < 5; ++i) {
+      row.set(static_cast<std::size_t>(i), (m >> i) & 1);
+      bytes[static_cast<std::size_t>(i)] = (m >> i) & 1;
+    }
+    EXPECT_EQ(g.eval_row(bytes)[0], mgr.eval(f, row));
+  }
+}
+
+TEST(BddLearner, LearnsAdderSecondMsbWell) {
+  // The appendix result: with the MSB-first interleaved order, one/two-sided
+  // matching learns 2-word adder top bits with high accuracy.
+  oracle::SuiteOptions options;
+  options.rows_per_split = 800;
+  const oracle::Benchmark bench = oracle::make_benchmark(1, options);  // 16-bit
+  BddLearnerOptions bo;
+  BddLearner learner(bo, "bdd");
+  core::Rng rng(5);
+  const TrainedModel model = learner.fit(bench.train, bench.valid, rng);
+  EXPECT_GT(model.train_acc, 0.99) << "exact on the care set";
+  const double test_acc = circuit_accuracy(model.circuit, bench.test);
+  EXPECT_GT(test_acc, 0.85) << "the paper reports ~98% for 2-word adders";
+}
+
+TEST(BddLearner, RefusesVeryWideInputs) {
+  data::Dataset train(128, 10);
+  data::Dataset valid(128, 10);
+  BddLearnerOptions bo;
+  bo.max_inputs = 64;
+  BddLearner learner(bo, "bdd");
+  core::Rng rng(6);
+  const TrainedModel model = learner.fit(train, valid, rng);
+  EXPECT_NE(model.method.find("const"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsml::learn

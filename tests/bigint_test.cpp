@@ -1,0 +1,133 @@
+// Arbitrary-width arithmetic checked against native integers, plus
+// multi-limb carry/borrow paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "oracle/bigint.hpp"
+
+namespace lsml::oracle {
+namespace {
+
+Limbs from_u64(std::uint64_t v, std::size_t limbs = 1) {
+  Limbs out(limbs, 0);
+  out[0] = v;
+  return out;
+}
+
+std::uint64_t to_u64(const Limbs& x) { return x.empty() ? 0 : x[0]; }
+
+TEST(BigInt, LimbsFromRow) {
+  core::BitVec row(20);
+  row.set(0, true);
+  row.set(5, true);
+  row.set(12, true);
+  const Limbs a = limbs_from_row(row, 0, 10);   // bits 0..9 -> 0b0000100001
+  const Limbs b = limbs_from_row(row, 10, 10);  // bits 10..19 -> bit2
+  EXPECT_EQ(to_u64(a), 0b100001u);
+  EXPECT_EQ(to_u64(b), 0b100u);
+}
+
+TEST(BigInt, AddSmallValues) {
+  for (std::uint64_t a = 0; a < 40; a += 3) {
+    for (std::uint64_t b = 0; b < 40; b += 7) {
+      EXPECT_EQ(to_u64(add(from_u64(a), from_u64(b))), a + b);
+    }
+  }
+}
+
+TEST(BigInt, AddCarriesAcrossLimbs) {
+  const Limbs a = from_u64(~0ULL);
+  const Limbs b = from_u64(1);
+  const Limbs s = add(a, b);
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s[1], 1u);
+}
+
+TEST(BigInt, MulMatchesNative) {
+  core::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.next() & 0xffffffffULL;
+    const std::uint64_t b = rng.next() & 0xffffffffULL;
+    EXPECT_EQ(to_u64(mul(from_u64(a), from_u64(b))), a * b);
+  }
+}
+
+TEST(BigInt, MulMultiLimb) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  const Limbs p = mul(from_u64(~0ULL), from_u64(~0ULL));
+  EXPECT_EQ(p[0], 1u);
+  EXPECT_EQ(p[1], ~0ULL - 1);
+}
+
+TEST(BigInt, CompareOrdersValues) {
+  EXPECT_EQ(compare(from_u64(3), from_u64(5)), -1);
+  EXPECT_EQ(compare(from_u64(5), from_u64(5)), 0);
+  EXPECT_EQ(compare(from_u64(9), from_u64(5)), 1);
+  // Different limb counts zero-extend.
+  EXPECT_EQ(compare(from_u64(5, 2), from_u64(5, 1)), 0);
+  Limbs big(2, 0);
+  big[1] = 1;
+  EXPECT_EQ(compare(big, from_u64(~0ULL)), 1);
+}
+
+TEST(BigInt, DivRemMatchesNative) {
+  core::Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t a = rng.next() >> 1;
+    const std::uint64_t b = (rng.next() >> 33) + 1;
+    Limbs rem;
+    const Limbs q = divrem(from_u64(a), from_u64(b), &rem);
+    EXPECT_EQ(to_u64(q), a / b);
+    EXPECT_EQ(to_u64(rem), a % b);
+  }
+}
+
+TEST(BigInt, DivByZeroSaturates) {
+  Limbs rem;
+  const Limbs q = divrem(from_u64(123), from_u64(0), &rem);
+  EXPECT_EQ(to_u64(q), ~0ULL);
+  EXPECT_EQ(to_u64(rem), 123u);
+}
+
+class IsqrtSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsqrtSweep, MatchesFloorSqrt) {
+  core::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.next() >> (GetParam() % 32);
+    const std::uint64_t r = to_u64(isqrt(from_u64(a)));
+    // Verify algebraically: r^2 <= a < (r+1)^2.
+    EXPECT_LE(static_cast<unsigned __int128>(r) * r, a);
+    EXPECT_GT(static_cast<unsigned __int128>(r + 1) * (r + 1), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsqrtSweep, ::testing::Range(1, 9));
+
+TEST(BigInt, IsqrtExhaustiveSmall) {
+  for (std::uint64_t a = 0; a < 4096; ++a) {
+    const std::uint64_t r = to_u64(isqrt(from_u64(a)));
+    EXPECT_EQ(r, static_cast<std::uint64_t>(std::sqrt(static_cast<double>(a))))
+        << "a=" << a;
+  }
+}
+
+TEST(BigInt, IsqrtMultiLimb) {
+  // a = 2^100 -> sqrt = 2^50.
+  Limbs a(2, 0);
+  a[1] = 1ULL << 36;  // bit 100
+  const Limbs r = isqrt(a);
+  EXPECT_EQ(r[0], 1ULL << 50);
+  EXPECT_EQ(r[1], 0u);
+}
+
+TEST(BigInt, GetBitOutOfRangeIsZero) {
+  EXPECT_FALSE(get_bit(from_u64(1), 64));
+  EXPECT_TRUE(get_bit(from_u64(1), 0));
+}
+
+}  // namespace
+}  // namespace lsml::oracle

@@ -1,0 +1,150 @@
+// Unit and property tests for core::BitVec and core::Rng.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/bits.hpp"
+#include "core/config.hpp"
+
+namespace lsml::core {
+namespace {
+
+TEST(BitVec, SetAndGet) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_FALSE(v.get(0));
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.count(), 3u);
+  v.set(64, false);
+  EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(BitVec, FillKeepsTailInvariant) {
+  BitVec v(70, true);
+  EXPECT_EQ(v.count(), 70u);
+  v.flip();
+  EXPECT_EQ(v.count(), 0u);
+  v.flip();
+  EXPECT_EQ(v.count(), 70u);
+}
+
+TEST(BitVec, LogicOps) {
+  BitVec a(100);
+  BitVec b(100);
+  a.set(3, true);
+  a.set(70, true);
+  b.set(70, true);
+  b.set(99, true);
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_EQ((a | b).count(), 3u);
+  EXPECT_EQ((a ^ b).count(), 2u);
+  EXPECT_EQ((~a).count(), 98u);
+}
+
+TEST(BitVec, CountHelpers) {
+  Rng rng(7);
+  BitVec a(257);
+  BitVec b(257);
+  BitVec c(257);
+  a.randomize(rng);
+  b.randomize(rng);
+  c.randomize(rng);
+  EXPECT_EQ(a.count_and(b), (a & b).count());
+  EXPECT_EQ(a.count_andnot(b), (a & ~b).count());
+  EXPECT_EQ(a.count_and2(b, c), (a & b & c).count());
+  EXPECT_EQ(a.count_and_andnot(b, c), (a & b & ~c).count());
+  EXPECT_EQ(a.count_equal(b), 257u - (a ^ b).count());
+}
+
+TEST(BitVec, HashDistinguishes) {
+  BitVec a(64);
+  BitVec b(64);
+  b.set(5, true);
+  EXPECT_NE(a.hash(), b.hash());
+  b.set(5, false);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(3);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    ones += rng.flip(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(ones / 10000.0, 0.3, 0.03);
+}
+
+TEST(ScaleConfig, EnvParsingDefaults) {
+  const ScaleConfig fast = make_scale(Scale::kFast);
+  const ScaleConfig full = make_scale(Scale::kFull);
+  const ScaleConfig smoke = make_scale(Scale::kSmoke);
+  EXPECT_EQ(full.train_rows, 6400u);  // the paper's protocol
+  EXPECT_LT(fast.train_rows, full.train_rows);
+  EXPECT_LT(smoke.num_benchmarks, fast.num_benchmarks);
+  EXPECT_EQ(fast.name(), "fast");
+}
+
+class BitVecRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitVecRandomized, RandomizeHitsRequestedDensity) {
+  Rng rng(GetParam());
+  BitVec v(20000);
+  const double p = 0.1 * (1 + GetParam() % 9);
+  v.randomize(rng, p);
+  EXPECT_NEAR(static_cast<double>(v.count()) / 20000.0, p, 0.03);
+}
+
+TEST_P(BitVecRandomized, DoubleFlipIsIdentity) {
+  Rng rng(GetParam());
+  BitVec v(777);
+  v.randomize(rng);
+  BitVec w = v;
+  w.flip();
+  w.flip();
+  EXPECT_EQ(v, w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVecRandomized, ::testing::Range(1, 10));
+
+}  // namespace
+}  // namespace lsml::core

@@ -1,0 +1,153 @@
+// Gradient boosting tests: learnability, quantized-vs-AIG equivalence,
+// and the SHAP-like attribution patterns of Figs. 26/27.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "learn/boosting.hpp"
+#include "oracle/arith_oracles.hpp"
+#include "oracle/suite.hpp"
+
+namespace lsml::learn {
+namespace {
+
+data::Dataset function_dataset(std::size_t inputs, std::size_t rows, int seed,
+                               bool (*f)(const core::BitVec&)) {
+  core::Rng rng(seed);
+  data::Dataset ds(inputs, rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    core::BitVec row(inputs);
+    row.randomize(rng);
+    for (std::size_t c = 0; c < inputs; ++c) {
+      ds.set_input(r, c, row.get(c));
+    }
+    ds.set_label(r, f(row));
+  }
+  return ds;
+}
+
+TEST(GradientBoosted, LearnsConjunction) {
+  const auto f = [](const core::BitVec& r) { return r.get(0) && r.get(3); };
+  const auto train = function_dataset(6, 400, 1, f);
+  const auto test = function_dataset(6, 200, 2, f);
+  BoostOptions options;
+  options.num_trees = 20;
+  options.max_depth = 3;
+  core::Rng rng(3);
+  const GradientBoosted model = GradientBoosted::fit(train, options, rng);
+  EXPECT_GT(data::accuracy(model.predict(test), test.labels()), 0.97);
+}
+
+TEST(GradientBoosted, QuantizedPredictionMatchesAig) {
+  const auto ds = function_dataset(8, 300, 4, [](const core::BitVec& r) {
+    return r.get(2) || (r.get(5) && !r.get(6));
+  });
+  BoostOptions options;
+  options.num_trees = 15;
+  options.max_depth = 3;
+  core::Rng rng(5);
+  const GradientBoosted model = GradientBoosted::fit(ds, options, rng);
+  const aig::Aig g = model.to_aig(8);
+  const auto sim = g.simulate(ds.column_ptrs());
+  EXPECT_EQ(sim[0], model.predict_quantized(ds))
+      << "the AIG must compute exactly the quantized majority vote";
+}
+
+TEST(GradientBoosted, SaturationStopsAddingNoiseTrees) {
+  // Once an easy function is fit, further trees would quantize to noise;
+  // training must stop early and the circuit must stay accurate.
+  const auto ds = function_dataset(6, 250, 6, [](const core::BitVec& r) {
+    return r.get(1);
+  });
+  BoostOptions options;
+  options.num_trees = 125;
+  options.max_depth = 2;
+  core::Rng rng(7);
+  const GradientBoosted model = GradientBoosted::fit(ds, options, rng);
+  EXPECT_LT(model.trees().size(), 125u) << "saturation guard";
+  const aig::Aig g = model.to_aig(6);
+  const auto sim = g.simulate(ds.column_ptrs());
+  EXPECT_GT(data::accuracy(sim[0], ds.labels()), 0.95);
+}
+
+TEST(GradientBoosted, Majority125NetworkPathOnHardFunction) {
+  // Parity keeps the ensemble busy for all 125 rounds, exercising the
+  // 3-layer 5-input majority aggregation of the paper.
+  const auto ds = function_dataset(10, 400, 60, [](const core::BitVec& r) {
+    return r.count() % 2 == 1;
+  });
+  BoostOptions options;
+  options.num_trees = 125;
+  options.max_depth = 3;
+  core::Rng rng(61);
+  const GradientBoosted model = GradientBoosted::fit(ds, options, rng);
+  if (model.trees().size() == 125) {
+    const aig::Aig g = model.to_aig(10);
+    const auto sim = g.simulate(ds.column_ptrs());
+    // Quantization + majority approximation must stay above chance on the
+    // training set even for this adversarial target.
+    EXPECT_GT(data::accuracy(sim[0], ds.labels()), 0.5);
+  } else {
+    GTEST_SKIP() << "ensemble saturated before 125 trees";
+  }
+}
+
+TEST(GradientBoosted, ScoreIsMonotoneInRounds) {
+  const auto ds = function_dataset(8, 400, 8, [](const core::BitVec& r) {
+    return (r.get(0) && r.get(1)) || r.get(7);
+  });
+  core::Rng rng(9);
+  BoostOptions few;
+  few.num_trees = 3;
+  BoostOptions many;
+  many.num_trees = 30;
+  const auto m_few = GradientBoosted::fit(ds, few, rng);
+  const auto m_many = GradientBoosted::fit(ds, many, rng);
+  EXPECT_GE(data::accuracy(m_many.predict(ds), ds.labels()),
+            data::accuracy(m_few.predict(ds), ds.labels()));
+}
+
+TEST(GradientBoosted, ComparatorContributionsShowOppositePolarity) {
+  // Fig. 27: for a comparator, the a-word bits should push positive and the
+  // b-word bits negative, with magnitude growing toward the MSB.
+  const std::size_t k = 8;
+  const oracle::ComparatorOracle cmp(k);
+  core::Rng rng(10);
+  data::Dataset ds(2 * k, 800);
+  for (std::size_t r = 0; r < 800; ++r) {
+    core::BitVec row(2 * k);
+    row.randomize(rng);
+    for (std::size_t c = 0; c < 2 * k; ++c) {
+      ds.set_input(r, c, row.get(c));
+    }
+    ds.set_label(r, cmp.eval(row));
+  }
+  BoostOptions options;
+  options.num_trees = 40;
+  options.max_depth = 4;
+  const GradientBoosted model = GradientBoosted::fit(ds, options, rng);
+  const auto contrib = model.mean_contributions(ds);
+  // MSBs dominate and have opposite signs.
+  EXPECT_GT(contrib[k - 1], 0.0);
+  EXPECT_LT(contrib[2 * k - 1], 0.0);
+  EXPECT_GT(contrib[k - 1], std::abs(contrib[0]));
+  const auto abs_contrib = model.mean_abs_contributions(ds);
+  EXPECT_GT(abs_contrib[k - 1], abs_contrib[0])
+      << "Fig. 26: importance concentrates on MSBs";
+}
+
+TEST(BoostLearner, EndToEnd) {
+  const auto f = [](const core::BitVec& r) { return r.get(0) != r.get(1); };
+  const auto train = function_dataset(5, 300, 11, f);
+  const auto valid = function_dataset(5, 150, 12, f);
+  BoostOptions options;
+  options.num_trees = 25;
+  options.max_depth = 3;
+  BoostLearner learner(options, "xgb-test");
+  core::Rng rng(13);
+  const TrainedModel model = learner.fit(train, valid, rng);
+  EXPECT_GT(model.valid_acc, 0.9);
+}
+
+}  // namespace
+}  // namespace lsml::learn

@@ -1,0 +1,130 @@
+// CGP tests: genotype evaluation vs AIG, bootstrap embedding, evolution.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "learn/cgp.hpp"
+#include "learn/dt.hpp"
+
+namespace lsml::learn {
+namespace {
+
+data::Dataset function_dataset(std::size_t inputs, std::size_t rows, int seed,
+                               bool (*f)(const core::BitVec&)) {
+  core::Rng rng(seed);
+  data::Dataset ds(inputs, rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    core::BitVec row(inputs);
+    row.randomize(rng);
+    for (std::size_t c = 0; c < inputs; ++c) {
+      ds.set_input(r, c, row.get(c));
+    }
+    ds.set_label(r, f(row));
+  }
+  return ds;
+}
+
+TEST(CgpIndividual, EvaluateMatchesAig) {
+  core::Rng rng(1);
+  CgpOptions options;
+  options.genome_nodes = 60;
+  const CgpIndividual ind = Cgp::random_individual(7, options, rng);
+  const auto ds = function_dataset(7, 256, 2, [](const core::BitVec& r) {
+    return r.get(0);  // labels irrelevant; we compare outputs
+  });
+  const core::BitVec direct = ind.evaluate(ds);
+  const aig::Aig g = ind.to_aig();
+  const auto sim = g.simulate(ds.column_ptrs());
+  EXPECT_EQ(sim[0], direct);
+}
+
+TEST(CgpIndividual, ActiveGenesBoundedByGenome) {
+  core::Rng rng(3);
+  CgpOptions options;
+  options.genome_nodes = 40;
+  const CgpIndividual ind = Cgp::random_individual(5, options, rng);
+  EXPECT_LE(ind.active_genes(), 40u);
+  EXPECT_GE(ind.active_genes(), 1u);
+}
+
+TEST(Cgp, FromAigPreservesFunction) {
+  // Seed circuit: (x0 & x1) | !x2.
+  aig::Aig seed(3);
+  seed.add_output(
+      seed.or2(seed.and2(seed.pi(0), seed.pi(1)), aig::lit_not(seed.pi(2))));
+  core::Rng rng(4);
+  CgpOptions options;
+  const CgpIndividual ind = Cgp::from_aig(seed, options, rng);
+  const auto ds = function_dataset(3, 64, 5, [](const core::BitVec& r) {
+    return r.get(0);
+  });
+  const core::BitVec got = ind.evaluate(ds);
+  const auto expect = seed.simulate(ds.column_ptrs());
+  EXPECT_EQ(got, expect[0]);
+  EXPECT_GE(ind.genes.size(), 2u * seed.num_ands());
+}
+
+TEST(Cgp, FromConstantAig) {
+  aig::Aig seed(2);
+  seed.add_output(aig::kLitTrue);
+  core::Rng rng(6);
+  const CgpIndividual ind = Cgp::from_aig(seed, {}, rng);
+  const auto ds = function_dataset(2, 32, 7, [](const core::BitVec& r) {
+    return r.get(0);
+  });
+  EXPECT_EQ(ind.evaluate(ds).count(), 32u);
+}
+
+TEST(Cgp, EvolutionImprovesFitnessOnSimpleTarget) {
+  const auto f = [](const core::BitVec& r) { return r.get(0) != r.get(1); };
+  const auto train = function_dataset(4, 256, 8, f);
+  core::Rng rng(9);
+  CgpOptions options;
+  options.genome_nodes = 50;
+  options.generations = 600;
+  options.minibatch = 0;  // whole set: fitness is comparable across gens
+  const CgpIndividual start = Cgp::random_individual(4, options, rng);
+  const double start_acc =
+      data::accuracy(start.evaluate(train), train.labels());
+  const CgpIndividual evolved = Cgp::evolve(start, train, options, rng);
+  const double end_acc =
+      data::accuracy(evolved.evaluate(train), train.labels());
+  EXPECT_GE(end_acc, start_acc);
+  EXPECT_GT(end_acc, 0.9) << "XOR of two inputs is easy for XAIG-CGP";
+}
+
+TEST(CgpLearner, BootstrapKicksInAboveThreshold) {
+  const auto f = [](const core::BitVec& r) { return r.get(0) && r.get(2); };
+  const auto train = function_dataset(5, 300, 10, f);
+  const auto valid = function_dataset(5, 150, 11, f);
+  core::Rng dt_rng(12);
+  const DecisionTree tree = DecisionTree::fit(train, {}, dt_rng);
+  CgpOptions options;
+  options.genome_nodes = 60;
+  options.generations = 200;
+  CgpLearner learner(options, tree.to_aig(5), "cgp-test");
+  core::Rng rng(13);
+  const TrainedModel model = learner.fit(train, valid, rng);
+  EXPECT_NE(model.method.find("bootstrapped"), std::string::npos);
+  EXPECT_GT(model.valid_acc, 0.9);
+}
+
+TEST(CgpLearner, RandomInitWhenSeedIsWeak) {
+  const auto f = [](const core::BitVec& r) { return r.get(1); };
+  const auto train = function_dataset(5, 300, 14, f);
+  const auto valid = function_dataset(5, 150, 15, f);
+  // A constant-0 seed has ~50% accuracy -> below the 55% rule.
+  aig::Aig weak_seed(5);
+  weak_seed.add_output(aig::kLitFalse);
+  CgpOptions options;
+  options.genome_nodes = 40;
+  options.generations = 400;
+  options.minibatch = 0;
+  CgpLearner learner(options, weak_seed, "cgp-test");
+  core::Rng rng(16);
+  const TrainedModel model = learner.fit(train, valid, rng);
+  EXPECT_NE(model.method.find("random"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsml::learn

@@ -1,0 +1,109 @@
+// Contest analytics tests: aggregates, Pareto, win rates, leaderboard.
+
+#include <gtest/gtest.h>
+
+#include "learn/dt.hpp"
+#include "portfolio/contest.hpp"
+
+namespace lsml::portfolio {
+namespace {
+
+std::vector<oracle::Benchmark> tiny_suite() {
+  oracle::SuiteOptions options;
+  options.rows_per_split = 200;
+  std::vector<oracle::Benchmark> suite;
+  suite.push_back(oracle::make_benchmark(30, options));  // comparator
+  suite.push_back(oracle::make_benchmark(75, options));  // symmetric
+  return suite;
+}
+
+TEST(Contest, RunSuiteProducesPerBenchmarkResults) {
+  const auto suite = tiny_suite();
+  learn::DtOptions dt;
+  dt.max_depth = 8;
+  learn::DtLearner learner(dt, "dt8");
+  const TeamRun run = run_suite(learner, 42, suite, 1);
+  EXPECT_EQ(run.team, 42);
+  ASSERT_EQ(run.results.size(), 2u);
+  EXPECT_EQ(run.results[0].benchmark, "ex30");
+  EXPECT_GT(run.results[0].test_acc, 0.6);
+  EXPECT_GT(run.avg_test_acc(), 0.5);
+  EXPECT_GE(run.avg_ands(), 0.0);
+}
+
+TEST(Contest, OverfitIsValidMinusTest) {
+  TeamRun run;
+  run.results.push_back(
+      BenchmarkResult{0, "a", "m", 1.0, 0.9, 0.8, 10, 3});
+  run.results.push_back(
+      BenchmarkResult{1, "b", "m", 1.0, 0.7, 0.7, 20, 4});
+  EXPECT_NEAR(run.overfit(), 0.05, 1e-12);
+  EXPECT_NEAR(run.avg_ands(), 15.0, 1e-12);
+}
+
+TEST(Contest, ParetoIsMonotoneInBudget) {
+  // Two synthetic teams: cheap/weak and expensive/strong.
+  TeamRun cheap;
+  cheap.team = 1;
+  TeamRun strong;
+  strong.team = 2;
+  for (int b = 0; b < 5; ++b) {
+    cheap.results.push_back(
+        BenchmarkResult{b, "ex", "m", 0, 0, 0.7, 50, 5});
+    strong.results.push_back(
+        BenchmarkResult{b, "ex", "m", 0, 0, 0.95, 2000, 9});
+  }
+  const auto points =
+      virtual_best_pareto({cheap, strong}, {100.0, 5000.0});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_NEAR(points[0].avg_test_acc, 0.7, 1e-12);
+  EXPECT_NEAR(points[1].avg_test_acc, 0.95, 1e-12);
+  EXPECT_LE(points[0].avg_test_acc, points[1].avg_test_acc)
+      << "a larger budget can only help the virtual best";
+}
+
+TEST(Contest, MaxAccuracyPerBenchmark) {
+  TeamRun a;
+  a.results.push_back(BenchmarkResult{0, "x", "m", 0, 0, 0.6, 1, 1});
+  a.results.push_back(BenchmarkResult{1, "y", "m", 0, 0, 0.9, 1, 1});
+  TeamRun b;
+  b.results.push_back(BenchmarkResult{0, "x", "m", 0, 0, 0.8, 1, 1});
+  b.results.push_back(BenchmarkResult{1, "y", "m", 0, 0, 0.5, 1, 1});
+  const auto best = max_accuracy_per_benchmark({a, b});
+  EXPECT_EQ(best, (std::vector<double>{0.8, 0.9}));
+}
+
+TEST(Contest, WinRatesCountBestAndNearBest) {
+  TeamRun a;
+  a.team = 1;
+  a.results.push_back(BenchmarkResult{0, "x", "m", 0, 0, 0.90, 1, 1});
+  TeamRun b;
+  b.team = 2;
+  b.results.push_back(BenchmarkResult{0, "x", "m", 0, 0, 0.895, 1, 1});
+  TeamRun c;
+  c.team = 3;
+  c.results.push_back(BenchmarkResult{0, "x", "m", 0, 0, 0.5, 1, 1});
+  const auto rates = win_rates({a, b, c});
+  EXPECT_EQ(rates[0].best, 1);
+  EXPECT_EQ(rates[1].best, 0);
+  EXPECT_EQ(rates[1].within_top1pct, 1);
+  EXPECT_EQ(rates[2].within_top1pct, 0);
+}
+
+TEST(Contest, LeaderboardSortsByAccuracy) {
+  TeamRun a;
+  a.team = 1;
+  a.results.push_back(BenchmarkResult{0, "x", "m", 0, 0.8, 0.6, 10, 2});
+  TeamRun b;
+  b.team = 2;
+  b.results.push_back(BenchmarkResult{0, "x", "m", 0, 0.9, 0.9, 30, 3});
+  const std::string table = format_leaderboard({a, b});
+  const auto pos2 = table.find("  2 ");
+  const auto pos1 = table.find("  1 ");
+  ASSERT_NE(pos1, std::string::npos);
+  ASSERT_NE(pos2, std::string::npos);
+  EXPECT_LT(pos2, pos1) << "team 2 has higher accuracy, should be first";
+}
+
+}  // namespace
+}  // namespace lsml::portfolio

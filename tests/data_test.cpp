@@ -1,0 +1,120 @@
+// Dataset container tests: splits, merges, selections, metrics.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace lsml::data {
+namespace {
+
+Dataset make_toy(std::size_t rows, double label_p, int seed) {
+  core::Rng rng(seed);
+  Dataset ds(4, rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      ds.set_input(r, c, rng.flip(0.5));
+    }
+    ds.set_label(r, rng.flip(label_p));
+  }
+  return ds;
+}
+
+TEST(Dataset, BasicAccessors) {
+  Dataset ds(3, 5);
+  EXPECT_EQ(ds.num_inputs(), 3u);
+  EXPECT_EQ(ds.num_rows(), 5u);
+  ds.set_input(2, 1, true);
+  EXPECT_TRUE(ds.input(2, 1));
+  EXPECT_FALSE(ds.input(2, 0));
+  ds.set_label(4, true);
+  EXPECT_TRUE(ds.label(4));
+  EXPECT_DOUBLE_EQ(ds.label_fraction(), 0.2);
+}
+
+TEST(Dataset, RowViewMatchesColumns) {
+  const Dataset ds = make_toy(20, 0.5, 1);
+  for (std::size_t r = 0; r < 20; ++r) {
+    const auto row = ds.row(r);
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(static_cast<bool>(row[c]), ds.input(r, c));
+    }
+  }
+}
+
+TEST(Dataset, SelectRowsAndColumns) {
+  const Dataset ds = make_toy(10, 0.5, 2);
+  const Dataset rows = ds.select_rows({0, 3, 7});
+  EXPECT_EQ(rows.num_rows(), 3u);
+  EXPECT_EQ(rows.input(1, 2), ds.input(3, 2));
+  EXPECT_EQ(rows.label(2), ds.label(7));
+  const Dataset cols = ds.select_columns({2, 0});
+  EXPECT_EQ(cols.num_inputs(), 2u);
+  EXPECT_EQ(cols.input(5, 0), ds.input(5, 2));
+  EXPECT_EQ(cols.input(5, 1), ds.input(5, 0));
+  EXPECT_EQ(cols.labels(), ds.labels());
+}
+
+TEST(Dataset, MergePreservesBothParts) {
+  const Dataset a = make_toy(6, 0.3, 3);
+  const Dataset b = make_toy(4, 0.9, 4);
+  const Dataset m = a.merged_with(b);
+  EXPECT_EQ(m.num_rows(), 10u);
+  EXPECT_EQ(m.input(2, 1), a.input(2, 1));
+  EXPECT_EQ(m.input(8, 3), b.input(2, 3));
+  EXPECT_EQ(m.label(9), b.label(3));
+}
+
+TEST(Dataset, SplitPartitionsAllRows) {
+  const Dataset ds = make_toy(100, 0.5, 5);
+  core::Rng rng(6);
+  const auto [first, second] = ds.split(0.7, rng);
+  EXPECT_EQ(first.num_rows() + second.num_rows(), 100u);
+  EXPECT_NEAR(static_cast<double>(first.num_rows()), 70.0, 1.0);
+}
+
+TEST(Dataset, StratifiedSplitKeepsLabelBalance) {
+  const Dataset ds = make_toy(1000, 0.2, 7);
+  core::Rng rng(8);
+  const auto [first, second] = ds.split(0.5, rng, true);
+  EXPECT_NEAR(first.label_fraction(), ds.label_fraction(), 0.01);
+  EXPECT_NEAR(second.label_fraction(), ds.label_fraction(), 0.01);
+}
+
+TEST(Dataset, AddColumn) {
+  Dataset ds = make_toy(12, 0.5, 9);
+  core::BitVec extra = ds.column(0) ^ ds.column(1);
+  const std::size_t idx = ds.add_column(extra);
+  EXPECT_EQ(idx, 4u);
+  EXPECT_EQ(ds.num_inputs(), 5u);
+  for (std::size_t r = 0; r < 12; ++r) {
+    EXPECT_EQ(ds.input(r, 4), ds.input(r, 0) != ds.input(r, 1));
+  }
+  core::BitVec wrong(5);
+  EXPECT_THROW(ds.add_column(wrong), std::invalid_argument);
+}
+
+TEST(Accuracy, CountsAgreements) {
+  core::BitVec pred(4);
+  core::BitVec labels(4);
+  pred.set(0, true);
+  labels.set(0, true);
+  labels.set(1, true);
+  EXPECT_DOUBLE_EQ(accuracy(pred, labels), 0.75);
+  EXPECT_DOUBLE_EQ(accuracy(core::BitVec(0), core::BitVec(0)), 0.0);
+}
+
+TEST(Dataset, RowHashDiffersAcrossRows) {
+  const Dataset ds = make_toy(50, 0.5, 10);
+  // Not a strict guarantee, but 4-bit rows collide only when equal.
+  for (std::size_t r = 1; r < 50; ++r) {
+    if (ds.row(r) != ds.row(0)) {
+      EXPECT_NE(ds.row_hash(r), ds.row_hash(0));
+    } else {
+      EXPECT_EQ(ds.row_hash(r), ds.row_hash(0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsml::data

@@ -1,0 +1,177 @@
+// Decision tree tests: learnability, AIG/cover equivalence, option effects,
+// and the functional-decomposition fallback.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "learn/dt.hpp"
+#include "sop/cube.hpp"
+
+namespace lsml::learn {
+namespace {
+
+data::Dataset function_dataset(std::size_t inputs, std::size_t rows, int seed,
+                               bool (*f)(const core::BitVec&)) {
+  core::Rng rng(seed);
+  data::Dataset ds(inputs, rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    core::BitVec row(inputs);
+    row.randomize(rng);
+    for (std::size_t c = 0; c < inputs; ++c) {
+      ds.set_input(r, c, row.get(c));
+    }
+    ds.set_label(r, f(row));
+  }
+  return ds;
+}
+
+TEST(DecisionTree, LearnsConjunctionExactly) {
+  const auto ds = function_dataset(6, 300, 1, [](const core::BitVec& r) {
+    return r.get(1) && r.get(4);
+  });
+  core::Rng rng(2);
+  const DecisionTree tree = DecisionTree::fit(ds, {}, rng);
+  EXPECT_EQ(data::accuracy(tree.predict(ds), ds.labels()), 1.0);
+  EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTree, LearnsDisjunctionAndGeneralizes) {
+  const auto f = [](const core::BitVec& r) { return r.get(0) || r.get(5); };
+  const auto train = function_dataset(8, 400, 3, f);
+  const auto test = function_dataset(8, 400, 4, f);
+  core::Rng rng(5);
+  const DecisionTree tree = DecisionTree::fit(train, {}, rng);
+  EXPECT_GT(data::accuracy(tree.predict(test), test.labels()), 0.98);
+}
+
+TEST(DecisionTree, PredictMatchesAigSimulation) {
+  const auto ds = function_dataset(10, 500, 7, [](const core::BitVec& r) {
+    return (r.get(2) != r.get(3)) || (r.get(8) && r.get(9));
+  });
+  core::Rng rng(8);
+  const DecisionTree tree = DecisionTree::fit(ds, {}, rng);
+  const aig::Aig g = tree.to_aig(10);
+  const auto sim = g.simulate(ds.column_ptrs());
+  EXPECT_EQ(sim[0], tree.predict(ds));
+}
+
+TEST(DecisionTree, PredictRowMatchesPredict) {
+  const auto ds = function_dataset(7, 200, 9, [](const core::BitVec& r) {
+    return r.count() >= 4;
+  });
+  core::Rng rng(10);
+  const DecisionTree tree = DecisionTree::fit(ds, {}, rng);
+  const auto packed = tree.predict(ds);
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_EQ(tree.predict_row(ds.row(r)), packed.get(r));
+  }
+}
+
+TEST(DecisionTree, CoverMatchesPredictions) {
+  const auto ds = function_dataset(6, 250, 11, [](const core::BitVec& r) {
+    return r.get(0) && !r.get(3);
+  });
+  core::Rng rng(12);
+  const DecisionTree tree = DecisionTree::fit(ds, {}, rng);
+  const sop::Cover cover = tree.to_cover(6);
+  EXPECT_EQ(sop::cover_predict(cover, ds), tree.predict(ds));
+}
+
+TEST(DecisionTree, MaxDepthIsRespected) {
+  const auto ds = function_dataset(12, 600, 13, [](const core::BitVec& r) {
+    return r.count() % 2 == 1;  // parity: wants unbounded depth
+  });
+  DtOptions options;
+  options.max_depth = 4;
+  core::Rng rng(14);
+  const DecisionTree tree = DecisionTree::fit(ds, options, rng);
+  EXPECT_LE(tree.depth(), 4u);
+}
+
+TEST(DecisionTree, MinSamplesLeafSmoothsTree) {
+  const auto ds = function_dataset(10, 400, 15, [](const core::BitVec& r) {
+    return r.get(0);
+  });
+  DtOptions strict;
+  strict.min_samples_leaf = 50;
+  DtOptions loose;
+  core::Rng rng(16);
+  const DecisionTree coarse = DecisionTree::fit(ds, strict, rng);
+  const DecisionTree fine = DecisionTree::fit(ds, loose, rng);
+  EXPECT_LE(coarse.num_leaves(), fine.num_leaves());
+}
+
+TEST(DecisionTree, GiniAndEntropyBothLearn) {
+  const auto f = [](const core::BitVec& r) { return r.get(2) || r.get(4); };
+  const auto train = function_dataset(6, 300, 17, f);
+  const auto test = function_dataset(6, 300, 18, f);
+  for (const auto criterion :
+       {DtOptions::Criterion::kEntropy, DtOptions::Criterion::kGini}) {
+    DtOptions options;
+    options.criterion = criterion;
+    core::Rng rng(19);
+    const DecisionTree tree = DecisionTree::fit(train, options, rng);
+    EXPECT_GT(data::accuracy(tree.predict(test), test.labels()), 0.95);
+  }
+}
+
+TEST(DecisionTree, ConstantLabelsGiveLeafOnly) {
+  data::Dataset ds(4, 50);
+  for (std::size_t r = 0; r < 50; ++r) {
+    ds.set_label(r, true);
+  }
+  core::Rng rng(20);
+  const DecisionTree tree = DecisionTree::fit(ds, {}, rng);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_TRUE(tree.predict_row({0, 0, 0, 0}));
+  const aig::Aig g = tree.to_aig(4);
+  EXPECT_EQ(g.num_ands(), 0u);
+}
+
+TEST(DecisionTree, FeatureGainsConcentrateOnUsedVariable) {
+  const auto ds = function_dataset(6, 400, 21, [](const core::BitVec& r) {
+    return r.get(3);
+  });
+  core::Rng rng(22);
+  const DecisionTree tree = DecisionTree::fit(ds, {}, rng);
+  const auto gains = tree.feature_gains(6);
+  for (std::size_t c = 0; c < 6; ++c) {
+    if (c == 3) {
+      EXPECT_GT(gains[c], 0.5);
+    } else {
+      EXPECT_LT(gains[c], 0.2);
+    }
+  }
+}
+
+TEST(DecisionTree, FunctionalDecompositionHelpsXor) {
+  // Plain info-gain trees stumble on XOR with sampling noise; Team 8's
+  // decomposition fallback should pick the complementary-branch feature.
+  const auto f = [](const core::BitVec& r) { return r.get(1) != r.get(3); };
+  const auto train = function_dataset(8, 300, 23, f);
+  const auto test = function_dataset(8, 300, 24, f);
+  DtOptions with;
+  with.decomposition_threshold = 0.05;
+  core::Rng rng(25);
+  const DecisionTree tree = DecisionTree::fit(train, with, rng);
+  EXPECT_GT(data::accuracy(tree.predict(test), test.labels()), 0.95);
+}
+
+TEST(DtLearner, ProducesBudgetedModelWithAccuracies) {
+  const auto train = function_dataset(6, 200, 26, [](const core::BitVec& r) {
+    return r.get(0) && r.get(1);
+  });
+  const auto valid = function_dataset(6, 200, 27, [](const core::BitVec& r) {
+    return r.get(0) && r.get(1);
+  });
+  DtLearner learner({}, "dt-test");
+  core::Rng rng(28);
+  const TrainedModel model = learner.fit(train, valid, rng);
+  EXPECT_EQ(model.method, "dt-test");
+  EXPECT_GT(model.train_acc, 0.99);
+  EXPECT_GT(model.valid_acc, 0.95);
+  EXPECT_LT(model.circuit.num_ands(), 50u);
+}
+
+}  // namespace
+}  // namespace lsml::learn

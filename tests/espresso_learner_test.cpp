@@ -1,0 +1,64 @@
+// EspressoLearner (the Teams 1/9 two-level flow) and its interaction with
+// the portfolio selection machinery.
+
+#include <gtest/gtest.h>
+
+#include "learn/espresso_learner.hpp"
+#include "oracle/suite.hpp"
+#include "portfolio/team.hpp"
+
+namespace lsml::learn {
+namespace {
+
+TEST(EspressoLearner, ExactOnTrainingData) {
+  oracle::SuiteOptions so;
+  so.rows_per_split = 250;
+  const auto bench = oracle::make_benchmark(30, so);  // 10-bit comparator
+  EspressoLearner learner({}, "espresso");
+  core::Rng rng(1);
+  const TrainedModel model = learner.fit(bench.train, bench.valid, rng);
+  EXPECT_DOUBLE_EQ(model.train_acc, 1.0)
+      << "the cover must be exact on the care set";
+  EXPECT_GT(model.valid_acc, 0.55) << "expansion should generalize a bit";
+}
+
+TEST(EspressoLearner, GeneralizesOnStructuredCone) {
+  oracle::SuiteOptions so;
+  so.rows_per_split = 300;
+  const auto bench = oracle::make_benchmark(50, so);  // 16-input cone
+  EspressoLearner learner({}, "espresso");
+  core::Rng rng(2);
+  const TrainedModel model = learner.fit(bench.train, bench.valid, rng);
+  const double test = circuit_accuracy(model.circuit, bench.test);
+  EXPECT_GT(test, 0.6);
+}
+
+TEST(EspressoLearner, CapsKeepCircuitsBounded) {
+  oracle::SuiteOptions so;
+  so.rows_per_split = 400;
+  const auto bench = oracle::make_benchmark(80, so);  // 784-input MNIST-like
+  sop::EspressoOptions options;
+  options.max_onset = 100;
+  options.max_offset = 200;
+  EspressoLearner learner(options, "espresso-capped");
+  core::Rng rng(3);
+  const TrainedModel model = learner.fit(bench.train, bench.valid, rng);
+  EXPECT_GT(model.valid_acc, 0.4);
+  EXPECT_LT(model.circuit.num_ands(), 30000u);
+}
+
+TEST(EspressoLearner, WorksInsidePortfolioSelection) {
+  oracle::SuiteOptions so;
+  so.rows_per_split = 200;
+  const auto bench = oracle::make_benchmark(33, so);
+  std::vector<TrainedModel> candidates;
+  core::Rng rng(4);
+  EspressoLearner espresso({}, "espresso");
+  candidates.push_back(espresso.fit(bench.train, bench.valid, rng));
+  const auto chosen = portfolio::select_best_within_budget(
+      std::move(candidates), bench.train, bench.valid, 5000, rng);
+  EXPECT_LE(chosen.circuit.num_ands(), 5000u);
+}
+
+}  // namespace
+}  // namespace lsml::learn

@@ -1,0 +1,92 @@
+// Feature scoring and selection tests.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "feature/selection.hpp"
+
+namespace lsml::feature {
+namespace {
+
+// Column 2 equals the label, column 5 is its complement, others are noise.
+data::Dataset planted_dataset(std::size_t rows, int seed) {
+  core::Rng rng(seed);
+  data::Dataset ds(8, rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const bool y = rng.flip(0.5);
+    ds.set_label(r, y);
+    for (std::size_t c = 0; c < 8; ++c) {
+      if (c == 2) {
+        ds.set_input(r, c, y);
+      } else if (c == 5) {
+        ds.set_input(r, c, !y);
+      } else {
+        ds.set_input(r, c, rng.flip(0.5));
+      }
+    }
+  }
+  return ds;
+}
+
+TEST(Scores, MutualInformationFindsPlantedFeatures) {
+  const auto ds = planted_dataset(500, 1);
+  const auto mi = mutual_information(ds);
+  for (std::size_t c = 0; c < 8; ++c) {
+    if (c == 2 || c == 5) {
+      EXPECT_GT(mi[c], 0.5);
+    } else {
+      EXPECT_LT(mi[c], 0.05);
+    }
+  }
+}
+
+TEST(Scores, Chi2FindsPlantedFeatures) {
+  const auto ds = planted_dataset(500, 2);
+  const auto chi2 = chi2_scores(ds);
+  const auto top = select_k_best(chi2, 2);
+  EXPECT_EQ(top, (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(Scores, CorrelationSymmetricInPolarity) {
+  const auto ds = planted_dataset(500, 3);
+  const auto corr = correlation_scores(ds);
+  EXPECT_NEAR(corr[2], corr[5], 1e-9) << "|corr| ignores polarity";
+  EXPECT_NEAR(corr[2], 1.0, 1e-9);
+}
+
+TEST(Scores, ConstantColumnScoresZero) {
+  data::Dataset ds(2, 100);
+  core::Rng rng(4);
+  for (std::size_t r = 0; r < 100; ++r) {
+    ds.set_label(r, rng.flip(0.5));
+    ds.set_input(r, 0, true);  // constant
+    ds.set_input(r, 1, ds.label(r));
+  }
+  EXPECT_EQ(correlation_scores(ds)[0], 0.0);
+  EXPECT_EQ(mutual_information(ds)[0], 0.0);
+  EXPECT_GT(mutual_information(ds)[1], 0.5);
+}
+
+TEST(Select, KBestOrdersAndSortsIndices) {
+  const std::vector<double> scores{0.1, 0.9, 0.5, 0.9, 0.2};
+  EXPECT_EQ(select_k_best(scores, 2), (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(select_k_best(scores, 3), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(select_k_best(scores, 99).size(), 5u);
+}
+
+TEST(Select, PercentileRoundsUp) {
+  const std::vector<double> scores{0.4, 0.3, 0.2, 0.1};
+  EXPECT_EQ(select_percentile(scores, 25).size(), 1u);
+  EXPECT_EQ(select_percentile(scores, 26).size(), 2u);
+  EXPECT_EQ(select_percentile(scores, 100).size(), 4u);
+  EXPECT_EQ(select_percentile(scores, 1).size(), 1u) << "at least one";
+}
+
+TEST(Scores, EmptyDataset) {
+  data::Dataset ds(3, 0);
+  EXPECT_EQ(mutual_information(ds), (std::vector<double>{0, 0, 0}));
+  EXPECT_EQ(chi2_scores(ds), (std::vector<double>{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace lsml::feature

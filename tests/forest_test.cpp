@@ -1,0 +1,113 @@
+// Random forest tests: vote semantics, AIG equivalence, importance.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "learn/forest.hpp"
+
+namespace lsml::learn {
+namespace {
+
+data::Dataset function_dataset(std::size_t inputs, std::size_t rows, int seed,
+                               bool (*f)(const core::BitVec&)) {
+  core::Rng rng(seed);
+  data::Dataset ds(inputs, rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    core::BitVec row(inputs);
+    row.randomize(rng);
+    for (std::size_t c = 0; c < inputs; ++c) {
+      ds.set_input(r, c, row.get(c));
+    }
+    ds.set_label(r, f(row));
+  }
+  return ds;
+}
+
+TEST(RandomForest, EvenTreeCountIsMadeOdd) {
+  const auto ds = function_dataset(5, 100, 1, [](const core::BitVec& r) {
+    return r.get(0);
+  });
+  ForestOptions options;
+  options.num_trees = 4;
+  core::Rng rng(2);
+  const RandomForest forest = RandomForest::fit(ds, options, rng);
+  EXPECT_EQ(forest.trees().size() % 2, 1u);
+}
+
+TEST(RandomForest, LearnsNoisyMajority) {
+  const auto f = [](const core::BitVec& r) { return r.count() >= 5; };
+  const auto train = function_dataset(9, 600, 3, f);
+  const auto test = function_dataset(9, 300, 4, f);
+  ForestOptions options;
+  options.num_trees = 17;
+  options.tree.max_depth = 8;
+  core::Rng rng(5);
+  const RandomForest forest = RandomForest::fit(train, options, rng);
+  EXPECT_GT(data::accuracy(forest.predict(test), test.labels()), 0.8);
+}
+
+TEST(RandomForest, AigMatchesVotePrediction) {
+  const auto ds = function_dataset(8, 300, 6, [](const core::BitVec& r) {
+    return r.get(1) || (r.get(4) && r.get(7));
+  });
+  ForestOptions options;
+  options.num_trees = 5;
+  options.tree.max_depth = 6;
+  core::Rng rng(7);
+  const RandomForest forest = RandomForest::fit(ds, options, rng);
+  const aig::Aig g = forest.to_aig(8);
+  const auto sim = g.simulate(ds.column_ptrs());
+  EXPECT_EQ(sim[0], forest.predict(ds));
+}
+
+TEST(RandomForest, ImportanceConcentratesOnSignal) {
+  const auto ds = function_dataset(10, 600, 8, [](const core::BitVec& r) {
+    return r.get(4);
+  });
+  ForestOptions options;
+  options.num_trees = 9;
+  options.tree.max_depth = 5;
+  core::Rng rng(9);
+  const RandomForest forest = RandomForest::fit(ds, options, rng);
+  const auto imp = forest.feature_importance(10);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < 10; ++c) {
+    if (imp[c] > imp[best]) {
+      best = c;
+    }
+  }
+  EXPECT_EQ(best, 4u);
+}
+
+TEST(ForestLearner, ModelIsWithinReasonableSize) {
+  const auto train = function_dataset(8, 300, 10, [](const core::BitVec& r) {
+    return r.get(0) != r.get(1);
+  });
+  const auto valid = function_dataset(8, 150, 11, [](const core::BitVec& r) {
+    return r.get(0) != r.get(1);
+  });
+  ForestOptions options;
+  options.num_trees = 7;
+  options.tree.max_depth = 6;
+  ForestLearner learner(options, "rf-test");
+  core::Rng rng(12);
+  const TrainedModel model = learner.fit(train, valid, rng);
+  EXPECT_LT(model.circuit.num_ands(), 5000u);
+  EXPECT_GT(model.valid_acc, 0.8);
+}
+
+TEST(RandomForest, BootstrapFractionControlsSampleSize) {
+  const auto ds = function_dataset(6, 200, 13, [](const core::BitVec& r) {
+    return r.get(2);
+  });
+  ForestOptions options;
+  options.num_trees = 3;
+  options.bootstrap_fraction = 0.25;
+  core::Rng rng(14);
+  const RandomForest forest = RandomForest::fit(ds, options, rng);
+  // Still learns the trivial single-variable function.
+  EXPECT_GT(data::accuracy(forest.predict(ds), ds.labels()), 0.9);
+}
+
+}  // namespace
+}  // namespace lsml::learn

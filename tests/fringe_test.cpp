@@ -1,0 +1,157 @@
+// Fringe feature extraction (Team 3): feature bank mechanics and the
+// headline behaviour — Fr-DT beats plain DT on XOR-structured functions.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "learn/fringe.hpp"
+
+namespace lsml::learn {
+namespace {
+
+data::Dataset function_dataset(std::size_t inputs, std::size_t rows, int seed,
+                               bool (*f)(const core::BitVec&)) {
+  core::Rng rng(seed);
+  data::Dataset ds(inputs, rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    core::BitVec row(inputs);
+    row.randomize(rng);
+    for (std::size_t c = 0; c < inputs; ++c) {
+      ds.set_input(r, c, row.get(c));
+    }
+    ds.set_label(r, f(row));
+  }
+  return ds;
+}
+
+TEST(FeatureBank, ExtendComputesCompositeColumns) {
+  data::Dataset ds(3, 4);
+  // rows: x0 x1 x2 = (0,0,0), (1,0,1), (1,1,0), (0,1,1)
+  ds.set_input(1, 0, true);
+  ds.set_input(1, 2, true);
+  ds.set_input(2, 0, true);
+  ds.set_input(2, 1, true);
+  ds.set_input(3, 1, true);
+  ds.set_input(3, 2, true);
+
+  FeatureBank bank(3);
+  DerivedFeature andf;
+  andf.op = DerivedFeature::Op::kAnd;
+  andf.a = 0;
+  andf.b = 1;
+  EXPECT_TRUE(bank.add(andf));
+  EXPECT_FALSE(bank.add(andf)) << "duplicates are rejected";
+  DerivedFeature xorf;
+  xorf.op = DerivedFeature::Op::kXor;
+  xorf.a = 0;
+  xorf.b = 2;
+  EXPECT_TRUE(bank.add(xorf));
+
+  const data::Dataset ext = bank.extend(ds);
+  ASSERT_EQ(ext.num_inputs(), 5u);
+  // AND(x0,x1) = 0,0,1,0 ; XOR(x0,x2) = 0,0,1,1
+  EXPECT_FALSE(ext.input(0, 3));
+  EXPECT_TRUE(ext.input(2, 3));
+  EXPECT_FALSE(ext.input(1, 4));
+  EXPECT_TRUE(ext.input(2, 4));
+  EXPECT_TRUE(ext.input(3, 4));
+}
+
+TEST(FeatureBank, CanonicalizationMergesEquivalentAnds) {
+  FeatureBank bank(4);
+  DerivedFeature a;
+  a.op = DerivedFeature::Op::kAnd;
+  a.a = 2;
+  a.b = 1;
+  a.not_a = true;
+  EXPECT_TRUE(bank.add(a));
+  DerivedFeature swapped;
+  swapped.op = DerivedFeature::Op::kAnd;
+  swapped.a = 1;
+  swapped.b = 2;
+  swapped.not_b = true;
+  EXPECT_FALSE(bank.add(swapped)) << "operand order must not matter";
+}
+
+TEST(FeatureBank, LitsMatchColumns) {
+  core::Rng rng(3);
+  data::Dataset ds(4, 64);
+  for (std::size_t r = 0; r < 64; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      ds.set_input(r, c, rng.flip(0.5));
+    }
+  }
+  FeatureBank bank(4);
+  DerivedFeature f1;
+  f1.op = DerivedFeature::Op::kXor;
+  f1.a = 0;
+  f1.b = 3;
+  bank.add(f1);
+  DerivedFeature f2;  // derived-of-derived
+  f2.op = DerivedFeature::Op::kAnd;
+  f2.a = 4;  // the xor feature
+  f2.b = 1;
+  bank.add(f2);
+
+  const data::Dataset ext = bank.extend(ds);
+  aig::Aig g(4);
+  const auto lits = bank.build_lits(g);
+  ASSERT_EQ(lits.size(), 6u);
+  for (std::size_t fidx = 4; fidx < 6; ++fidx) {
+    // Check via simulation of a fresh circuit exposing lits[fidx].
+    aig::Aig h(4);
+    const auto hl = bank.build_lits(h);
+    h.add_output(hl[fidx]);
+    const auto sim = h.simulate(ds.column_ptrs());
+    EXPECT_EQ(sim[0], ext.column(fidx)) << "feature " << fidx;
+  }
+}
+
+TEST(ExtractFringe, FindsCompositeOnConjunctionTree) {
+  const auto ds = function_dataset(6, 400, 5, [](const core::BitVec& r) {
+    return r.get(0) && r.get(1);
+  });
+  core::Rng rng(6);
+  const DecisionTree tree = DecisionTree::fit(ds, {}, rng);
+  const auto feats = extract_fringe_features(tree);
+  EXPECT_FALSE(feats.empty());
+}
+
+TEST(FringeLearner, BeatsPlainDtOnXorOfPairs) {
+  // f = (x0 & x1) XOR (x2 & x3): composite features make this learnable.
+  const auto f = [](const core::BitVec& r) {
+    return (r.get(0) && r.get(1)) != (r.get(2) && r.get(3));
+  };
+  const auto train = function_dataset(10, 700, 7, f);
+  const auto valid = function_dataset(10, 300, 8, f);
+
+  FringeOptions options;
+  FringeLearner fringe(options, "fr");
+  core::Rng rng(9);
+  const TrainedModel fr_model = fringe.fit(train, valid, rng);
+
+  DtOptions plain;
+  plain.max_depth = 4;  // matched complexity budget
+  DtLearner dt(plain, "dt");
+  core::Rng rng2(9);
+  const TrainedModel dt_model = dt.fit(train, valid, rng2);
+
+  EXPECT_GE(fr_model.valid_acc, dt_model.valid_acc);
+  EXPECT_GT(fr_model.valid_acc, 0.9);
+}
+
+TEST(FringeLearner, AigMatchesOnTrainingData) {
+  const auto f = [](const core::BitVec& r) {
+    return (r.get(1) != r.get(2)) && r.get(0);
+  };
+  const auto train = function_dataset(8, 500, 10, f);
+  const auto valid = function_dataset(8, 200, 11, f);
+  FringeLearner learner(FringeOptions{}, "fr");
+  core::Rng rng(12);
+  const TrainedModel model = learner.fit(train, valid, rng);
+  EXPECT_GT(model.train_acc, 0.97);
+  EXPECT_GT(model.valid_acc, 0.9);
+}
+
+}  // namespace
+}  // namespace lsml::learn

@@ -1,0 +1,124 @@
+// End-to-end integration: benchmark generation -> PLA files -> learning ->
+// AIG export, exercising the full contest data path.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "aig/aig_io.hpp"
+#include "learn/dt.hpp"
+#include "learn/matching.hpp"
+#include "oracle/suite.hpp"
+#include "pla/pla.hpp"
+#include "portfolio/contest.hpp"
+#include "portfolio/team.hpp"
+
+namespace lsml {
+namespace {
+
+TEST(Integration, ContestDataPathThroughPlaFiles) {
+  // Generate a benchmark, write train/valid as PLA (as the contest did),
+  // read them back, learn, and verify the exported AIGER file.
+  oracle::SuiteOptions options;
+  options.rows_per_split = 300;
+  const oracle::Benchmark bench = oracle::make_benchmark(32, options);
+
+  const std::string dir = ::testing::TempDir();
+  pla::write_pla_file(pla::Pla::from_dataset(bench.train),
+                      dir + "/ex32_train.pla");
+  pla::write_pla_file(pla::Pla::from_dataset(bench.valid),
+                      dir + "/ex32_valid.pla");
+
+  const data::Dataset train =
+      pla::read_pla_file(dir + "/ex32_train.pla").to_dataset();
+  const data::Dataset valid =
+      pla::read_pla_file(dir + "/ex32_valid.pla").to_dataset();
+  ASSERT_EQ(train.num_rows(), bench.train.num_rows());
+
+  learn::DtOptions dt;
+  dt.max_depth = 8;
+  learn::DtLearner learner(dt, "dt8");
+  core::Rng rng(1);
+  const learn::TrainedModel model = learner.fit(train, valid, rng);
+  EXPECT_GT(model.valid_acc, 0.75);
+
+  const std::string aag_path = dir + "/ex32.aag";
+  aig::write_aag_file(model.circuit, aag_path);
+  const aig::Aig loaded = aig::read_aag_file(aag_path);
+  EXPECT_NEAR(learn::circuit_accuracy(loaded, bench.test),
+              learn::circuit_accuracy(model.circuit, bench.test), 1e-12);
+}
+
+TEST(Integration, MatchingSolvesArithmeticCategoriesExactly) {
+  oracle::SuiteOptions options;
+  options.rows_per_split = 400;
+  // ex30 (comparator) and ex74 (parity) must be exactly solvable.
+  for (const int id : {30, 74}) {
+    const oracle::Benchmark bench = oracle::make_benchmark(id, options);
+    const auto match = learn::match_standard_function(bench.train, {});
+    ASSERT_TRUE(match.has_value()) << "ex" << id;
+    EXPECT_GT(learn::circuit_accuracy(match->circuit, bench.test), 0.99)
+        << "ex" << id;
+  }
+}
+
+TEST(Integration, MiniContestProducesSensibleLeaderboard) {
+  oracle::SuiteOptions suite_options;
+  suite_options.rows_per_split = 200;
+  std::vector<oracle::Benchmark> suite;
+  for (const int id : {30, 75, 60}) {
+    suite.push_back(oracle::make_benchmark(id, suite_options));
+  }
+  portfolio::TeamOptions team_options;
+  team_options.scale = core::Scale::kSmoke;
+
+  std::vector<portfolio::TeamRun> runs;
+  for (const int t : {10, 7}) {
+    const auto team = portfolio::make_team(t, team_options);
+    runs.push_back(portfolio::run_suite(*team, t, suite, 7));
+  }
+  for (const auto& run : runs) {
+    EXPECT_GT(run.avg_test_acc(), 0.55);
+    for (const auto& r : run.results) {
+      EXPECT_LE(r.num_ands, 5000u) << "contest size limit";
+    }
+  }
+  const auto best = portfolio::max_accuracy_per_benchmark(runs);
+  ASSERT_EQ(best.size(), 3u);
+  EXPECT_GT(best[1], 0.9) << "the symmetric benchmark is matchable";
+  const auto rates = portfolio::win_rates(runs);
+  int total_best = 0;
+  for (const auto& r : rates) {
+    total_best += r.best;
+  }
+  EXPECT_GE(total_best, 3) << "every benchmark has at least one winner";
+}
+
+TEST(Integration, VirtualBestParetoShapesLikeFig2) {
+  // With a mix of tiny and large models, the Pareto curve must be
+  // non-decreasing in accuracy as the budget grows.
+  oracle::SuiteOptions options;
+  options.rows_per_split = 200;
+  std::vector<oracle::Benchmark> suite;
+  suite.push_back(oracle::make_benchmark(31, options));
+  suite.push_back(oracle::make_benchmark(76, options));
+
+  learn::DtOptions shallow;
+  shallow.max_depth = 3;
+  learn::DtLearner small(shallow, "dt3");
+  learn::DtOptions deep;
+  deep.max_depth = 12;
+  learn::DtLearner large(deep, "dt12");
+  std::vector<portfolio::TeamRun> runs;
+  runs.push_back(portfolio::run_suite(small, 1, suite, 3));
+  runs.push_back(portfolio::run_suite(large, 2, suite, 3));
+
+  const auto pareto = portfolio::virtual_best_pareto(
+      runs, {10.0, 100.0, 1000.0, 5000.0});
+  for (std::size_t i = 1; i < pareto.size(); ++i) {
+    EXPECT_GE(pareto[i].avg_test_acc + 1e-12, pareto[i - 1].avg_test_acc);
+  }
+}
+
+}  // namespace
+}  // namespace lsml

@@ -1,0 +1,243 @@
+// Benchmark oracle tests: arithmetic oracles against integer references,
+// symmetric/parity/nested logic, vision generators, and suite assembly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "oracle/arith_oracles.hpp"
+#include "oracle/logic_oracles.hpp"
+#include "oracle/suite.hpp"
+#include "oracle/vision_oracles.hpp"
+
+namespace lsml::oracle {
+namespace {
+
+core::BitVec row_from_words(std::uint64_t a, std::uint64_t b, std::size_t k) {
+  core::BitVec row(2 * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    row.set(i, (a >> i) & 1);
+    row.set(k + i, (b >> i) & 1);
+  }
+  return row;
+}
+
+TEST(ArithOracles, AdderBits) {
+  const AdderBitOracle msb(16, 16);
+  const AdderBitOracle second(16, 15);
+  EXPECT_EQ(msb.num_inputs(), 32u);
+  for (const auto& [a, b] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0xffff, 1}, {0x8000, 0x8000}, {123, 456}, {0, 0}}) {
+    const std::uint64_t sum = a + b;
+    EXPECT_EQ(msb.eval(row_from_words(a, b, 16)), ((sum >> 16) & 1) == 1);
+    EXPECT_EQ(second.eval(row_from_words(a, b, 16)), ((sum >> 15) & 1) == 1);
+  }
+}
+
+TEST(ArithOracles, DividerAndRemainder) {
+  const DividerBitOracle quot(8, 7, true);
+  const DividerBitOracle rem(8, 7, false);
+  EXPECT_EQ(quot.eval(row_from_words(255, 1, 8)), true);   // 255/1 bit7
+  EXPECT_EQ(quot.eval(row_from_words(255, 2, 8)), false);  // 127 bit7=0
+  EXPECT_EQ(rem.eval(row_from_words(200, 150, 8)), false); // 50
+  EXPECT_EQ(rem.eval(row_from_words(250, 130, 8)), false); // 120
+  EXPECT_EQ(rem.eval(row_from_words(129, 255, 8)), true);  // 129 -> bit7
+}
+
+TEST(ArithOracles, MultiplierBits) {
+  const MultiplierBitOracle msb(8, 15);
+  const MultiplierBitOracle mid(8, 7);
+  EXPECT_TRUE(msb.eval(row_from_words(255, 255, 8)));  // 65025 has bit 15
+  EXPECT_FALSE(msb.eval(row_from_words(2, 3, 8)));
+  EXPECT_EQ(mid.eval(row_from_words(16, 9, 8)), ((16 * 9) >> 7 & 1) == 1);
+}
+
+TEST(ArithOracles, Comparator) {
+  const ComparatorOracle cmp(10);
+  EXPECT_TRUE(cmp.eval(row_from_words(512, 511, 10)));
+  EXPECT_FALSE(cmp.eval(row_from_words(511, 512, 10)));
+  EXPECT_FALSE(cmp.eval(row_from_words(77, 77, 10)));
+}
+
+TEST(ArithOracles, SqrtBits) {
+  const SqrtBitOracle lsb(16, 0);
+  const SqrtBitOracle mid(16, 4);
+  for (std::uint64_t a : {0ULL, 1ULL, 99ULL, 1024ULL, 65535ULL}) {
+    core::BitVec row(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      row.set(i, (a >> i) & 1);
+    }
+    const auto root = static_cast<std::uint64_t>(
+        std::sqrt(static_cast<double>(a)));
+    EXPECT_EQ(lsb.eval(row), (root & 1) == 1) << a;
+    EXPECT_EQ(mid.eval(row), ((root >> 4) & 1) == 1) << a;
+  }
+}
+
+TEST(LogicOracles, SymmetricSignature) {
+  const SymmetricOracle sym(4, "01010");
+  core::BitVec row(4);
+  EXPECT_FALSE(sym.eval(row));  // popcount 0
+  row.set(0, true);
+  EXPECT_TRUE(sym.eval(row));  // popcount 1
+  row.set(1, true);
+  EXPECT_FALSE(sym.eval(row));  // popcount 2
+  EXPECT_THROW(SymmetricOracle(4, "011"), std::invalid_argument);
+}
+
+TEST(LogicOracles, Parity) {
+  const ParityOracle parity(16);
+  core::BitVec row(16);
+  EXPECT_FALSE(parity.eval(row));
+  row.set(3, true);
+  EXPECT_TRUE(parity.eval(row));
+  row.set(9, true);
+  EXPECT_FALSE(parity.eval(row));
+}
+
+TEST(LogicOracles, NestedIsNonTrivial) {
+  const NestedOracle nested;
+  core::Rng rng(3);
+  int ones = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    core::BitVec row(16);
+    row.randomize(rng);
+    ones += nested.eval(row) ? 1 : 0;
+  }
+  EXPECT_GT(ones, trials / 10);
+  EXPECT_LT(ones, trials * 99 / 100);
+}
+
+TEST(LogicOracles, AigOracleBatchMatchesRowEval) {
+  auto cone = make_cone_oracle(12, 120, aig::ConeFlavor::kRandom, 77);
+  core::Rng rng(5);
+  data::Dataset inputs(12, 200);
+  for (std::size_t r = 0; r < 200; ++r) {
+    for (std::size_t c = 0; c < 12; ++c) {
+      inputs.set_input(r, c, rng.flip(0.5));
+    }
+  }
+  const core::BitVec batch = cone->label_rows(inputs);
+  const auto rows = [&](std::size_t r) {
+    core::BitVec row(12);
+    for (std::size_t c = 0; c < 12; ++c) {
+      row.set(c, inputs.input(r, c));
+    }
+    return row;
+  };
+  for (std::size_t r = 0; r < 200; ++r) {
+    EXPECT_EQ(batch.get(r), cone->eval(rows(r)));
+  }
+}
+
+TEST(VisionOracles, Table2Groups) {
+  const GroupComparison g1 = table2_groups(1);
+  EXPECT_EQ(g1.group_a, (std::vector<int>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(g1.group_b, (std::vector<int>{0, 2, 4, 6, 8}));
+  EXPECT_THROW(table2_groups(10), std::invalid_argument);
+}
+
+TEST(VisionOracles, SamplesAreLearnableAndBalanced) {
+  const VisionOracle mnist(VisionDomain::kMnistLike, table2_groups(0), 5);
+  EXPECT_EQ(mnist.num_inputs(), 784u);
+  core::Rng rng(7);
+  int ones = 0;
+  for (int t = 0; t < 400; ++t) {
+    core::BitVec row;
+    bool label = false;
+    mnist.sample(&row, &label, rng);
+    EXPECT_EQ(row.size(), 784u);
+    ones += label ? 1 : 0;
+  }
+  EXPECT_GT(ones, 120);
+  EXPECT_LT(ones, 280);
+}
+
+TEST(VisionOracles, MnistEasierThanCifar) {
+  // The Bayes classifier itself should label MNIST-like samples more
+  // consistently than CIFAR-like ones.
+  core::Rng rng(11);
+  const auto consistency = [&](VisionDomain domain) {
+    const VisionOracle oracle(domain, table2_groups(3), 9);
+    int agree = 0;
+    const int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+      core::BitVec row;
+      bool label = false;
+      oracle.sample(&row, &label, rng);
+      agree += oracle.eval(row) == label ? 1 : 0;
+    }
+    return static_cast<double>(agree) / trials;
+  };
+  const double mnist = consistency(VisionDomain::kMnistLike);
+  const double cifar = consistency(VisionDomain::kCifarLike);
+  EXPECT_GT(mnist, cifar) << "the MNIST >> CIFAR gap must be preserved";
+  EXPECT_GT(mnist, 0.9);
+}
+
+TEST(Suite, CategoriesFollowTable1) {
+  EXPECT_EQ(benchmark_category(0), "adder-msb");
+  EXPECT_EQ(benchmark_category(1), "adder-msb2");
+  EXPECT_EQ(benchmark_category(10), "divider-msb");
+  EXPECT_EQ(benchmark_category(25), "multiplier-mid");
+  EXPECT_EQ(benchmark_category(33), "comparator");
+  EXPECT_EQ(benchmark_category(44), "sqrt-lsb");
+  EXPECT_EQ(benchmark_category(55), "picojava-cone");
+  EXPECT_EQ(benchmark_category(65), "i10-cone");
+  EXPECT_EQ(benchmark_category(74), "mcnc-misc");
+  EXPECT_EQ(benchmark_category(77), "symmetric");
+  EXPECT_EQ(benchmark_category(85), "mnist-like");
+  EXPECT_EQ(benchmark_category(95), "cifar-like");
+}
+
+TEST(Suite, OracleInputWidthsMatchTable1) {
+  EXPECT_EQ(make_oracle(0, 1)->num_inputs(), 32u);    // 16-bit adder
+  EXPECT_EQ(make_oracle(8, 1)->num_inputs(), 512u);   // 256-bit adder
+  EXPECT_EQ(make_oracle(20, 1)->num_inputs(), 16u);   // 8-bit multiplier
+  EXPECT_EQ(make_oracle(30, 1)->num_inputs(), 20u);   // 10-bit comparator
+  EXPECT_EQ(make_oracle(39, 1)->num_inputs(), 200u);  // 100-bit comparator
+  EXPECT_EQ(make_oracle(74, 1)->num_inputs(), 16u);   // parity
+  EXPECT_EQ(make_oracle(75, 1)->num_inputs(), 16u);   // symmetric
+  EXPECT_EQ(make_oracle(80, 1)->num_inputs(), 784u);  // MNIST-like
+  EXPECT_THROW(make_oracle(100, 1), std::invalid_argument);
+}
+
+TEST(Suite, BenchmarkSplitsAreDisjointAndSized) {
+  SuiteOptions options;
+  options.rows_per_split = 150;
+  const Benchmark b = make_benchmark(31, options);  // 20-bit comparator
+  EXPECT_EQ(b.name, "ex31");
+  EXPECT_EQ(b.train.num_rows(), 150u);
+  EXPECT_EQ(b.valid.num_rows(), 150u);
+  EXPECT_EQ(b.test.num_rows(), 150u);
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto* ds : {&b.train, &b.valid, &b.test}) {
+    for (std::size_t r = 0; r < ds->num_rows(); ++r) {
+      EXPECT_TRUE(seen.insert(ds->row_hash(r)).second)
+          << "splits must not share rows";
+    }
+  }
+}
+
+TEST(Suite, GenerationIsDeterministic) {
+  SuiteOptions options;
+  options.rows_per_split = 60;
+  const Benchmark a = make_benchmark(75, options);
+  const Benchmark b = make_benchmark(75, options);
+  EXPECT_EQ(a.train.labels(), b.train.labels());
+  EXPECT_EQ(a.test.labels(), b.test.labels());
+}
+
+TEST(Suite, ConeBenchmarksAreRoughlyBalanced) {
+  SuiteOptions options;
+  options.rows_per_split = 300;
+  const Benchmark b = make_benchmark(52, options);
+  const double frac = b.train.label_fraction();
+  EXPECT_GT(frac, 0.2);
+  EXPECT_LT(frac, 0.8);
+}
+
+}  // namespace
+}  // namespace lsml::oracle

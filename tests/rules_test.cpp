@@ -1,0 +1,96 @@
+// PART-style rule list tests.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "learn/rules.hpp"
+
+namespace lsml::learn {
+namespace {
+
+data::Dataset function_dataset(std::size_t inputs, std::size_t rows, int seed,
+                               bool (*f)(const core::BitVec&)) {
+  core::Rng rng(seed);
+  data::Dataset ds(inputs, rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    core::BitVec row(inputs);
+    row.randomize(rng);
+    for (std::size_t c = 0; c < inputs; ++c) {
+      ds.set_input(r, c, row.get(c));
+    }
+    ds.set_label(r, f(row));
+  }
+  return ds;
+}
+
+TEST(RuleList, LearnsDnfTarget) {
+  const auto f = [](const core::BitVec& r) {
+    return (r.get(0) && r.get(1)) || (!r.get(2) && r.get(4));
+  };
+  const auto train = function_dataset(6, 500, 1, f);
+  const auto test = function_dataset(6, 250, 2, f);
+  core::Rng rng(3);
+  const RuleList list = RuleList::fit(train, {}, rng);
+  EXPECT_GT(data::accuracy(list.predict(test), test.labels()), 0.93);
+  EXPECT_FALSE(list.rules().empty());
+}
+
+TEST(RuleList, FirstMatchingRuleWins) {
+  // Construct a dataset where rule order matters: y = x0 ? 1 : x1.
+  const auto train = function_dataset(3, 400, 4, [](const core::BitVec& r) {
+    return r.get(0) || r.get(1);
+  });
+  core::Rng rng(5);
+  const RuleList list = RuleList::fit(train, {}, rng);
+  const core::BitVec pred = list.predict(train);
+  EXPECT_GT(data::accuracy(pred, train.labels()), 0.97);
+}
+
+TEST(RuleList, AigMatchesPrediction) {
+  const auto ds = function_dataset(7, 350, 6, [](const core::BitVec& r) {
+    return r.get(2) != r.get(5);
+  });
+  RuleListOptions options;
+  options.max_rules = 32;
+  core::Rng rng(7);
+  const RuleList list = RuleList::fit(ds, options, rng);
+  const aig::Aig g = list.to_aig(7);
+  const auto sim = g.simulate(ds.column_ptrs());
+  EXPECT_EQ(sim[0], list.predict(ds))
+      << "the priority-chain circuit must implement the rule semantics";
+}
+
+TEST(RuleList, MaxRulesBoundsModel) {
+  const auto ds = function_dataset(10, 500, 8, [](const core::BitVec& r) {
+    return r.count() % 2 == 0;  // hard target -> many candidate rules
+  });
+  RuleListOptions options;
+  options.max_rules = 5;
+  core::Rng rng(9);
+  const RuleList list = RuleList::fit(ds, options, rng);
+  EXPECT_LE(list.rules().size(), 5u);
+}
+
+TEST(RuleList, PureDatasetYieldsDefaultOnly) {
+  data::Dataset ds(4, 60);
+  for (std::size_t r = 0; r < 60; ++r) {
+    ds.set_label(r, true);
+  }
+  core::Rng rng(10);
+  const RuleList list = RuleList::fit(ds, {}, rng);
+  EXPECT_TRUE(list.rules().empty());
+  EXPECT_TRUE(list.default_value());
+}
+
+TEST(RuleListLearner, EndToEnd) {
+  const auto f = [](const core::BitVec& r) { return r.get(1) && !r.get(3); };
+  const auto train = function_dataset(6, 300, 11, f);
+  const auto valid = function_dataset(6, 150, 12, f);
+  RuleListLearner learner({}, "part-test");
+  core::Rng rng(13);
+  const TrainedModel model = learner.fit(train, valid, rng);
+  EXPECT_GT(model.valid_acc, 0.9);
+}
+
+}  // namespace
+}  // namespace lsml::learn

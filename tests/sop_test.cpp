@@ -1,0 +1,178 @@
+// Cube algebra and the ESPRESSO-style minimizer: training-set consistency
+// (the cover must reproduce every sampled label) and real compression.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "data/dataset.hpp"
+#include "sop/espresso.hpp"
+#include "sop/sop_to_aig.hpp"
+
+namespace lsml::sop {
+namespace {
+
+data::Dataset random_function_dataset(std::size_t inputs, std::size_t rows,
+                                      int seed,
+                                      bool (*f)(const core::BitVec&)) {
+  core::Rng rng(seed);
+  data::Dataset ds(inputs, rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    core::BitVec row(inputs);
+    row.randomize(rng);
+    for (std::size_t c = 0; c < inputs; ++c) {
+      ds.set_input(r, c, row.get(c));
+    }
+    ds.set_label(r, f(row));
+  }
+  return ds;
+}
+
+TEST(Cube, MintermCoversOnlyItself) {
+  core::BitVec row(5);
+  row.set(1, true);
+  row.set(4, true);
+  const Cube c = Cube::minterm(row);
+  EXPECT_TRUE(c.covers_row(row));
+  core::BitVec other = row;
+  other.set(0, true);
+  EXPECT_FALSE(c.covers_row(other));
+  EXPECT_EQ(c.num_literals(), 5u);
+}
+
+TEST(Cube, ContainmentAndAbsorption) {
+  Cube wide(4);
+  wide.mask.set(0, true);
+  wide.value.set(0, true);  // x0
+  Cube narrow(4);
+  narrow.mask.set(0, true);
+  narrow.value.set(0, true);
+  narrow.mask.set(2, true);  // x0 & !x2
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  Cover cover{narrow, wide, narrow};
+  remove_absorbed(cover);
+  EXPECT_EQ(cover.size(), 1u);
+  EXPECT_TRUE(cover[0] == wide);
+}
+
+TEST(Cube, ConflictingPolarityNotContained) {
+  Cube a(3);
+  a.mask.set(1, true);
+  a.value.set(1, true);  // x1
+  Cube b(3);
+  b.mask.set(1, true);  // !x1
+  EXPECT_FALSE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+}
+
+TEST(Espresso, ConsistentWithTrainingData) {
+  const auto ds = random_function_dataset(
+      12, 300, 3, [](const core::BitVec& row) {
+        return (row.get(0) && row.get(3)) || (!row.get(5) && row.get(7));
+      });
+  core::Rng rng(5);
+  const Cover cover = espresso(ds, {}, rng);
+  const core::BitVec pred = cover_predict(cover, ds);
+  EXPECT_EQ(data::accuracy(pred, ds.labels()), 1.0)
+      << "ESPRESSO must be exact on the care set";
+}
+
+TEST(Espresso, CompressesSimpleFunction) {
+  const auto ds = random_function_dataset(
+      10, 400, 7,
+      [](const core::BitVec& row) { return row.get(2) && row.get(6); });
+  core::Rng rng(9);
+  const Cover cover = espresso(ds, {}, rng);
+  const std::size_t onset =
+      static_cast<std::size_t>(ds.labels().count());
+  EXPECT_LT(cover.size(), onset / 4)
+      << "expansion should merge most of the " << onset << " minterms";
+}
+
+TEST(Espresso, GeneralizesConjunction) {
+  // Train on one sample set, test on another from the same function: for a
+  // simple conjunction the expanded cubes should generalize well.
+  const auto f = [](const core::BitVec& row) {
+    return row.get(1) && row.get(4);
+  };
+  const auto train = random_function_dataset(8, 200, 21, f);
+  const auto test = random_function_dataset(8, 200, 22, f);
+  core::Rng rng(23);
+  const Cover cover = espresso(train, {}, rng);
+  const double acc = data::accuracy(cover_predict(cover, test), test.labels());
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(Espresso, SampleCapsLimitWork) {
+  const auto ds = random_function_dataset(
+      16, 500, 31, [](const core::BitVec& row) { return row.get(0); });
+  EspressoOptions options;
+  options.max_onset = 50;
+  options.max_offset = 50;
+  core::Rng rng(33);
+  const Cover cover = espresso(ds, options, rng);
+  EXPECT_LE(cover.size(), 50u);
+}
+
+TEST(ExpandAgainstOffset, NeverCoversOffset) {
+  core::Rng rng(41);
+  const auto ds = random_function_dataset(
+      10, 250, 43, [](const core::BitVec& row) {
+        return row.count() % 3 == 0;  // awkward, non-cube function
+      });
+  const auto rows = dataset_rows(ds);
+  std::vector<core::BitVec> onset;
+  std::vector<core::BitVec> offset;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    (ds.label(r) ? onset : offset).push_back(rows[r]);
+  }
+  Cover cover;
+  for (const auto& row : onset) {
+    cover.push_back(Cube::minterm(row));
+  }
+  expand_against_offset(cover, offset, true, rng);
+  for (const Cube& cube : cover) {
+    for (const auto& row : offset) {
+      EXPECT_FALSE(cube.covers_row(row));
+    }
+  }
+}
+
+TEST(Irredundant, KeepsFullOnsetCoverage) {
+  core::Rng rng(51);
+  const auto ds = random_function_dataset(
+      9, 200, 53,
+      [](const core::BitVec& row) { return row.get(0) || row.get(8); });
+  const auto rows = dataset_rows(ds);
+  std::vector<core::BitVec> onset;
+  std::vector<core::BitVec> offset;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    (ds.label(r) ? onset : offset).push_back(rows[r]);
+  }
+  Cover cover;
+  for (const auto& row : onset) {
+    cover.push_back(Cube::minterm(row));
+  }
+  expand_against_offset(cover, offset, true, rng);
+  const std::size_t before = cover.size();
+  irredundant(cover, onset);
+  EXPECT_LE(cover.size(), before);
+  for (const auto& row : onset) {
+    EXPECT_TRUE(cover_covers_row(cover, row));
+  }
+}
+
+TEST(SopToAig, MatchesCoverPrediction) {
+  const auto ds = random_function_dataset(
+      11, 300, 61, [](const core::BitVec& row) {
+        return (row.get(0) && !row.get(1)) || row.get(9);
+      });
+  core::Rng rng(63);
+  const Cover cover = espresso(ds, {}, rng);
+  const aig::Aig g = cover_to_aig(cover, ds.num_inputs());
+  const auto sim = g.simulate(ds.column_ptrs());
+  EXPECT_EQ(sim[0], cover_predict(cover, ds));
+}
+
+}  // namespace
+}  // namespace lsml::sop

@@ -1,0 +1,143 @@
+// Truth table and ISOP tests, including the ISOP sandwich property
+// on <= cover <= on|dc over randomized incompletely-specified functions.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "tt/isop.hpp"
+#include "tt/truth_table.hpp"
+
+namespace lsml::tt {
+namespace {
+
+TruthTable random_tt(int vars, core::Rng& rng) {
+  TruthTable t(vars);
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+    if (rng.flip(0.5)) {
+      t.set(m, true);
+    }
+  }
+  return t;
+}
+
+TEST(TruthTable, VarProjection) {
+  for (int n = 1; n <= 8; ++n) {
+    for (int v = 0; v < n; ++v) {
+      const TruthTable t = TruthTable::var(n, v);
+      for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+        EXPECT_EQ(t.get(m), ((m >> v) & 1) == 1);
+      }
+    }
+  }
+}
+
+TEST(TruthTable, ConstantAndCounts) {
+  const TruthTable zero = TruthTable::constant(5, false);
+  const TruthTable one = TruthTable::constant(5, true);
+  EXPECT_TRUE(zero.is_const0());
+  EXPECT_TRUE(one.is_const1());
+  EXPECT_EQ(one.count_ones(), 32u);
+}
+
+TEST(TruthTable, OperatorsMatchBitwiseSemantics) {
+  core::Rng rng(11);
+  const TruthTable a = random_tt(7, rng);
+  const TruthTable b = random_tt(7, rng);
+  const TruthTable t_and = a & b;
+  const TruthTable t_or = a | b;
+  const TruthTable t_xor = a ^ b;
+  const TruthTable t_not = ~a;
+  for (std::uint64_t m = 0; m < a.num_minterms(); ++m) {
+    EXPECT_EQ(t_and.get(m), a.get(m) && b.get(m));
+    EXPECT_EQ(t_or.get(m), a.get(m) || b.get(m));
+    EXPECT_EQ(t_xor.get(m), a.get(m) != b.get(m));
+    EXPECT_EQ(t_not.get(m), !a.get(m));
+  }
+}
+
+TEST(TruthTable, CofactorsAndSupport) {
+  // f = x0 & x2 over 3 vars.
+  const TruthTable f =
+      TruthTable::var(3, 0) & TruthTable::var(3, 2);
+  EXPECT_TRUE(f.depends_on(0));
+  EXPECT_FALSE(f.depends_on(1));
+  EXPECT_TRUE(f.depends_on(2));
+  EXPECT_TRUE(f.cofactor(0, false).is_const0());
+  EXPECT_EQ(f.cofactor(0, true), TruthTable::var(3, 2));
+}
+
+TEST(TruthTable, CofactorHighVariables) {
+  core::Rng rng(13);
+  const TruthTable f = random_tt(9, rng);
+  for (int v = 0; v < 9; ++v) {
+    const TruthTable c0 = f.cofactor(v, false);
+    const TruthTable c1 = f.cofactor(v, true);
+    for (std::uint64_t m = 0; m < f.num_minterms(); ++m) {
+      const std::uint64_t m0 = m & ~(1ULL << v);
+      const std::uint64_t m1 = m | (1ULL << v);
+      EXPECT_EQ(c0.get(m), f.get(m0));
+      EXPECT_EQ(c1.get(m), f.get(m1));
+    }
+  }
+}
+
+TEST(SmallCube, TruthTableOfCube) {
+  SmallCube c;
+  c.pos = 0b001;  // x0
+  c.neg = 0b100;  // !x2
+  const TruthTable t = cube_to_tt(c, 3);
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    EXPECT_EQ(t.get(m), ((m & 1) != 0) && ((m & 4) == 0));
+  }
+  EXPECT_EQ(c.num_literals(), 2);
+}
+
+TEST(Isop, ExactCoverOfCompletelySpecified) {
+  core::Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int vars = 1 + static_cast<int>(rng.below(8));
+    const TruthTable f = random_tt(vars, rng);
+    const auto cover = isop(f);
+    EXPECT_EQ(sop_to_tt(cover, vars), f);
+  }
+}
+
+class IsopDontCare : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsopDontCare, SandwichProperty) {
+  core::Rng rng(GetParam());
+  const int vars = 2 + GetParam() % 7;
+  const TruthTable on = random_tt(vars, rng);
+  TruthTable dc = random_tt(vars, rng);
+  dc = dc & ~on;  // disjoint dc for a cleaner check
+  const auto cover = isop(on, dc);
+  const TruthTable result = sop_to_tt(cover, vars);
+  // on <= result <= on | dc
+  EXPECT_TRUE((on & ~result).is_const0());
+  EXPECT_TRUE((result & ~(on | dc)).is_const0());
+}
+
+TEST_P(IsopDontCare, DontCaresNeverIncreaseCubeCount) {
+  core::Rng rng(GetParam() * 31 + 5);
+  const int vars = 4 + GetParam() % 4;
+  const TruthTable on = random_tt(vars, rng);
+  TruthTable dc = random_tt(vars, rng);
+  dc = dc & ~on;
+  EXPECT_LE(isop(on, dc).size(), isop(on).size() * 2 + 2)
+      << "don't-cares should usually help and must never blow up the cover";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsopDontCare, ::testing::Range(1, 25));
+
+TEST(Isop, GateCost) {
+  EXPECT_EQ(sop_gate_cost({}), 0);
+  SmallCube wide;
+  wide.pos = 0b1111;
+  EXPECT_EQ(sop_gate_cost({wide}), 3);  // 4 literals -> 3 AND2
+  SmallCube single;
+  single.pos = 0b1;
+  EXPECT_EQ(sop_gate_cost({single, wide}), 4);  // 0 + 3 + 1 OR
+}
+
+}  // namespace
+}  // namespace lsml::tt
