@@ -10,6 +10,7 @@
 // (recomputing only if the cache is missing).
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -42,9 +43,15 @@ inline std::string runs_cache_path(const core::ScaleConfig& cfg) {
   return ".lsml_team_runs_" + cfg.name() + ".csv";
 }
 
+/// Cache schema tag. Bump whenever anything that changes the numbers
+/// changes (e.g. the per-task RNG derivation), so stale caches from older
+/// builds are recomputed instead of silently served.
+inline constexpr const char* kRunsCacheHeader = "# lsml-team-runs v2";
+
 inline void save_runs(const std::vector<portfolio::TeamRun>& runs,
                       const std::string& path) {
   std::ofstream os(path);
+  os << kRunsCacheHeader << "\n";
   for (const auto& run : runs) {
     for (const auto& r : run.results) {
       os << run.team << ',' << r.benchmark_id << ',' << r.benchmark << ','
@@ -60,8 +67,11 @@ inline bool load_runs(std::vector<portfolio::TeamRun>* runs,
   if (!is) {
     return false;
   }
-  std::vector<portfolio::TeamRun> loaded;
   std::string line;
+  if (!std::getline(is, line) || line != kRunsCacheHeader) {
+    return false;  // cache from an incompatible build
+  }
+  std::vector<portfolio::TeamRun> loaded;
   while (std::getline(is, line)) {
     std::istringstream ls(line);
     portfolio::BenchmarkResult r;
@@ -93,7 +103,13 @@ inline bool load_runs(std::vector<portfolio::TeamRun>* runs,
   return true;
 }
 
-/// Loads cached team runs or computes them (all ten teams over the suite).
+/// Worker count for benches: LSML_THREADS, else one per hardware thread.
+inline int bench_num_threads() {
+  return core::threads_from_env("LSML_THREADS", 0);
+}
+
+/// Loads cached team runs or computes them (all ten teams over the suite,
+/// in parallel; thread count never changes the numbers).
 inline std::vector<portfolio::TeamRun> team_runs(
     const core::ScaleConfig& cfg, const std::vector<oracle::Benchmark>& suite,
     bool verbose = true) {
@@ -107,14 +123,12 @@ inline std::vector<portfolio::TeamRun> team_runs(
   }
   portfolio::TeamOptions team_options;
   team_options.scale = cfg.scale;
-  for (const int t : portfolio::all_team_numbers()) {
-    if (verbose) {
-      std::cout << "running team " << t << " over " << suite.size()
-                << " benchmarks..." << std::endl;
-    }
-    const auto team = portfolio::make_team(t, team_options);
-    runs.push_back(portfolio::run_suite(*team, t, suite, 2020));
-  }
+  portfolio::ContestOptions contest_options;
+  contest_options.num_threads = bench_num_threads();
+  contest_options.verbosity = verbose ? 1 : 0;
+  runs = portfolio::run_contest(
+      portfolio::contest_entries(portfolio::all_team_numbers(), team_options),
+      suite, 2020, contest_options);
   save_runs(runs, path);
   return runs;
 }

@@ -1,9 +1,12 @@
 // Contest flow: run several team strategies on a slice of the benchmark
-// suite and print a mini leaderboard — the paper's Table III in miniature.
+// suite — in parallel — and print a mini leaderboard, the paper's Table III
+// in miniature. LSML_THREADS overrides the worker count (default: one per
+// hardware thread); any thread count produces identical numbers.
 
 #include <cstdio>
 #include <iostream>
 
+#include "core/config.hpp"
 #include "oracle/suite.hpp"
 #include "portfolio/contest.hpp"
 #include "portfolio/team.hpp"
@@ -25,13 +28,18 @@ int main() {
   portfolio::TeamOptions team_options;
   team_options.scale = core::Scale::kSmoke;  // trimmed grids for the demo
 
-  std::vector<portfolio::TeamRun> runs;
-  for (const int t : {2, 7, 8, 10}) {
-    std::cout << "running team " << t << "...\n";
-    const auto team = portfolio::make_team(t, team_options);
-    runs.push_back(portfolio::run_suite(*team, t, suite, 99));
-  }
+  portfolio::ContestOptions contest_options;
+  // 0 = one worker per hardware thread; LSML_THREADS overrides.
+  contest_options.num_threads = core::threads_from_env("LSML_THREADS", 0);
+  contest_options.verbosity = 1;
 
+  portfolio::ContestStats stats;
+  const std::vector<portfolio::TeamRun> runs = portfolio::run_contest(
+      portfolio::contest_entries({2, 7, 8, 10}, team_options), suite, 99,
+      contest_options, &stats);
+
+  std::printf("\nran %d (team x benchmark) tasks in %.0f ms\n",
+              stats.tasks_completed, stats.elapsed_ms);
   std::cout << "\n" << portfolio::format_leaderboard(runs);
 
   std::cout << "\nwhat each team picked per benchmark:\n";

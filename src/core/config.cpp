@@ -42,6 +42,19 @@ ScaleConfig make_scale(Scale s) {
   return cfg;
 }
 
+int threads_from_env(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value < 0 || value > 4096) {
+    return fallback;
+  }
+  return static_cast<int>(value);
+}
+
 ScaleConfig scale_from_env() {
   const char* env = std::getenv("LSML_SCALE");
   if (env == nullptr) {

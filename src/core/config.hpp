@@ -29,6 +29,12 @@ struct ScaleConfig {
 /// Reads LSML_SCALE (default "fast") and returns the matching config.
 ScaleConfig scale_from_env();
 
+/// Reads a thread-count env var (benches/examples use LSML_THREADS).
+/// Unset, non-numeric, negative, or > 4096 values return `fallback`; 0
+/// means "one worker per hardware thread" (ContestOptions/ThreadPool
+/// convention).
+int threads_from_env(const char* name, int fallback);
+
 /// Config for an explicit scale value.
 ScaleConfig make_scale(Scale s);
 

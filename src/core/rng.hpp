@@ -64,9 +64,27 @@ class Rng {
   /// Derive an independent stream (for per-benchmark / per-tree seeding).
   Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
 
+  /// Derive an independent stream keyed by (a, b) WITHOUT advancing this
+  /// generator. Because the child depends only on the parent's current
+  /// state and the key, split(team, benchmark) yields the same stream no
+  /// matter how many threads run or in what order tasks complete — the
+  /// basis for bit-identical serial/parallel contest runs.
+  [[nodiscard]] Rng split(std::uint64_t a, std::uint64_t b) const {
+    std::uint64_t h = state_[0] ^ rotl(state_[2], 29);
+    h = mix64(h + 0x9e3779b97f4a7c15ULL + a);
+    h = mix64(h ^ rotl(b, 17) ^ state_[1]);
+    return Rng(h ^ state_[3]);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
+  }
+  /// SplitMix64 finalizer: full-avalanche 64-bit mixing.
+  static constexpr std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
   }
   std::uint64_t state_[4];
   bool have_spare_ = false;

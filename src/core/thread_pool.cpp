@@ -1,0 +1,108 @@
+#include "core/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace lsml::core {
+
+std::size_t ThreadPool::default_num_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = default_num_threads();
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  // Each pool worker pulls the next index from a shared counter until the
+  // range is exhausted; the calling thread only waits, so concurrency is
+  // exactly num_threads(). On the first exception the counter is pushed
+  // past the end so siblings stop claiming new indices.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> have_error{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) {
+        return;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!have_error.exchange(true)) {
+          error = std::current_exception();
+        }
+        next.store(count);
+        return;
+      }
+    }
+  };
+
+  // drain captures this frame by reference, so every enqueued copy must be
+  // joined before the frame unwinds — including when a submit() throws.
+  std::vector<std::future<void>> tickets;
+  const std::size_t workers = std::min(num_threads(), count);
+  tickets.reserve(workers);
+  try {
+    for (std::size_t t = 0; t < workers; ++t) {
+      tickets.push_back(submit(drain));
+    }
+  } catch (...) {
+    next.store(count);
+    for (auto& ticket : tickets) {
+      ticket.get();
+    }
+    throw;
+  }
+  for (auto& ticket : tickets) {
+    ticket.get();
+  }
+  if (have_error.load()) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace lsml::core

@@ -1,0 +1,77 @@
+#pragma once
+// A small fixed-size worker pool for contest-style fan-out.
+//
+// Design goals, in order: deterministic results (the pool never decides
+// *what* runs, only *when*), exception safety (a throwing task surfaces in
+// the caller, not std::terminate), and zero cleverness — one shared queue
+// guarded by a mutex is plenty when each task is a full learner fit that
+// runs for milliseconds to seconds. parallel_for is the main entry point:
+// workers steal the next index from a shared counter, so long tasks don't
+// leave siblings idle the way static chunking would. The calling thread
+// never executes tasks itself — a pool of N means exactly N concurrent
+// workers.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lsml::core {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+  /// What ThreadPool(0) resolves to (never 0, even if the runtime cannot
+  /// report hardware concurrency).
+  static std::size_t default_num_threads();
+
+  /// Enqueues a task; the future rethrows any exception the task threw.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push([packaged] { (*packaged)(); });
+    }
+    work_available_.notify_one();
+    return result;
+  }
+
+  /// Runs body(i) for every i in [0, count) on the pool's workers and
+  /// blocks until all complete; the calling thread does not execute tasks.
+  /// Indices are claimed dynamically (one shared counter), so uneven task
+  /// costs balance out. If any invocation throws, the first exception (by
+  /// completion order) is rethrown here after all workers have stopped
+  /// picking up new indices.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace lsml::core

@@ -5,14 +5,44 @@
 // paper reports: Table III rows (test accuracy / AND gates / levels /
 // overfit), the accuracy-size Pareto frontier of the virtual best (Fig. 2),
 // per-benchmark maximum accuracy (Fig. 3), and win rates (Fig. 4).
+//
+// Execution model: the contest is a bag of independent (team, benchmark)
+// tasks. Each task gets its own learner instance (built from a
+// LearnerFactory) and its own RNG stream derived by Rng::split(team,
+// benchmark), so the parallel engine produces bit-identical results to the
+// serial one at any thread count.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "learn/factory.hpp"
 #include "learn/learner.hpp"
 #include "oracle/suite.hpp"
 
 namespace lsml::portfolio {
+
+/// Knobs of the contest execution engine.
+struct ContestOptions {
+  /// Concurrent workers for (team x benchmark) tasks. 1 (or negative) =
+  /// serial in the calling thread; 0 = one per hardware thread; N > 1 =
+  /// exactly N pool workers. Never changes results.
+  int num_threads = 1;
+  /// Soft wall-clock budget for a whole contest run. 0 = unlimited. All
+  /// tasks always run to completion (determinism first); when the budget is
+  /// blown the run is flagged in ContestStats and, at verbosity >= 1, on
+  /// stderr.
+  std::int64_t time_budget_ms = 0;
+  /// 0 = silent, 1 = per-team progress, 2 = per-task lines.
+  int verbosity = 0;
+};
+
+/// What the engine observed while running (all threads included).
+struct ContestStats {
+  double elapsed_ms = 0.0;
+  int tasks_completed = 0;
+  bool budget_exceeded = false;
+};
 
 struct BenchmarkResult {
   int benchmark_id = 0;
@@ -41,10 +71,36 @@ struct TeamRun {
 BenchmarkResult evaluate_on(learn::Learner& learner,
                             const oracle::Benchmark& bench, core::Rng& rng);
 
-/// Runs a learner over the whole suite.
+/// Runs a learner over the whole suite, serially. The learner instance is
+/// reused across benchmarks, but each benchmark draws from its own
+/// Rng::split(team, benchmark) stream, so results match the factory-based
+/// overload below task-for-task.
 TeamRun run_suite(learn::Learner& learner, int team_number,
                   const std::vector<oracle::Benchmark>& suite,
                   std::uint64_t seed);
+
+/// Runs one team over the suite with `options.num_threads` workers; every
+/// task builds a fresh learner from `factory`.
+TeamRun run_suite(const learn::LearnerFactory& factory, int team_number,
+                  const std::vector<oracle::Benchmark>& suite,
+                  std::uint64_t seed, const ContestOptions& options,
+                  ContestStats* stats = nullptr);
+
+/// One contestant: a team number plus the recipe for its learner.
+struct ContestEntry {
+  int team = 0;
+  learn::LearnerFactory factory;
+};
+
+/// The full multi-team contest driver: all (team x benchmark) tasks share
+/// one pool, so a slow team cannot serialize the tail of the run. Results
+/// are ordered as `entries` and, within a team, as `suite` — independent of
+/// thread count and completion order.
+std::vector<TeamRun> run_contest(const std::vector<ContestEntry>& entries,
+                                 const std::vector<oracle::Benchmark>& suite,
+                                 std::uint64_t seed,
+                                 const ContestOptions& options = {},
+                                 ContestStats* stats = nullptr);
 
 /// One (size, accuracy) point per budget: for each budget, each benchmark
 /// contributes its best candidate among all runs whose size fits.

@@ -18,6 +18,7 @@
 #include "learn/matching.hpp"
 #include "learn/mlp.hpp"
 #include "learn/rules.hpp"
+#include "portfolio/contest.hpp"
 #include "tt/truth_table.hpp"
 
 namespace lsml::portfolio {
@@ -698,6 +699,33 @@ std::unique_ptr<learn::Learner> make_team(int number,
     default:
       throw std::invalid_argument("make_team: unknown team number");
   }
+}
+
+learn::LearnerFactory team_factory(int number, const TeamOptions& options) {
+  if (number < 1 || number > 10) {
+    throw std::invalid_argument("team_factory: unknown team number");
+  }
+  return learn::LearnerFactory(
+      "team" + std::to_string(number),
+      [number, options] { return make_team(number, options); });
+}
+
+void register_team_factories(const TeamOptions& options) {
+  for (const int t : all_team_numbers()) {
+    learn::LearnerFactory::register_factory(
+        "team" + std::to_string(t),
+        [t, options] { return make_team(t, options); });
+  }
+}
+
+std::vector<ContestEntry> contest_entries(const std::vector<int>& teams,
+                                          const TeamOptions& options) {
+  std::vector<ContestEntry> entries;
+  entries.reserve(teams.size());
+  for (const int t : teams) {
+    entries.push_back({t, team_factory(t, options)});
+  }
+  return entries;
 }
 
 std::vector<int> all_team_numbers() { return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}; }

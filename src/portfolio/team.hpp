@@ -12,9 +12,12 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "learn/factory.hpp"
 #include "learn/learner.hpp"
 
 namespace lsml::portfolio {
+
+struct ContestEntry;  // portfolio/contest.hpp
 
 struct TeamOptions {
   core::Scale scale = core::Scale::kFast;
@@ -24,6 +27,22 @@ struct TeamOptions {
 
 /// Builds team `number` (1..10).
 std::unique_ptr<learn::Learner> make_team(int number,
+                                          const TeamOptions& options);
+
+/// Factory for team `number`: each make() builds an independent instance,
+/// which is what the parallel contest engine hands to each worker. Pure —
+/// no global state is touched.
+learn::LearnerFactory team_factory(int number, const TeamOptions& options);
+
+/// Explicitly publishes all ten teams in the LearnerFactory registry as
+/// "team1".."team10" with the given options (last call wins). Kept separate
+/// from team_factory so by-name lookup never depends on hidden side
+/// effects of unrelated calls.
+void register_team_factories(const TeamOptions& options);
+
+/// Contest entries for the given team numbers (convenience for
+/// run_contest; pass all_team_numbers() for the full contest).
+std::vector<ContestEntry> contest_entries(const std::vector<int>& teams,
                                           const TeamOptions& options);
 
 /// All contest team numbers.

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "aig/aig_build.hpp"
 #include "core/rng.hpp"
 
@@ -120,9 +122,7 @@ TEST(Threshold, BoundaryBehaviour) {
   }
   for (std::size_t ones = 0; ones <= n; ++ones) {
     std::vector<std::uint8_t> row(n, 0);
-    for (std::size_t i = 0; i < ones; ++i) {
-      row[i] = 1;
-    }
+    std::fill_n(row.begin(), ones, std::uint8_t{1});
     const auto out = g.eval_row(row);
     for (std::uint32_t k = 0; k <= n + 1; ++k) {
       EXPECT_EQ(out[k], ones >= k) << "ones=" << ones << " k=" << k;

@@ -31,6 +31,84 @@ TEST(Contest, RunSuiteProducesPerBenchmarkResults) {
   EXPECT_GE(run.avg_ands(), 0.0);
 }
 
+TEST(Contest, SerialAndParallelRunsAreBitIdentical) {
+  const auto suite = tiny_suite();
+  const auto factory = learn::LearnerFactory::from_registry("dt8");
+
+  learn::DtOptions dt;
+  dt.max_depth = 8;
+  learn::DtLearner learner(dt, "dt8");
+  const TeamRun serial = run_suite(learner, 42, suite, 1);
+
+  ContestOptions parallel;
+  parallel.num_threads = 8;
+  const TeamRun threaded = run_suite(factory, 42, suite, 1, parallel);
+
+  ASSERT_EQ(serial.results.size(), threaded.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    const auto& s = serial.results[i];
+    const auto& p = threaded.results[i];
+    EXPECT_EQ(s.benchmark_id, p.benchmark_id);
+    EXPECT_EQ(s.method, p.method);
+    EXPECT_EQ(s.train_acc, p.train_acc);
+    EXPECT_EQ(s.valid_acc, p.valid_acc);
+    EXPECT_EQ(s.test_acc, p.test_acc);
+    EXPECT_EQ(s.num_ands, p.num_ands);
+    EXPECT_EQ(s.num_levels, p.num_levels);
+  }
+}
+
+TEST(Contest, RunContestMatchesPerTeamSerialRuns) {
+  const auto suite = tiny_suite();
+  const auto factory = learn::LearnerFactory::from_registry("dt8");
+
+  ContestOptions options;
+  options.num_threads = 4;
+  ContestStats stats;
+  const auto runs = run_contest({{1, factory}, {2, factory}}, suite, 7,
+                                options, &stats);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(stats.tasks_completed, 4);
+  EXPECT_GT(stats.elapsed_ms, 0.0);
+  EXPECT_FALSE(stats.budget_exceeded);
+
+  for (const auto& run : runs) {
+    auto learner = factory.make();
+    const TeamRun serial = run_suite(*learner, run.team, suite, 7);
+    ASSERT_EQ(serial.results.size(), run.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+      EXPECT_EQ(serial.results[i].test_acc, run.results[i].test_acc);
+      EXPECT_EQ(serial.results[i].num_ands, run.results[i].num_ands);
+    }
+  }
+  // Both teams cover the same suite in the same order...
+  EXPECT_EQ(runs[0].results[0].benchmark, runs[1].results[0].benchmark);
+  // ...but draw different RNG streams: split() must key on the team number.
+  core::Rng root(7);
+  EXPECT_NE(root.split(1, suite[0].id).next(),
+            root.split(2, suite[0].id).next());
+}
+
+TEST(Contest, TimeBudgetIsReportedConsistently) {
+  const auto suite = tiny_suite();
+  const auto factory = learn::LearnerFactory::from_registry("dt8");
+  ContestOptions options;
+  options.num_threads = 2;
+  options.time_budget_ms = 1;  // tight enough that real runs usually blow it
+  ContestStats stats;
+  const auto runs = run_suite(factory, 3, suite, 1, options, &stats);
+  EXPECT_EQ(runs.results.size(), suite.size()) << "all tasks still run";
+  // The flag is defined by the contract, not by how fast this machine is.
+  EXPECT_EQ(stats.budget_exceeded,
+            stats.elapsed_ms > static_cast<double>(options.time_budget_ms));
+
+  ContestOptions unlimited;
+  unlimited.num_threads = 2;
+  ContestStats unlimited_stats;
+  run_suite(factory, 3, suite, 1, unlimited, &unlimited_stats);
+  EXPECT_FALSE(unlimited_stats.budget_exceeded) << "0 means no budget";
+}
+
 TEST(Contest, OverfitIsValidMinusTest) {
   TeamRun run;
   run.results.push_back(

@@ -5,6 +5,7 @@
 
 #include "aig/aig_random.hpp"
 #include "oracle/suite.hpp"
+#include "portfolio/contest.hpp"
 #include "portfolio/team.hpp"
 
 namespace lsml::portfolio {
@@ -25,6 +26,36 @@ TEST(Teams, AllTenConstruct) {
     EXPECT_EQ(team->name(), "team" + std::to_string(t));
   }
   EXPECT_THROW(make_team(11, options), std::invalid_argument);
+}
+
+TEST(Teams, FactoryBuildsIndependentInstances) {
+  TeamOptions options;
+  options.scale = core::Scale::kSmoke;
+  const learn::LearnerFactory factory = team_factory(10, options);
+  EXPECT_EQ(factory.name(), "team10");
+  const auto a = factory.make();
+  const auto b = factory.make();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get()) << "each make() must own a fresh instance";
+  EXPECT_EQ(a->name(), "team10");
+  // Registry publication is explicit, never a team_factory side effect.
+  EXPECT_THROW(learn::LearnerFactory::from_registry("team10"),
+               std::out_of_range);
+  register_team_factories(options);
+  const auto from_registry = learn::LearnerFactory::from_registry("team10");
+  EXPECT_EQ(from_registry.make()->name(), "team10");
+  EXPECT_THROW(team_factory(11, options), std::invalid_argument);
+}
+
+TEST(Teams, ContestEntriesCoverRequestedTeams) {
+  TeamOptions options;
+  options.scale = core::Scale::kSmoke;
+  const auto entries = contest_entries({2, 7}, options);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].team, 2);
+  EXPECT_EQ(entries[1].team, 7);
+  EXPECT_EQ(entries[1].factory.make()->name(), "team7");
 }
 
 TEST(Teams, TechniqueMatrixMatchesFig1Counts) {

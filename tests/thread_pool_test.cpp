@@ -1,0 +1,127 @@
+// ThreadPool tests: task completion, futures, exception propagation, and
+// N=1 vs N=8 equivalence of parallel_for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+
+namespace lsml::core {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> tickets;
+  for (int i = 0; i < 100; ++i) {
+    tickets.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& t : tickets) {
+    t.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsTaskValue) {
+  ThreadPool pool(2);
+  auto ticket = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(ticket.get(), 42);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::default_num_threads());
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto ticket = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(ticket.get(), std::runtime_error);
+  // The pool must survive a throwing task.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversTheWholeRange) {
+  ThreadPool pool(8);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits.back(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&touched](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 17) {
+                                     throw std::invalid_argument("bad index");
+                                   }
+                                 }),
+               std::invalid_argument);
+  // The pool stays usable afterwards.
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, OneVsEightThreadsComputeIdenticalResults) {
+  // The same deterministic per-index work must not depend on thread count:
+  // each index derives its own RNG stream via Rng::split.
+  const auto compute = [](std::size_t num_threads) {
+    std::vector<std::uint64_t> out(256, 0);
+    ThreadPool pool(num_threads);
+    pool.parallel_for(out.size(), [&out](std::size_t i) {
+      const Rng root(12345);
+      Rng rng = root.split(7, i);
+      std::uint64_t acc = 0;
+      for (int k = 0; k < 100; ++k) {
+        acc ^= rng.next();
+      }
+      out[i] = acc;
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(8));
+}
+
+TEST(Rng, SplitIsPureAndKeyed) {
+  const Rng root(99);
+  Rng a = root.split(1, 2);
+  Rng b = root.split(1, 2);
+  EXPECT_EQ(a.next(), b.next()) << "split must not advance or depend on calls";
+  Rng c = root.split(1, 3);
+  Rng d = root.split(2, 2);
+  const std::uint64_t base = root.split(1, 2).next();
+  EXPECT_NE(base, c.next());
+  EXPECT_NE(base, d.next());
+}
+
+}  // namespace
+}  // namespace lsml::core
