@@ -5,15 +5,14 @@
 // respect LSML_SCALE (smoke / fast / full; see core::ScaleConfig) and print
 // the active configuration first so recorded outputs are self-describing.
 //
-// Team runs are expensive, so they are cached on disk per scale+seed:
-// bench_table3 populates the cache and the Fig. 2/3/4 benches reuse it
-// (recomputing only if the cache is missing).
+// Team runs are expensive, so they are memoized in the library-level
+// suite::ResultCache (content-hash keyed, one entry per (team, benchmark)
+// task): bench_table3 populates the store and the Fig. 2/3/4 benches reuse
+// it, recomputing only the tasks whose inputs or code version changed.
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +20,7 @@
 #include "oracle/suite.hpp"
 #include "portfolio/contest.hpp"
 #include "portfolio/team.hpp"
+#include "suite/runner.hpp"
 
 namespace lsml::bench {
 
@@ -39,68 +39,11 @@ inline std::vector<oracle::Benchmark> load_suite(const core::ScaleConfig& cfg) {
   return oracle::make_suite(options, static_cast<int>(cfg.num_benchmarks));
 }
 
-inline std::string runs_cache_path(const core::ScaleConfig& cfg) {
-  return ".lsml_team_runs_" + cfg.name() + ".csv";
-}
-
-/// Cache schema tag. Bump whenever anything that changes the numbers
-/// changes (e.g. the per-task RNG derivation), so stale caches from older
-/// builds are recomputed instead of silently served.
-inline constexpr const char* kRunsCacheHeader = "# lsml-team-runs v2";
-
-inline void save_runs(const std::vector<portfolio::TeamRun>& runs,
-                      const std::string& path) {
-  std::ofstream os(path);
-  os << kRunsCacheHeader << "\n";
-  for (const auto& run : runs) {
-    for (const auto& r : run.results) {
-      os << run.team << ',' << r.benchmark_id << ',' << r.benchmark << ','
-         << r.train_acc << ',' << r.valid_acc << ',' << r.test_acc << ','
-         << r.num_ands << ',' << r.num_levels << ",\"" << r.method << "\"\n";
-    }
-  }
-}
-
-inline bool load_runs(std::vector<portfolio::TeamRun>* runs,
-                      const std::string& path, std::size_t num_benchmarks) {
-  std::ifstream is(path);
-  if (!is) {
-    return false;
-  }
-  std::string line;
-  if (!std::getline(is, line) || line != kRunsCacheHeader) {
-    return false;  // cache from an incompatible build
-  }
-  std::vector<portfolio::TeamRun> loaded;
-  while (std::getline(is, line)) {
-    std::istringstream ls(line);
-    portfolio::BenchmarkResult r;
-    int team = 0;
-    char comma = 0;
-    if (!(ls >> team >> comma >> r.benchmark_id >> comma)) {
-      return false;
-    }
-    std::getline(ls, r.benchmark, ',');
-    ls >> r.train_acc >> comma >> r.valid_acc >> comma >> r.test_acc >>
-        comma >> r.num_ands >> comma >> r.num_levels >> comma;
-    std::getline(ls, r.method);
-    if (loaded.empty() || loaded.back().team != team) {
-      portfolio::TeamRun run;
-      run.team = team;
-      loaded.push_back(run);
-    }
-    loaded.back().results.push_back(r);
-  }
-  for (const auto& run : loaded) {
-    if (run.results.size() != num_benchmarks) {
-      return false;  // stale cache from another configuration
-    }
-  }
-  if (loaded.size() != 10) {
-    return false;
-  }
-  *runs = std::move(loaded);
-  return true;
+/// Where benches keep their (team, benchmark) result store. One directory
+/// per scale only for tidiness: the content-hash keys already separate
+/// scales (different datasets and config salt).
+inline std::string runs_cache_dir(const core::ScaleConfig& cfg) {
+  return ".lsml-cache/bench-" + cfg.name();
 }
 
 /// Worker count for benches: LSML_THREADS, else one per hardware thread.
@@ -108,29 +51,34 @@ inline int bench_num_threads() {
   return core::threads_from_env("LSML_THREADS", 0);
 }
 
-/// Loads cached team runs or computes them (all ten teams over the suite,
-/// in parallel; thread count never changes the numbers).
+/// Runs all ten teams over the suite through the incremental result store:
+/// only (team, benchmark) tasks whose inputs or code version changed are
+/// recomputed (thread count never changes the numbers). LSML_NO_CACHE=1
+/// bypasses the store entirely.
 inline std::vector<portfolio::TeamRun> team_runs(
     const core::ScaleConfig& cfg, const std::vector<oracle::Benchmark>& suite,
     bool verbose = true) {
-  std::vector<portfolio::TeamRun> runs;
-  const std::string path = runs_cache_path(cfg);
-  if (load_runs(&runs, path, suite.size())) {
-    if (verbose) {
-      std::cout << "(loaded cached team runs from " << path << ")\n\n";
-    }
-    return runs;
-  }
   portfolio::TeamOptions team_options;
   team_options.scale = cfg.scale;
-  portfolio::ContestOptions contest_options;
-  contest_options.num_threads = bench_num_threads();
-  contest_options.verbosity = verbose ? 1 : 0;
-  runs = portfolio::run_contest(
+  suite::RunnerOptions options;
+  const char* no_cache = std::getenv("LSML_NO_CACHE");
+  options.cache_dir =
+      (no_cache != nullptr && no_cache[0] == '1') ? "" : runs_cache_dir(cfg);
+  options.config_salt = static_cast<std::uint64_t>(cfg.scale);
+  options.seed = 2020;
+  options.num_threads = bench_num_threads();
+  options.verbosity = verbose ? 1 : 0;
+  options.write_artifacts = false;
+  const suite::RunnerReport report = suite::run_contest_on(
       portfolio::contest_entries(portfolio::all_team_numbers(), team_options),
-      suite, 2020, contest_options);
-  save_runs(runs, path);
-  return runs;
+      suite, options);
+  if (verbose && report.cache_hits > 0) {
+    std::cout << "(" << report.cache_hits << "/"
+              << (report.cache_hits + report.cache_misses)
+              << " team-run tasks served from " << options.cache_dir
+              << ")\n\n";
+  }
+  return report.runs;
 }
 
 /// Prints a numeric series as an aligned two-column table.

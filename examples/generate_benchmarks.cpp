@@ -1,37 +1,42 @@
 // Benchmark suite exporter: writes the contest's train/validation/test PLA
-// files for a range of benchmarks, exactly like the released IWLS 2020
-// distribution (ex00_train.pla etc.).
+// triples for a range of benchmarks in the layout the released IWLS 2020
+// distribution used and `lsml run` consumes (ex00.train.pla etc.).
 //
-// Usage: generate_benchmarks [first last rows out_dir]
-//        (defaults: 0 9 1000 ./pla_out)
+// Usage: generate_benchmarks [first last rows out_dir seed]
+//        (defaults: 0 9 1000 ./pla_out 2020)
 
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
+#include <exception>
 #include <string>
 
-#include "oracle/suite.hpp"
-#include "pla/pla.hpp"
+#include "suite/generate.hpp"
 
 int main(int argc, char** argv) {
   using namespace lsml;
-  const int first = argc > 1 ? std::atoi(argv[1]) : 0;
-  const int last = argc > 2 ? std::atoi(argv[2]) : 9;
-  const std::size_t rows =
+  suite::GenerateOptions options;
+  options.first = argc > 1 ? std::atoi(argv[1]) : 0;
+  options.last = argc > 2 ? std::atoi(argv[2]) : 9;
+  options.rows_per_split =
       argc > 3 ? static_cast<std::size_t>(std::atol(argv[3])) : 1000;
   const std::string out_dir = argc > 4 ? argv[4] : "pla_out";
-  std::filesystem::create_directories(out_dir);
+  options.seed = argc > 5
+                     ? static_cast<std::uint64_t>(std::atoll(argv[5]))
+                     : 2020;
 
-  oracle::SuiteOptions options;
-  options.rows_per_split = rows;
-  for (int id = first; id <= last && id < 100; ++id) {
-    const oracle::Benchmark b = oracle::make_benchmark(id, options);
-    const std::string base = out_dir + "/" + b.name;
-    pla::write_pla_file(pla::Pla::from_dataset(b.train), base + "_train.pla");
-    pla::write_pla_file(pla::Pla::from_dataset(b.valid), base + "_valid.pla");
-    pla::write_pla_file(pla::Pla::from_dataset(b.test), base + "_test.pla");
-    std::printf("%s: %zu inputs, 3x%zu rows -> %s_{train,valid,test}.pla\n",
-                b.name.c_str(), b.num_inputs, rows, base.c_str());
+  std::vector<std::string> names;
+  try {
+    names = suite::generate_suite(out_dir, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "generate_benchmarks: %s\n", e.what());
+    return 1;
   }
+  for (const auto& name : names) {
+    std::printf("%s: 3x%zu rows -> %s/%s.{train,valid,test}.pla\n",
+                name.c_str(), options.rows_per_split, out_dir.c_str(),
+                name.c_str());
+  }
+  std::printf("%zu benchmark triples written; try `lsml run %s`\n",
+              names.size(), out_dir.c_str());
   return 0;
 }

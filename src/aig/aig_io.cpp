@@ -8,9 +8,14 @@
 namespace lsml::aig {
 
 void write_aag(const Aig& aig, std::ostream& os) {
-  const std::uint32_t m = aig.num_nodes() - 1;  // max variable index
-  const std::uint32_t i = aig.num_pis();
-  const std::uint32_t a = aig.num_ands();
+  // A default/moved-from Aig can have zero nodes (not even the constant);
+  // num_nodes() - 1 and num_ands() would underflow to 0xFFFFFFFF and emit
+  // garbage. Such an AIG is written as the empty "aag 0 0 0 0 0" module.
+  const bool degenerate = aig.num_nodes() == 0;
+  const std::uint32_t m =
+      degenerate ? 0 : aig.num_nodes() - 1;  // max variable index
+  const std::uint32_t i = degenerate ? 0 : aig.num_pis();
+  const std::uint32_t a = degenerate ? 0 : aig.num_ands();
   os << "aag " << m << ' ' << i << " 0 " << aig.num_outputs() << ' ' << a
      << '\n';
   for (std::uint32_t k = 0; k < i; ++k) {

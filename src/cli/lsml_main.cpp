@@ -1,0 +1,338 @@
+// lsml — command-line driver for the contest over on-disk benchmark
+// suites.
+//
+//   lsml gen <out-dir>    write a contest-format PLA suite from the
+//                         Table I oracles (so `run` works with no data)
+//   lsml ls <suite-dir>   list the benchmark triples a directory provides
+//   lsml run <suite-dir>  run teams/learners over the suite: AIGER
+//                         artifacts + JSON/CSV leaderboard, incremental
+//                         via the content-hash result cache
+//   lsml teams            list contest teams and registered learners
+//
+// Every run is deterministic in (suite contents, entries, seed): thread
+// count never changes results, and a second run over unchanged inputs is
+// served entirely from the cache, byte-identical to the first.
+
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "learn/factory.hpp"
+#include "portfolio/contest.hpp"
+#include "portfolio/team.hpp"
+#include "suite/generate.hpp"
+#include "suite/manifest.hpp"
+#include "suite/runner.hpp"
+
+namespace {
+
+using namespace lsml;
+
+constexpr const char* kUsage =
+    "usage: lsml <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  gen <out-dir>    generate a contest-format PLA suite\n"
+    "      --first N --last N   benchmark id range        [0, 9]\n"
+    "      --rows N             minterms per split        [1000]\n"
+    "      --seed S             oracle sampling seed      [2020]\n"
+    "  ls <suite-dir>   list the benchmark triples of a suite\n"
+    "  run <suite-dir>  contest over a suite directory\n"
+    "      --teams A,B,...      contest teams to run      [1..10]\n"
+    "      --learners X,Y,...   registered learners to add as entries\n"
+    "      --out DIR            artifact directory        [lsml-out]\n"
+    "      --cache DIR          incremental result store  [.lsml-cache]\n"
+    "      --no-cache           disable the result store\n"
+    "      --threads N          workers (0 = hardware)    [0]\n"
+    "      --seed S             contest seed              [2020]\n"
+    "      --scale smoke|fast|full  team grid sizes       [fast]\n"
+    "      -v / -vv             progress on stderr\n"
+    "  teams            list team numbers and registered learner names\n";
+
+int usage_error(const std::string& message) {
+  std::fprintf(stderr, "lsml: %s\n\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text[0] == '-') {
+    return false;  // strtoull would silently wrap negatives around
+  }
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool parse_int(const std::string& text, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < INT_MIN || v > INT_MAX) {
+    return false;  // reject rather than wrap out-of-range values
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> items;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t end = list.find(',', begin);
+    const std::string item =
+        list.substr(begin, end == std::string::npos ? end : end - begin);
+    if (!item.empty()) {
+      items.push_back(item);
+    }
+    if (end == std::string::npos) {
+      break;
+    }
+    begin = end + 1;
+  }
+  return items;
+}
+
+/// Pulls the value of `--flag value`; returns false (after reporting) if
+/// the value is missing.
+bool flag_value(const std::vector<std::string>& args, std::size_t* i,
+                std::string* value) {
+  if (*i + 1 >= args.size()) {
+    std::fprintf(stderr, "lsml: %s needs a value\n", args[*i].c_str());
+    return false;
+  }
+  *value = args[++*i];
+  return true;
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.empty() || args[0][0] == '-') {
+    return usage_error("gen needs an output directory");
+  }
+  const std::string out_dir = args[0];
+  suite::GenerateOptions options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string value;
+    std::uint64_t u = 0;
+    if (args[i] == "--first" || args[i] == "--last") {
+      const bool is_first = args[i] == "--first";
+      int v = 0;
+      if (!flag_value(args, &i, &value) || !parse_int(value, &v)) {
+        return 2;
+      }
+      (is_first ? options.first : options.last) = v;
+    } else if (args[i] == "--rows") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
+        return 2;
+      }
+      options.rows_per_split = u;
+    } else if (args[i] == "--seed") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
+        return 2;
+      }
+      options.seed = u;
+    } else {
+      return usage_error("unknown gen option " + args[i]);
+    }
+  }
+  const std::vector<std::string> names =
+      suite::generate_suite(out_dir, options);
+  std::printf("wrote %zu benchmark triples (%zu minterms/split) to %s\n",
+              names.size(), options.rows_per_split, out_dir.c_str());
+  // Generation never deletes files it did not just write, so point out
+  // leftovers from previous generations — `lsml run` would include them.
+  try {
+    const std::size_t found = suite::discover_suite(out_dir).size();
+    if (found > names.size()) {
+      std::fprintf(stderr,
+                   "lsml: warning: %s holds %zu other triple(s) from "
+                   "previous generations; `lsml run` will include them\n",
+                   out_dir.c_str(), found - names.size());
+    }
+  } catch (const std::exception&) {
+    // A stale, incomplete triple makes discovery throw; `lsml run` will
+    // report it with full context.
+  }
+  return 0;
+}
+
+int cmd_ls(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return usage_error("ls needs a suite directory");
+  }
+  const std::vector<suite::SuiteEntry> entries =
+      suite::discover_suite(args[0]);
+  for (const auto& entry : entries) {
+    const oracle::Benchmark bench = suite::load_benchmark(entry);
+    std::printf("%-12s id=%-3d %3zu inputs  %zu/%zu/%zu rows\n",
+                entry.name.c_str(), entry.id, bench.num_inputs,
+                bench.train.num_rows(), bench.valid.num_rows(),
+                bench.test.num_rows());
+  }
+  std::printf("%zu benchmarks in %s\n", entries.size(), args[0].c_str());
+  return 0;
+}
+
+int cmd_teams() {
+  std::printf("contest teams (lsml run --teams):\n ");
+  for (const int team : portfolio::all_team_numbers()) {
+    std::printf(" %d", team);
+  }
+  std::printf("\nregistered learner factories (lsml run --learners):\n");
+  for (const auto& name : learn::LearnerFactory::registered()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  if (args.empty() || args[0][0] == '-') {
+    return usage_error("run needs a suite directory");
+  }
+  const std::string suite_dir = args[0];
+  suite::RunnerOptions options;
+  options.num_threads = 0;
+  std::vector<int> teams = portfolio::all_team_numbers();
+  std::vector<std::string> learners;
+  core::Scale scale = core::Scale::kFast;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string value;
+    std::uint64_t u = 0;
+    if (args[i] == "--teams") {
+      if (!flag_value(args, &i, &value)) {
+        return 2;
+      }
+      teams.clear();
+      for (const auto& item : split_csv(value)) {
+        int team = 0;
+        if (!parse_int(item, &team)) {
+          return usage_error("bad team number '" + item + "'");
+        }
+        teams.push_back(team);
+      }
+    } else if (args[i] == "--learners") {
+      if (!flag_value(args, &i, &value)) {
+        return 2;
+      }
+      learners = split_csv(value);
+    } else if (args[i] == "--out") {
+      if (!flag_value(args, &i, &options.out_dir)) {
+        return 2;
+      }
+    } else if (args[i] == "--cache") {
+      if (!flag_value(args, &i, &options.cache_dir)) {
+        return 2;
+      }
+    } else if (args[i] == "--no-cache") {
+      options.cache_dir.clear();
+    } else if (args[i] == "--threads") {
+      if (!flag_value(args, &i, &value) ||
+          !parse_int(value, &options.num_threads)) {
+        return 2;
+      }
+      // Same bound threads_from_env enforces for the env-var path.
+      if (options.num_threads < 0 || options.num_threads > 4096) {
+        return usage_error("--threads must be in [0, 4096] (0 = hardware)");
+      }
+    } else if (args[i] == "--seed") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
+        return 2;
+      }
+      options.seed = u;
+    } else if (args[i] == "--scale") {
+      if (!flag_value(args, &i, &value)) {
+        return 2;
+      }
+      if (value == "smoke") {
+        scale = core::Scale::kSmoke;
+      } else if (value == "fast") {
+        scale = core::Scale::kFast;
+      } else if (value == "full") {
+        scale = core::Scale::kFull;
+      } else {
+        return usage_error("bad scale '" + value + "'");
+      }
+    } else if (args[i] == "-v") {
+      options.verbosity = 1;
+    } else if (args[i] == "-vv") {
+      options.verbosity = 2;
+    } else {
+      return usage_error("unknown run option " + args[i]);
+    }
+  }
+
+  portfolio::TeamOptions team_options;
+  team_options.scale = scale;
+  // The scale changes team hyper-parameter grids without changing entry
+  // keys, so it must participate in cache invalidation.
+  options.config_salt = static_cast<std::uint64_t>(scale);
+  std::vector<portfolio::ContestEntry> entries =
+      portfolio::contest_entries(teams, team_options);
+  // Named learners join as extra contestants. Their team ids (100, 101,
+  // ...) depend only on their position in --learners, so reruns of the
+  // same command line reuse the same RNG streams and cache rows.
+  for (std::size_t i = 0; i < learners.size(); ++i) {
+    learn::LearnerFactory factory =
+        learn::LearnerFactory::try_from_registry(learners[i]);
+    if (!factory) {
+      std::fprintf(stderr,
+                   "lsml: no learner named '%s' (see `lsml teams`)\n",
+                   learners[i].c_str());
+      return 1;
+    }
+    entries.push_back({100 + static_cast<int>(i), std::move(factory)});
+  }
+  if (entries.empty()) {
+    return usage_error("nothing to run: --teams and --learners both empty");
+  }
+
+  const suite::RunnerReport report =
+      suite::run_suite_dir(suite_dir, entries, options);
+  std::printf("%s", portfolio::format_leaderboard(report.runs).c_str());
+  std::printf(
+      "\n%zu benchmarks x %zu entries: %d task(s) from cache, %d computed "
+      "in %.0f ms\n",
+      report.benchmarks.size(), entries.size(), report.cache_hits,
+      report.cache_misses, report.elapsed_ms);
+  std::printf("leaderboard: %s\n             %s\n",
+              report.leaderboard_csv_path.c_str(),
+              report.leaderboard_json_path.c_str());
+  std::printf("AIGER artifacts under %s/aig/\n", options.out_dir.c_str());
+  if (!options.cache_dir.empty()) {
+    std::printf("result cache: %s\n", options.cache_dir.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+      args[0] == "-h") {
+    std::printf("%s", kUsage);
+    return args.empty() ? 2 : 0;
+  }
+  const std::string command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "gen") {
+      return cmd_gen(rest);
+    }
+    if (command == "ls") {
+      return cmd_ls(rest);
+    }
+    if (command == "run") {
+      return cmd_run(rest);
+    }
+    if (command == "teams") {
+      return cmd_teams();
+    }
+    return usage_error("unknown command '" + command + "'");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lsml: %s\n", e.what());
+    return 1;
+  }
+}

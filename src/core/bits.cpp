@@ -168,6 +168,23 @@ void BitVec::randomize(Rng& rng, double p) {
   }
 }
 
+std::uint64_t fnv1a(const void* data, std::size_t num_bytes,
+                    std::uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < num_bytes; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 29);
+}
+
 std::uint64_t BitVec::hash() const {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (std::uint64_t w : words_) {

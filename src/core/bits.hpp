@@ -12,6 +12,17 @@
 
 namespace lsml::core {
 
+/// Byte-wise FNV-1a over a buffer; chain buffers by passing the previous
+/// return value as `seed`. Used for content digests (dataset hashes,
+/// benchmark-name ids) whose values key on-disk caches — changing this
+/// function requires bumping suite::kResultCacheSchemaVersion.
+std::uint64_t fnv1a(const void* data, std::size_t num_bytes,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// SplitMix64-style combine of `v` into running digest `h` (order
+/// matters). Same cache-key caveat as fnv1a above.
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v);
+
 /// Fixed-length vector of bits packed into 64-bit words.
 ///
 /// Bits beyond size() inside the last word are kept at zero (an invariant

@@ -1,5 +1,6 @@
 #include "core/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -15,8 +16,23 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     num_threads = default_num_threads();
   }
   workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  try {
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread spawning can fail mid-loop (EAGAIN under resource pressure);
+    // join what started so unwinding never destroys a joinable thread
+    // (std::terminate) and the failure stays a catchable exception.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutting_down_ = true;
+    }
+    work_available_.notify_all();
+    for (auto& worker : workers_) {
+      worker.join();
+    }
+    throw;
   }
 }
 
@@ -103,6 +119,22 @@ void ThreadPool::parallel_for(std::size_t count,
   if (have_error.load()) {
     std::rethrow_exception(error);
   }
+}
+
+void ThreadPool::run_indexed(std::size_t count, int num_threads_option,
+                             const std::function<void(std::size_t)>& body) {
+  const std::size_t effective =
+      num_threads_option == 0
+          ? default_num_threads()
+          : static_cast<std::size_t>(std::max(1, num_threads_option));
+  if (effective == 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+  ThreadPool pool(effective);
+  pool.parallel_for(count, body);
 }
 
 }  // namespace lsml::core

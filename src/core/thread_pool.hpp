@@ -64,6 +64,14 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
+  /// The contest engines' shared thread-count convention in one place:
+  /// resolves `num_threads_option` (1 or negative = serial in the calling
+  /// thread, 0 = one worker per hardware thread, N > 1 = exactly N
+  /// workers) and runs body(i) for i in [0, count) accordingly. Trivial
+  /// workloads (count <= 1) always run inline. Never changes results.
+  static void run_indexed(std::size_t count, int num_threads_option,
+                          const std::function<void(std::size_t)>& body);
+
  private:
   void worker_loop();
 

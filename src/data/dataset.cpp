@@ -43,6 +43,19 @@ std::uint64_t Dataset::row_hash(std::size_t r) const {
   return h;
 }
 
+std::uint64_t Dataset::content_hash() const {
+  // FNV-1a over the shape and packed words. The tail words of every
+  // BitVec are zero by invariant, so equal contents hash equal.
+  const std::size_t num_cols = columns_.size();
+  std::uint64_t h = core::fnv1a(&num_rows_, sizeof(num_rows_));
+  h = core::fnv1a(&num_cols, sizeof(num_cols), h);
+  for (const auto& col : columns_) {
+    h = core::fnv1a(col.words(), col.num_words() * sizeof(std::uint64_t), h);
+  }
+  return core::fnv1a(labels_.words(),
+                     labels_.num_words() * sizeof(std::uint64_t), h);
+}
+
 double Dataset::label_fraction() const {
   if (num_rows_ == 0) {
     return 0.0;

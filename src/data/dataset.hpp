@@ -51,6 +51,11 @@ class Dataset {
   [[nodiscard]] std::vector<std::uint8_t> row(std::size_t r) const;
   [[nodiscard]] std::uint64_t row_hash(std::size_t r) const;
 
+  /// Order-sensitive 64-bit digest of the full contents (shape, every
+  /// input column, labels). Equal datasets hash equal across processes;
+  /// used to key on-disk result caches.
+  [[nodiscard]] std::uint64_t content_hash() const;
+
   /// Fraction of rows with label 1.
   [[nodiscard]] double label_fraction() const;
 

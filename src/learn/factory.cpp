@@ -67,6 +67,16 @@ LearnerFactory LearnerFactory::from_registry(const std::string& key) {
   return LearnerFactory(key, it->second);
 }
 
+LearnerFactory LearnerFactory::try_from_registry(const std::string& key) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.factories.find(key);
+  if (it == r.factories.end()) {
+    return {};
+  }
+  return LearnerFactory(key, it->second);
+}
+
 std::vector<std::string> LearnerFactory::registered() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);

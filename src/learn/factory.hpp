@@ -42,6 +42,10 @@ class LearnerFactory {
   /// Looks up a registered factory; throws std::out_of_range if absent.
   static LearnerFactory from_registry(const std::string& key);
 
+  /// Non-throwing lookup: returns an empty factory (operator bool false)
+  /// when `key` is not registered. Lets drivers report bad names cleanly.
+  static LearnerFactory try_from_registry(const std::string& key);
+
   /// Sorted names of every registered factory (built-ins included).
   static std::vector<std::string> registered();
 

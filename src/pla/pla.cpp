@@ -15,6 +15,12 @@ data::Dataset Pla::to_dataset() const {
     for (std::size_t v = 0; v < num_inputs; ++v) {
       ds.set_input(r, v, cubes[r].value.get(v));
     }
+    if (outputs[r] != '0' && outputs[r] != '1') {
+      throw std::runtime_error(
+          std::string("Pla::to_dataset: output '") + outputs[r] +
+          "' is not a binary label (don't-care outputs cannot become "
+          "dataset labels)");
+    }
     ds.set_label(r, outputs[r] == '1');
   }
   return ds;
@@ -52,9 +58,21 @@ Pla read_pla(std::istream& is) {
       continue;
     }
     if (tok == ".i") {
-      ls >> p.num_inputs;
+      if (!(ls >> p.num_inputs) || p.num_inputs == 0) {
+        throw std::runtime_error("read_pla: bad .i value");
+      }
       saw_inputs = true;
-    } else if (tok == ".o" || tok == ".p" || tok == ".ilb" || tok == ".ob" ||
+    } else if (tok == ".o") {
+      std::size_t num_outputs = 0;
+      if (!(ls >> num_outputs)) {
+        throw std::runtime_error("read_pla: bad .o value");
+      }
+      if (num_outputs != 1) {
+        throw std::runtime_error(
+            "read_pla: only single-output PLAs are supported, got .o " +
+            std::to_string(num_outputs));
+      }
+    } else if (tok == ".p" || tok == ".ilb" || tok == ".ob" ||
                tok == ".type") {
       continue;  // header lines we accept but do not need
     } else if (tok == ".e") {
@@ -71,6 +89,21 @@ Pla read_pla(std::istream& is) {
       std::string out;
       if (!(ls >> out) || out.empty()) {
         throw std::runtime_error("read_pla: missing output part");
+      }
+      if (out.size() != 1) {
+        throw std::runtime_error(
+            "read_pla: expected exactly one output column, got '" + out +
+            "' (multi-output PLAs are not supported)");
+      }
+      if (out[0] != '0' && out[0] != '1' && out[0] != '-' && out[0] != '~') {
+        throw std::runtime_error("read_pla: bad output character '" + out +
+                                 "'");
+      }
+      std::string extra;
+      if (ls >> extra && extra[0] != '#') {
+        throw std::runtime_error(
+            "read_pla: trailing columns after the output part: '" + extra +
+            "'");
       }
       sop::Cube cube(p.num_inputs);
       for (std::size_t v = 0; v < p.num_inputs; ++v) {

@@ -15,9 +15,10 @@ namespace lsml::pla {
 struct Pla {
   std::size_t num_inputs = 0;
   sop::Cover cubes;            ///< input parts; `-` becomes an unbound var
-  std::vector<char> outputs;   ///< '0' or '1' per cube
+  std::vector<char> outputs;   ///< '0', '1', or don't-care ('-'/'~') per cube
 
-  /// Converts to a dataset; requires every cube to be a full minterm.
+  /// Converts to a dataset; requires every cube to be a full minterm and
+  /// every output to be a definite '0'/'1' (throws on don't-care outputs).
   [[nodiscard]] data::Dataset to_dataset() const;
 
   /// PLA with one fully-specified line per dataset row (contest encoding).

@@ -50,10 +50,16 @@ double TeamRun::overfit() const {
   });
 }
 
+core::Rng contest_rng(std::uint64_t seed, int team_number, int benchmark_id) {
+  const core::Rng root(seed);
+  return root.split(static_cast<std::uint64_t>(team_number),
+                    static_cast<std::uint64_t>(benchmark_id));
+}
+
 BenchmarkResult evaluate_on(learn::Learner& learner,
-                            const oracle::Benchmark& bench, core::Rng& rng) {
-  const learn::TrainedModel model =
-      learner.fit(bench.train, bench.valid, rng);
+                            const oracle::Benchmark& bench, core::Rng& rng,
+                            aig::Aig* circuit_out) {
+  learn::TrainedModel model = learner.fit(bench.train, bench.valid, rng);
   BenchmarkResult result;
   result.benchmark_id = bench.id;
   result.benchmark = bench.name;
@@ -63,19 +69,18 @@ BenchmarkResult evaluate_on(learn::Learner& learner,
   result.test_acc = learn::circuit_accuracy(model.circuit, bench.test);
   result.num_ands = model.circuit.num_ands();
   result.num_levels = model.circuit.num_levels();
+  if (circuit_out != nullptr) {
+    *circuit_out = std::move(model.circuit);
+  }
   return result;
 }
 
 namespace {
 
-/// The one seeding rule of the engine: every (team, benchmark) task draws
-/// from root.split(team, benchmark_id), never from a sequentially advanced
-/// generator. Serial and parallel paths both call this.
+/// Serial and parallel paths both derive task randomness from contest_rng.
 core::Rng task_rng(std::uint64_t seed, int team_number,
                    const oracle::Benchmark& bench) {
-  const core::Rng root(seed);
-  return root.split(static_cast<std::uint64_t>(team_number),
-                    static_cast<std::uint64_t>(bench.id));
+  return contest_rng(seed, team_number, bench.id);
 }
 
 /// One flattened (entry, benchmark) work item of a contest run.
@@ -149,18 +154,7 @@ std::vector<TeamRun> run_contest(const std::vector<ContestEntry>& entries,
     }
   };
 
-  const std::size_t effective_threads =
-      options.num_threads == 0
-          ? core::ThreadPool::default_num_threads()
-          : static_cast<std::size_t>(std::max(1, options.num_threads));
-  if (effective_threads == 1) {
-    for (std::size_t t = 0; t < tasks.size(); ++t) {
-      run_task(t);
-    }
-  } else {
-    core::ThreadPool pool(effective_threads);
-    pool.parallel_for(tasks.size(), run_task);
-  }
+  core::ThreadPool::run_indexed(tasks.size(), options.num_threads, run_task);
 
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(

@@ -67,9 +67,18 @@ struct TeamRun {
   [[nodiscard]] double overfit() const;
 };
 
-/// Evaluates one learner on one benchmark.
+/// The engine's one seeding rule: every (team, benchmark) task draws from
+/// root(seed).split(team, benchmark_id), never from a sequentially advanced
+/// generator. Exposed so external drivers (the disk-suite runner, benches)
+/// can produce tasks bit-identical to run_contest's.
+core::Rng contest_rng(std::uint64_t seed, int team_number, int benchmark_id);
+
+/// Evaluates one learner on one benchmark. When `circuit_out` is non-null
+/// it receives the synthesized AIG (the contest deliverable), so callers
+/// can export AIGER artifacts without re-running the learner.
 BenchmarkResult evaluate_on(learn::Learner& learner,
-                            const oracle::Benchmark& bench, core::Rng& rng);
+                            const oracle::Benchmark& bench, core::Rng& rng,
+                            aig::Aig* circuit_out = nullptr);
 
 /// Runs a learner over the whole suite, serially. The learner instance is
 /// reused across benchmarks, but each benchmark draws from its own

@@ -1,0 +1,50 @@
+#include "suite/generate.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "pla/pla.hpp"
+
+namespace fs = std::filesystem;
+
+namespace lsml::suite {
+
+void write_benchmark_files(const oracle::Benchmark& bench,
+                           const std::string& dir) {
+  fs::create_directories(dir);
+  const std::string base = (fs::path(dir) / bench.name).string();
+  pla::write_pla_file(pla::Pla::from_dataset(bench.train),
+                      base + ".train.pla");
+  pla::write_pla_file(pla::Pla::from_dataset(bench.valid),
+                      base + ".valid.pla");
+  pla::write_pla_file(pla::Pla::from_dataset(bench.test), base + ".test.pla");
+}
+
+std::vector<std::string> generate_suite(const std::string& dir,
+                                        const GenerateOptions& options) {
+  if (options.first < 0 || options.last >= 100 ||
+      options.first > options.last) {
+    throw std::invalid_argument(
+        "generate_suite: benchmark id range [" +
+        std::to_string(options.first) + ", " + std::to_string(options.last) +
+        "] must lie within the contest's ex00..ex99");
+  }
+  if (options.rows_per_split == 0) {
+    throw std::invalid_argument(
+        "generate_suite: rows_per_split must be >= 1 (a 0-row PLA is "
+        "unreadable)");
+  }
+  oracle::SuiteOptions suite_options;
+  suite_options.rows_per_split = options.rows_per_split;
+  suite_options.seed = options.seed;
+  std::vector<std::string> names;
+  for (int id = options.first; id <= options.last; ++id) {
+    const oracle::Benchmark bench = oracle::make_benchmark(id, suite_options);
+    write_benchmark_files(bench, dir);
+    names.push_back(bench.name);
+  }
+  return names;
+}
+
+}  // namespace lsml::suite

@@ -1,0 +1,32 @@
+#pragma once
+// Exports oracle benchmarks as contest-format PLA suites on disk
+// (<name>.train.pla / <name>.valid.pla / <name>.test.pla), the layout
+// discover_suite() consumes — so the CLI is exercisable end-to-end
+// without external data.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oracle/suite.hpp"
+
+namespace lsml::suite {
+
+struct GenerateOptions {
+  int first = 0;                      ///< first benchmark id (ex<first>)
+  int last = 9;                       ///< last benchmark id, inclusive
+  std::size_t rows_per_split = 1000;  ///< minterms per train/valid/test
+  std::uint64_t seed = 2020;          ///< oracle sampling seed
+};
+
+/// Writes one PLA triple for `bench` into `dir` (created if needed).
+void write_benchmark_files(const oracle::Benchmark& bench,
+                           const std::string& dir);
+
+/// Generates benchmarks [first, last] from the Table I oracles and writes
+/// one triple each; returns the benchmark names written, in id order.
+std::vector<std::string> generate_suite(const std::string& dir,
+                                        const GenerateOptions& options);
+
+}  // namespace lsml::suite

@@ -1,0 +1,140 @@
+#include "suite/manifest.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/bits.hpp"
+#include "pla/pla.hpp"
+
+namespace fs = std::filesystem;
+
+namespace lsml::suite {
+namespace {
+
+/// Fills name/separator if `filename` is `<name><sep>train.pla`.
+bool match_train_file(const std::string& filename, std::string* name,
+                      char* sep) {
+  for (const char s : {'.', '_'}) {
+    const std::string suffix = std::string(1, s) + "train.pla";
+    if (filename.size() > suffix.size() &&
+        filename.compare(filename.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+      *name = filename.substr(0, filename.size() - suffix.size());
+      *sep = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Numeric suffix of a benchmark name ("ex07" -> 7), or -1 if absent.
+int trailing_number(const std::string& name) {
+  std::size_t pos = name.size();
+  while (pos > 0 && std::isdigit(static_cast<unsigned char>(name[pos - 1]))) {
+    --pos;
+  }
+  if (pos == name.size() || name.size() - pos > 8) {
+    return -1;
+  }
+  return std::stoi(name.substr(pos));
+}
+
+/// Directory-independent fallback id: FNV-1a of the name, truncated to a
+/// non-negative int. Adding or removing unrelated triples never shifts it,
+/// so RNG streams and cache keys stay put.
+int name_hash_id(const std::string& name) {
+  return static_cast<int>(core::fnv1a(name.data(), name.size()) &
+                          0x3fffffff);
+}
+
+data::Dataset load_split(const std::string& path) {
+  try {
+    return pla::read_pla_file(path).to_dataset();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+std::vector<SuiteEntry> discover_suite(const std::string& dir) {
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error("discover_suite: not a directory: " + dir);
+  }
+  std::vector<SuiteEntry> entries;
+  std::unordered_set<std::string> seen;
+  for (const auto& de : fs::directory_iterator(dir)) {
+    if (!de.is_regular_file()) {
+      continue;
+    }
+    std::string name;
+    char sep = '.';
+    if (!match_train_file(de.path().filename().string(), &name, &sep)) {
+      continue;
+    }
+    if (!seen.insert(name).second) {
+      throw std::runtime_error("discover_suite: benchmark '" + name +
+                               "' appears twice in " + dir);
+    }
+    SuiteEntry entry;
+    entry.name = name;
+    entry.train_path = de.path().string();
+    const std::string base =
+        (de.path().parent_path() / (name + sep)).string();
+    entry.valid_path = base + "valid.pla";
+    entry.test_path = base + "test.pla";
+    for (const std::string* path : {&entry.valid_path, &entry.test_path}) {
+      if (!fs::is_regular_file(*path)) {
+        throw std::runtime_error("discover_suite: benchmark '" + name +
+                                 "' is missing " + *path);
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SuiteEntry& a, const SuiteEntry& b) {
+              return a.name < b.name;
+            });
+  // Ids are a pure function of each name alone, so a benchmark's RNG
+  // stream and cache rows never shift when unrelated triples come or go:
+  // numeric suffix when present ("ex07" -> 7), else a name hash. A suffix
+  // collision ("a1"/"b1") merely shares an RNG stream; results stay
+  // deterministic and per-benchmark.
+  for (auto& entry : entries) {
+    const int n = trailing_number(entry.name);
+    entry.id = n >= 0 ? n : name_hash_id(entry.name);
+  }
+  return entries;
+}
+
+oracle::Benchmark load_benchmark(const SuiteEntry& entry) {
+  oracle::Benchmark bench;
+  bench.id = entry.id;
+  bench.name = entry.name;
+  bench.category = "disk";
+  bench.train = load_split(entry.train_path);
+  bench.valid = load_split(entry.valid_path);
+  bench.test = load_split(entry.test_path);
+  if (bench.valid.num_inputs() != bench.train.num_inputs() ||
+      bench.test.num_inputs() != bench.train.num_inputs()) {
+    throw std::runtime_error("load_benchmark: '" + entry.name +
+                             "': train/valid/test disagree on input count");
+  }
+  bench.num_inputs = bench.train.num_inputs();
+  return bench;
+}
+
+std::vector<oracle::Benchmark> load_suite(const std::string& dir) {
+  const std::vector<SuiteEntry> entries = discover_suite(dir);
+  std::vector<oracle::Benchmark> suite;
+  suite.reserve(entries.size());
+  for (const auto& entry : entries) {
+    suite.push_back(load_benchmark(entry));
+  }
+  return suite;
+}
+
+}  // namespace lsml::suite

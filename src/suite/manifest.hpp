@@ -1,0 +1,44 @@
+#pragma once
+// On-disk benchmark suite discovery (manifests).
+//
+// A suite directory holds one PLA triple per benchmark, exactly like the
+// released IWLS 2020 contest distribution:
+//   <name>.train.pla  <name>.valid.pla  <name>.test.pla
+// (the underscore spelling `<name>_train.pla` of older exporters is
+// accepted too). discover_suite() finds the triples; load_suite() reads
+// them through the hardened PLA reader into contest benchmarks.
+
+#include <string>
+#include <vector>
+
+#include "oracle/suite.hpp"
+
+namespace lsml::suite {
+
+/// One discovered train/valid/test triple.
+struct SuiteEntry {
+  std::string name;  ///< file stem, e.g. "ex07"
+  /// Drives Rng::split(team, id). A pure function of `name` alone — the
+  /// numeric suffix when present ("ex07" -> 7, so ex00..ex99 reproduces
+  /// the in-memory contest seeding), else a stable name hash — so a
+  /// benchmark's RNG stream never depends on what else is in the
+  /// directory.
+  int id = 0;
+  std::string train_path;
+  std::string valid_path;
+  std::string test_path;
+};
+
+/// Scans `dir` (non-recursive) for PLA triples and returns them sorted by
+/// name. Throws if `dir` is not a directory, a triple is incomplete, or
+/// two triples share a name.
+std::vector<SuiteEntry> discover_suite(const std::string& dir);
+
+/// Loads one triple; validates that the three splits agree on input count.
+/// Parse errors are rethrown with the offending path prepended.
+oracle::Benchmark load_benchmark(const SuiteEntry& entry);
+
+/// Discovers and loads every benchmark of `dir`.
+std::vector<oracle::Benchmark> load_suite(const std::string& dir);
+
+}  // namespace lsml::suite

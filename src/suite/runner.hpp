@@ -1,0 +1,65 @@
+#pragma once
+// Disk-backed contest runner: the engine behind `lsml run`.
+//
+// Loads a suite directory (one PLA triple per benchmark) and runs the
+// requested contest entries over it, sharded across core::ThreadPool with
+// the exact seeding rule of portfolio::run_contest — so a disk run of the
+// generated suite is bit-identical to the in-memory contest at any thread
+// count. Completed tasks are memoized in a ResultCache keyed by content
+// hash: a second run over unchanged inputs recomputes nothing and rewrites
+// byte-identical artifacts. Outputs:
+//   <out>/aig/<team_key>/<benchmark>.aag   synthesized circuits (AIGER)
+//   <out>/leaderboard.csv                  per-(team, benchmark) rows
+//   <out>/leaderboard.json                 Table III columns per team
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "portfolio/contest.hpp"
+#include "suite/result_cache.hpp"
+
+namespace lsml::suite {
+
+struct RunnerOptions {
+  std::string out_dir = "lsml-out";
+  /// Incremental store location; empty disables caching entirely.
+  std::string cache_dir = ".lsml-cache";
+  std::uint64_t seed = 2020;  ///< contest seed (IWLS vintage default)
+  /// Mixed into every cache key. Must digest any entry configuration the
+  /// factory name does not capture (e.g. the team grid scale), so results
+  /// computed under one configuration are never served under another.
+  std::uint64_t config_salt = 0;
+  /// ContestOptions convention: 1/negative serial, 0 hardware threads.
+  int num_threads = 0;
+  int verbosity = 0;
+  /// Skip AIGER/leaderboard files (tests and benches that only want runs).
+  bool write_artifacts = true;
+};
+
+struct RunnerReport {
+  std::vector<portfolio::TeamRun> runs;  ///< ordered as `entries`
+  std::vector<std::string> benchmarks;   ///< suite order (sorted by name)
+  int cache_hits = 0;
+  int cache_misses = 0;
+  double elapsed_ms = 0.0;
+  std::string leaderboard_csv_path;  ///< empty unless artifacts written
+  std::string leaderboard_json_path;
+};
+
+/// Directory key an entry's artifacts and cache rows are filed under: the
+/// factory's registered name when set, else "team<N>".
+std::string entry_key(const portfolio::ContestEntry& entry);
+
+/// Runs `entries` over an already-loaded suite (tests and bench_common
+/// call this directly; `lsml run` goes through run_suite_dir).
+RunnerReport run_contest_on(const std::vector<portfolio::ContestEntry>& entries,
+                            const std::vector<oracle::Benchmark>& suite,
+                            const RunnerOptions& options);
+
+/// Discovers + loads `suite_dir`, then runs `entries` over it.
+RunnerReport run_suite_dir(const std::string& suite_dir,
+                           const std::vector<portfolio::ContestEntry>& entries,
+                           const RunnerOptions& options);
+
+}  // namespace lsml::suite

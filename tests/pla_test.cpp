@@ -76,6 +76,67 @@ TEST(Pla, FromCoverWritesOnsetCubes) {
   EXPECT_NE(os.str().find("1-- 1"), std::string::npos);
 }
 
+TEST(Pla, AcceptsSingleOutputHeader) {
+  std::istringstream is(".i 2\n.o 1\n01 1\n.e\n");
+  EXPECT_EQ(read_pla(is).cubes.size(), 1u);
+}
+
+TEST(Pla, RejectsMultiOutputHeader) {
+  std::istringstream is(".i 2\n.o 2\n01 10\n.e\n");
+  EXPECT_THROW(read_pla(is), std::runtime_error)
+      << "multi-output PLAs must be rejected, not silently truncated";
+}
+
+TEST(Pla, RejectsMultipleOutputColumns) {
+  // No .o header, but the cube line itself carries two output bits.
+  std::istringstream is(".i 2\n01 10\n.e\n");
+  EXPECT_THROW(read_pla(is), std::runtime_error);
+}
+
+TEST(Pla, RejectsTrailingColumns) {
+  std::istringstream is(".i 2\n01 1 1\n.e\n");
+  EXPECT_THROW(read_pla(is), std::runtime_error);
+}
+
+TEST(Pla, RejectsBadOutputCharacter) {
+  std::istringstream is(".i 2\n01 x\n.e\n");
+  EXPECT_THROW(read_pla(is), std::runtime_error);
+}
+
+TEST(Pla, DontCareOutputParsesButCannotBecomeLabel) {
+  std::istringstream is(".i 2\n.o 1\n01 -\n10 ~\n.e\n");
+  const Pla p = read_pla(is);
+  ASSERT_EQ(p.outputs.size(), 2u);
+  EXPECT_EQ(p.outputs[0], '-');
+  EXPECT_THROW(p.to_dataset(), std::runtime_error)
+      << "don't-care outputs must not silently become label 0";
+}
+
+TEST(Pla, RoundTripProperty) {
+  // write -> read -> to_dataset is the identity on contest-style datasets
+  // of any shape.
+  for (int seed = 0; seed < 8; ++seed) {
+    core::Rng rng(seed);
+    const std::size_t inputs = 1 + rng.below(24);
+    const std::size_t rows = 1 + rng.below(120);
+    data::Dataset ds(inputs, rows);
+    for (std::size_t c = 0; c < inputs; ++c) {
+      ds.column(c).randomize(rng);
+    }
+    ds.labels().randomize(rng);
+    std::stringstream ss;
+    write_pla(Pla::from_dataset(ds), ss);
+    const data::Dataset back = read_pla(ss).to_dataset();
+    ASSERT_EQ(back.num_inputs(), ds.num_inputs()) << "seed " << seed;
+    ASSERT_EQ(back.num_rows(), ds.num_rows()) << "seed " << seed;
+    EXPECT_EQ(back.labels(), ds.labels()) << "seed " << seed;
+    for (std::size_t c = 0; c < inputs; ++c) {
+      EXPECT_EQ(back.column(c), ds.column(c)) << "seed " << seed;
+    }
+    EXPECT_EQ(back.content_hash(), ds.content_hash()) << "seed " << seed;
+  }
+}
+
 TEST(Pla, RejectsMalformedInput) {
   {
     std::istringstream is("10 1\n");  // cube before .i
