@@ -1,0 +1,88 @@
+// Pass-manager script comparison: size / depth / runtime of each preset
+// (plus the raw seed-era `fast` round) over a mixed pool of generated
+// benchmark circuits — random logic cones of every flavor and raw
+// decision-tree / forest lowerings from the oracle suite (the circuit
+// shapes the contest actually optimizes). Rides the bench_common
+// scaffolding: LSML_SCALE controls the pool size.
+
+#include <cstdio>
+#include <vector>
+
+#include "aig/aig_random.hpp"
+#include "bench_common.hpp"
+#include "learn/dt.hpp"
+#include "learn/forest.hpp"
+#include "synth/pass_manager.hpp"
+
+int main() {
+  using namespace lsml;
+  const auto cfg = bench::announce("synth scripts: size/depth/runtime");
+  const bool fast = cfg.scale != core::Scale::kFull;
+
+  // Circuit pool. Cones substitute for the arbitrary-logic benchmarks;
+  // DT/RF lowerings are what the learners actually hand the pipeline.
+  std::vector<aig::Aig> pool;
+  {
+    core::Rng rng(2020);
+    for (const auto flavor :
+         {aig::ConeFlavor::kRandom, aig::ConeFlavor::kXorRich,
+          aig::ConeFlavor::kArith}) {
+      for (std::uint32_t ands : fast ? std::vector<std::uint32_t>{200, 600}
+                                     : std::vector<std::uint32_t>{200, 600,
+                                                                  2000}) {
+        aig::ConeOptions cone;
+        cone.num_inputs = 16;
+        cone.num_ands = ands;
+        cone.flavor = flavor;
+        pool.push_back(aig::random_cone(cone, rng));
+      }
+    }
+    oracle::SuiteOptions so;
+    so.rows_per_split = fast ? 400 : cfg.train_rows;
+    for (const int id : {30, 75}) {
+      const oracle::Benchmark b = oracle::make_benchmark(id, so);
+      core::Rng fit_rng(7 + id);
+      learn::DtOptions dt;
+      const auto tree = learn::DecisionTree::fit(b.train, dt, fit_rng);
+      pool.push_back(tree.to_aig(b.num_inputs));
+      learn::ForestOptions fo;
+      fo.num_trees = fast ? 5 : 15;
+      const auto rf = learn::RandomForest::fit(b.train, fo, fit_rng);
+      pool.push_back(rf.to_aig(b.num_inputs));
+    }
+  }
+  double raw_ands = 0.0;
+  for (const auto& g : pool) {
+    raw_ands += g.num_ands();
+  }
+  std::printf("%zu circuits, avg %.0f raw AND gates\n\n", pool.size(),
+              raw_ands / static_cast<double>(pool.size()));
+
+  std::printf("%-14s | %9s %9s | %7s | %9s | %6s\n", "script", "avg_ands",
+              "saved", "levels", "passes", "ms");
+  for (const std::string& name : synth::Script::preset_names()) {
+    const synth::Script script = synth::Script::preset(name);
+    synth::SynthOptions options;  // contest cap, 3 rounds
+    const synth::PassManager manager(options);
+    double ands = 0.0;
+    double saved = 0.0;
+    double levels = 0.0;
+    double ms = 0.0;
+    std::size_t passes = 0;
+    for (const auto& g : pool) {
+      const synth::SynthResult r = manager.run(g, script);
+      ands += r.circuit.num_ands();
+      saved += static_cast<double>(r.ands_in()) -
+               static_cast<double>(r.circuit.num_ands());
+      levels += r.circuit.num_levels();
+      ms += r.total_ms();
+      passes += r.trace.size();
+    }
+    const auto n = static_cast<double>(pool.size());
+    std::printf("%-14s | %9.1f %9.1f | %7.1f | %9.1f | %6.0f\n",
+                name.c_str(), ands / n, saved / n, levels / n,
+                static_cast<double>(passes) / n, ms);
+  }
+  std::printf("\n(per-script totals; LSML_SCALE=full grows the pool)\n");
+  return 0;
+}

@@ -154,6 +154,22 @@ std::vector<core::BitVec> Aig::simulate(
   return out;
 }
 
+std::uint64_t Aig::content_hash() const {
+  // FNV-1a over the structure. Node ids are assigned in topological order,
+  // so structurally identical circuits built the same way hash equal.
+  std::uint64_t h = core::fnv1a(&num_pis_, sizeof(num_pis_));
+  const std::size_t num_nodes = nodes_.size();
+  h = core::fnv1a(&num_nodes, sizeof(num_nodes), h);
+  for (std::size_t v = num_pis_ + 1; v < nodes_.size(); ++v) {
+    const Lit fanins[2] = {nodes_[v].fanin0, nodes_[v].fanin1};
+    h = core::fnv1a(fanins, sizeof(fanins), h);
+  }
+  if (!outputs_.empty()) {
+    h = core::fnv1a(outputs_.data(), outputs_.size() * sizeof(Lit), h);
+  }
+  return h;
+}
+
 Aig Aig::cleanup() const {
   std::vector<std::uint8_t> used(nodes_.size(), 0);
   // Mark cones of all outputs (reverse topological sweep).

@@ -102,6 +102,13 @@ class Aig {
   [[nodiscard]] std::vector<core::BitVec> simulate_nodes(
       const std::vector<const core::BitVec*>& pi_values) const;
 
+  /// Structural content digest (PI count, node fanins, outputs), in the
+  /// style of data::Dataset::content_hash: equal structures hash equal
+  /// across processes. Keys the synth::PassManager memo and participates
+  /// in on-disk cache keys, so changing it requires bumping
+  /// suite::kResultCacheSchemaVersion.
+  [[nodiscard]] std::uint64_t content_hash() const;
+
   /// Returns a compacted copy containing only the cone of the outputs.
   /// The PI count is preserved (PIs are never removed).
   [[nodiscard]] Aig cleanup() const;

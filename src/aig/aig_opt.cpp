@@ -99,10 +99,16 @@ class Balancer {
 
 // ---------------------------------------------------------------- rewrite
 
+/// Largest cut the rewriter handles: 6 leaves fit a 64-bit truth table.
+constexpr int kMaxCutSize = 6;
+
+/// Projection of leaf 0, padded to kMaxCutSize variables.
+constexpr std::uint64_t kLeaf0Projection = 0xaaaaaaaaaaaaaaaaULL;
+
 struct Cut {
-  std::array<std::uint32_t, 4> leaves{};  // sorted variable ids
+  std::array<std::uint32_t, kMaxCutSize> leaves{};  // sorted variable ids
   int num_leaves = 0;
-  std::uint16_t tt = 0;  // truth table over the leaves
+  std::uint64_t tt = 0;  // truth table over the leaves
 
   bool operator==(const Cut& o) const {
     return num_leaves == o.num_leaves && leaves == o.leaves && tt == o.tt;
@@ -110,8 +116,8 @@ struct Cut {
 };
 
 // Expands a truth table over `cut` leaves to one over `merged` leaves.
-std::uint16_t expand_tt(std::uint16_t tt, const Cut& cut, const Cut& merged) {
-  std::uint16_t result = 0;
+std::uint64_t expand_tt(std::uint64_t tt, const Cut& cut, const Cut& merged) {
+  std::uint64_t result = 0;
   for (int m = 0; m < (1 << merged.num_leaves); ++m) {
     int sub = 0;
     for (int i = 0; i < cut.num_leaves; ++i) {
@@ -124,8 +130,8 @@ std::uint16_t expand_tt(std::uint16_t tt, const Cut& cut, const Cut& merged) {
         sub |= 1 << i;
       }
     }
-    if (tt & (1 << sub)) {
-      result |= static_cast<std::uint16_t>(1u << m);
+    if (tt & (1ULL << sub)) {
+      result |= 1ULL << m;
     }
   }
   return result;
@@ -154,12 +160,11 @@ bool merge_cuts(const Cut& a, const Cut& b, int max_size, Cut* out) {
   return true;
 }
 
-const std::uint16_t kFull = 0xffff;
-
 class Rewriter {
  public:
   Rewriter(const Aig& in, int cut_size, int cuts_per_node)
-      : in_(in), cut_size_(cut_size), cuts_per_node_(cuts_per_node),
+      : in_(in), cut_size_(std::clamp(cut_size, 2, kMaxCutSize)),
+        cuts_per_node_(std::max(cuts_per_node, 1)),
         refs_(in.fanout_counts()) {}
 
   Aig run() {
@@ -175,7 +180,7 @@ class Rewriter {
       Cut trivial;
       trivial.num_leaves = 1;
       trivial.leaves[0] = v;
-      trivial.tt = 0xaaaa;  // projection of leaf 0, padded to 4 vars
+      trivial.tt = kLeaf0Projection;
       if (!in_.is_and(v)) {
         cuts_[v] = {trivial};
         continue;
@@ -188,16 +193,15 @@ class Rewriter {
           if (!merge_cuts(ca, cb, cut_size_, &merged)) {
             continue;
           }
-          std::uint16_t ta = expand_tt(ca.tt, ca, merged);
-          std::uint16_t tb = expand_tt(cb.tt, cb, merged);
+          std::uint64_t ta = expand_tt(ca.tt, ca, merged);
+          std::uint64_t tb = expand_tt(cb.tt, cb, merged);
           if (lit_compl(n.fanin0)) {
-            ta = static_cast<std::uint16_t>(~ta);
+            ta = ~ta;
           }
           if (lit_compl(n.fanin1)) {
-            tb = static_cast<std::uint16_t>(~tb);
+            tb = ~tb;
           }
-          merged.tt = mask_tt(static_cast<std::uint16_t>(ta & tb),
-                              merged.num_leaves);
+          merged.tt = mask_tt(ta & tb, merged.num_leaves);
           if (std::find(result.begin(), result.end(), merged) ==
               result.end()) {
             result.push_back(merged);
@@ -214,16 +218,15 @@ class Rewriter {
     }
   }
 
-  static std::uint16_t mask_tt(std::uint16_t tt, int vars) {
-    if (vars >= 4) {
+  static std::uint64_t mask_tt(std::uint64_t tt, int vars) {
+    if (vars >= kMaxCutSize) {
       return tt;
     }
     const int bits = 1 << vars;
-    // Replicate the low 2^vars bits to fill 16 (keeps expand_tt simple).
-    std::uint16_t low = static_cast<std::uint16_t>(tt & ((1u << bits) - 1));
-    std::uint16_t out = low;
-    for (int b = bits; b < 16; b <<= 1) {
-      out = static_cast<std::uint16_t>(out | (out << b));
+    // Replicate the low 2^vars bits to fill 64 (keeps expand_tt simple).
+    std::uint64_t out = tt & ((1ULL << bits) - 1);
+    for (int b = bits; b < 64; b <<= 1) {
+      out |= out << b;
     }
     return out;
   }
@@ -297,7 +300,7 @@ class Rewriter {
   tt::TruthTable cut_tt(const Cut& cut) const {
     tt::TruthTable f(cut.num_leaves);
     for (int m = 0; m < (1 << cut.num_leaves); ++m) {
-      if (cut.tt & (1u << m)) {
+      if (cut.tt & (1ULL << m)) {
         f.set(static_cast<std::uint64_t>(m), true);
       }
     }

@@ -15,11 +15,15 @@ Aig balance(const Aig& in);
 
 /// Size-oriented pass: for every node, enumerates k-input cuts, evaluates
 /// an ISOP-based resynthesis of the cut function and applies it when the
-/// estimated gain (MFFC size minus new cost) is positive.
+/// estimated gain (MFFC size minus new cost) is positive. `cut_size` is
+/// clamped to [2, 6] (6-leaf cuts fit a 64-bit truth table); larger cuts
+/// behave like ABC's refactor, smaller like its rewrite.
 Aig rewrite(const Aig& in, int cut_size = 4, int cuts_per_node = 8);
 
 /// Full pipeline: iterates cleanup/balance/rewrite until no improvement.
-/// Never returns a larger AIG than the cleaned-up input.
+/// Never returns a larger AIG than the cleaned-up input. Low-level helper;
+/// learners and portfolios go through synth::PassManager instead, which
+/// adds scripts, budgets, and per-pass stats on top of these passes.
 Aig optimize(const Aig& in, int max_rounds = 3);
 
 }  // namespace lsml::aig

@@ -7,11 +7,13 @@
 //   lsml run <suite-dir>  run teams/learners over the suite: AIGER
 //                         artifacts + JSON/CSV leaderboard, incremental
 //                         via the content-hash result cache
+//   lsml synth <in.aag>   run an optimization script over a standalone
+//                         AIGER file and print the pass trace
 //   lsml teams            list contest teams and registered learners
 //
-// Every run is deterministic in (suite contents, entries, seed): thread
-// count never changes results, and a second run over unchanged inputs is
-// served entirely from the cache, byte-identical to the first.
+// Every run is deterministic in (suite contents, entries, seed, script):
+// thread count never changes results, and a second run over unchanged
+// inputs is served entirely from the cache, byte-identical to the first.
 
 #include <climits>
 #include <cstdio>
@@ -20,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "aig/aig_io.hpp"
 #include "core/config.hpp"
 #include "learn/factory.hpp"
 #include "portfolio/contest.hpp"
@@ -27,6 +30,7 @@
 #include "suite/generate.hpp"
 #include "suite/manifest.hpp"
 #include "suite/runner.hpp"
+#include "synth/pass_manager.hpp"
 
 namespace {
 
@@ -50,8 +54,21 @@ constexpr const char* kUsage =
     "      --threads N          workers (0 = hardware)    [0]\n"
     "      --seed S             contest seed              [2020]\n"
     "      --scale smoke|fast|full  team grid sizes       [fast]\n"
-    "      -v / -vv             progress on stderr\n"
-    "  teams            list team numbers and registered learner names\n";
+    "      --opt-script S       preset name or pass script [fast]\n"
+    "                           (presets: fast, resyn2, compress2max;\n"
+    "                            script syntax e.g. \"b;rw;b;rw -k 6\")\n"
+    "      --max-gates N        AND-gate cap on artifacts [5000, 0 = off]\n"
+    "      --opt-rounds N       script repetitions        [3]\n"
+    "      --time-budget-ms N   soft run budget, 0 = off  [0]\n"
+    "  synth <in.aag>   optimize one AIGER file, print the pass trace\n"
+    "      --script S           preset name or pass script [resyn2]\n"
+    "      --max-gates N        AND-gate cap              [5000, 0 = off]\n"
+    "      --rounds N           script repetitions        [1]\n"
+    "      --seed S             approximation RNG seed\n"
+    "      --out FILE           write the optimized AIGER here\n"
+    "  teams            list team numbers and registered learner names\n"
+    "\n"
+    "common run/synth flags: -v / -vv for progress on stderr\n";
 
 int usage_error(const std::string& message) {
   std::fprintf(stderr, "lsml: %s\n\n%s", message.c_str(), kUsage);
@@ -197,6 +214,9 @@ int cmd_run(const std::vector<std::string>& args) {
   std::vector<int> teams = portfolio::all_team_numbers();
   std::vector<std::string> learners;
   core::Scale scale = core::Scale::kFast;
+  std::string opt_script = "fast";
+  std::uint64_t max_gates = 5000;
+  int opt_rounds = 3;
   for (std::size_t i = 1; i < args.size(); ++i) {
     std::string value;
     std::uint64_t u = 0;
@@ -254,6 +274,25 @@ int cmd_run(const std::vector<std::string>& args) {
       } else {
         return usage_error("bad scale '" + value + "'");
       }
+    } else if (args[i] == "--opt-script") {
+      if (!flag_value(args, &i, &opt_script)) {
+        return 2;
+      }
+    } else if (args[i] == "--max-gates") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &max_gates) ||
+          max_gates > 0xffffffffULL) {
+        return usage_error("--max-gates must be in [0, 2^32) (0 = uncapped)");
+      }
+    } else if (args[i] == "--opt-rounds") {
+      if (!flag_value(args, &i, &value) || !parse_int(value, &opt_rounds) ||
+          opt_rounds < 1) {
+        return usage_error("--opt-rounds must be >= 1");
+      }
+    } else if (args[i] == "--time-budget-ms") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
+        return 2;
+      }
+      options.time_budget_ms = static_cast<std::int64_t>(u);
     } else if (args[i] == "-v") {
       options.verbosity = 1;
     } else if (args[i] == "-vv") {
@@ -262,9 +301,18 @@ int cmd_run(const std::vector<std::string>& args) {
       return usage_error("unknown run option " + args[i]);
     }
   }
+  options.pipeline.script = synth::Script::named_or_parse(opt_script);
+  options.pipeline.options.node_budget =
+      static_cast<std::uint32_t>(max_gates);
+  options.pipeline.options.max_rounds = opt_rounds;
 
   portfolio::TeamOptions team_options;
   team_options.scale = scale;
+  // Teams select candidates under the same cap the artifacts must honor;
+  // "uncapped" lifts their selection pressure entirely.
+  team_options.node_budget = max_gates == 0
+                                 ? 0xffffffffu
+                                 : static_cast<std::uint32_t>(max_gates);
   // The scale changes team hyper-parameter grids without changing entry
   // keys, so it must participate in cache invalidation.
   options.config_salt = static_cast<std::uint64_t>(scale);
@@ -296,12 +344,122 @@ int cmd_run(const std::vector<std::string>& args) {
       "in %.0f ms\n",
       report.benchmarks.size(), entries.size(), report.cache_hits,
       report.cache_misses, report.elapsed_ms);
+  std::printf("opt script: %s (max-gates %u, rounds %d)\n",
+              options.pipeline.script.str().c_str(),
+              options.pipeline.options.node_budget,
+              options.pipeline.options.max_rounds);
+  {
+    double saved = 0.0;
+    double synth_ms = 0.0;
+    for (const auto& run : report.runs) {
+      saved += run.avg_synth_saved();
+      synth_ms += run.total_synth_ms();
+    }
+    std::printf("optimization removed %.0f gates per task on average "
+                "(%.0f ms total pass time)\n",
+                report.runs.empty()
+                    ? 0.0
+                    : saved / static_cast<double>(report.runs.size()),
+                synth_ms);
+  }
+  if (report.stats.budget_exceeded) {
+    std::printf("warning: run exceeded --time-budget-ms (%.0f ms > %lld ms)\n",
+                report.stats.elapsed_ms,
+                static_cast<long long>(options.time_budget_ms));
+  }
   std::printf("leaderboard: %s\n             %s\n",
               report.leaderboard_csv_path.c_str(),
               report.leaderboard_json_path.c_str());
   std::printf("AIGER artifacts under %s/aig/\n", options.out_dir.c_str());
   if (!options.cache_dir.empty()) {
     std::printf("result cache: %s\n", options.cache_dir.c_str());
+  }
+  return 0;
+}
+
+int cmd_synth(const std::vector<std::string>& args) {
+  if (args.empty() || args[0][0] == '-') {
+    return usage_error("synth needs an input .aag file");
+  }
+  const std::string in_path = args[0];
+  std::string script_text = "resyn2";
+  std::string out_path;
+  std::uint64_t max_gates = 5000;
+  int rounds = 1;
+  synth::SynthOptions synth_options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string value;
+    std::uint64_t u = 0;
+    if (args[i] == "--script") {
+      if (!flag_value(args, &i, &script_text)) {
+        return 2;
+      }
+    } else if (args[i] == "--out") {
+      if (!flag_value(args, &i, &out_path)) {
+        return 2;
+      }
+    } else if (args[i] == "--max-gates") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &max_gates) ||
+          max_gates > 0xffffffffULL) {
+        return usage_error("--max-gates must be in [0, 2^32) (0 = uncapped)");
+      }
+    } else if (args[i] == "--rounds") {
+      if (!flag_value(args, &i, &value) || !parse_int(value, &rounds) ||
+          rounds < 1) {
+        return usage_error("--rounds must be >= 1");
+      }
+    } else if (args[i] == "--seed") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
+        return 2;
+      }
+      synth_options.approx_seed = u;
+    } else if (args[i] == "--time-budget-ms") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
+        return 2;
+      }
+      synth_options.time_budget_ms = static_cast<std::int64_t>(u);
+    } else if (args[i] == "-v" || args[i] == "-vv") {
+      // The trace is always printed; nothing further to say.
+    } else {
+      return usage_error("unknown synth option " + args[i]);
+    }
+  }
+  const synth::Script script = synth::Script::named_or_parse(script_text);
+  synth_options.node_budget = static_cast<std::uint32_t>(max_gates);
+  synth_options.max_rounds = rounds;
+
+  const aig::Aig in = aig::read_aag_file(in_path);
+  const synth::PassManager manager(synth_options);
+  const synth::SynthResult result = manager.run(in, script);
+
+  std::printf("%s: %u inputs, %u AND gates, %u levels\n", in_path.c_str(),
+              in.num_pis(), in.num_ands(), in.num_levels());
+  std::printf("script %s (%s), max-gates %u, rounds %d\n\n",
+              script.name.c_str(), script.str().c_str(),
+              synth_options.node_budget, rounds);
+  std::printf("%-14s %9s %9s %8s %8s %9s\n", "pass", "ands", "->", "levels",
+              "->", "ms");
+  for (const synth::PassStats& s : result.trace) {
+    std::printf("%-14s %9u %9u %8u %8u %9.2f\n", s.pass.c_str(),
+                s.ands_before, s.ands_after, s.levels_before, s.levels_after,
+                s.ms);
+  }
+  const std::uint32_t in_ands = result.ands_in();
+  const std::uint32_t out_ands = result.circuit.num_ands();
+  std::printf("\n%u -> %u AND gates (%s%.1f%%), %u -> %u levels, %.2f ms\n",
+              in_ands, out_ands, out_ands <= in_ands ? "-" : "+",
+              in_ands == 0
+                  ? 0.0
+                  : 100.0 *
+                        (in_ands > out_ands
+                             ? static_cast<double>(in_ands - out_ands)
+                             : static_cast<double>(out_ands - in_ands)) /
+                        static_cast<double>(in_ands),
+              in.num_levels(), result.circuit.num_levels(),
+              result.total_ms());
+  if (!out_path.empty()) {
+    aig::write_aag_file(result.circuit, out_path);
+    std::printf("wrote %s\n", out_path.c_str());
   }
   return 0;
 }
@@ -326,6 +484,9 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       return cmd_run(rest);
+    }
+    if (command == "synth") {
+      return cmd_synth(rest);
     }
     if (command == "teams") {
       return cmd_teams();

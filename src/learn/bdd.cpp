@@ -4,7 +4,6 @@
 #include <numeric>
 #include <unordered_set>
 
-#include "aig/aig_opt.hpp"
 #include "sop/cube.hpp"
 
 namespace lsml::learn {
@@ -268,7 +267,7 @@ TrainedModel BddLearner::fit(const data::Dataset& train,
     leaves.push_back(g.pi(static_cast<std::uint32_t>(i)));
   }
   g.add_output(mgr.to_lit(minimized, g, leaves));
-  return finish_model(aig::optimize(g), label_, train, valid);
+  return finish_model(std::move(g), label_, train, valid);
 }
 
 }  // namespace lsml::learn

@@ -5,7 +5,6 @@
 #include <numeric>
 
 #include "aig/aig_build.hpp"
-#include "aig/aig_opt.hpp"
 #include "learn/dt.hpp"
 
 namespace lsml::learn {
@@ -282,8 +281,7 @@ std::vector<double> GradientBoosted::mean_abs_contributions(
 TrainedModel BoostLearner::fit(const data::Dataset& train,
                                const data::Dataset& valid, core::Rng& rng) {
   const GradientBoosted model = GradientBoosted::fit(train, options_, rng);
-  aig::Aig circuit = aig::optimize(model.to_aig(train.num_inputs()));
-  return finish_model(std::move(circuit), label_, train, valid);
+  return finish_model(model.to_aig(train.num_inputs()), label_, train, valid);
 }
 
 }  // namespace lsml::learn

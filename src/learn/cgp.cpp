@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "aig/aig_opt.hpp"
 
 namespace lsml::learn {
 
@@ -247,8 +246,7 @@ TrainedModel CgpLearner::fit(const data::Dataset& train,
     start = Cgp::random_individual(train.num_inputs(), options_, rng);
   }
   const CgpIndividual best = Cgp::evolve(std::move(start), train, options_, rng);
-  aig::Aig circuit = aig::optimize(best.to_aig());
-  return finish_model(std::move(circuit), how, train, valid);
+  return finish_model(best.to_aig(), how, train, valid);
 }
 
 }  // namespace lsml::learn

@@ -4,25 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "aig/aig_opt.hpp"
-
 namespace lsml::learn {
-
-double circuit_accuracy(const aig::Aig& circuit, const data::Dataset& ds) {
-  const auto out = circuit.simulate(ds.column_ptrs());
-  return data::accuracy(out[0], ds.labels());
-}
-
-TrainedModel finish_model(aig::Aig circuit, std::string method,
-                          const data::Dataset& train,
-                          const data::Dataset& valid) {
-  TrainedModel m;
-  m.circuit = std::move(circuit);
-  m.method = std::move(method);
-  m.train_acc = circuit_accuracy(m.circuit, train);
-  m.valid_acc = circuit_accuracy(m.circuit, valid);
-  return m;
-}
 
 namespace {
 
@@ -300,8 +282,7 @@ std::vector<double> DecisionTree::feature_gains(
 TrainedModel DtLearner::fit(const data::Dataset& train,
                             const data::Dataset& valid, core::Rng& rng) {
   const DecisionTree tree = DecisionTree::fit(train, options_, rng);
-  aig::Aig circuit = aig::optimize(tree.to_aig(train.num_inputs()));
-  return finish_model(std::move(circuit), label_, train, valid);
+  return finish_model(tree.to_aig(train.num_inputs()), label_, train, valid);
 }
 
 }  // namespace lsml::learn

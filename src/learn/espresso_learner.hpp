@@ -8,7 +8,6 @@
 #include <string>
 #include <utility>
 
-#include "aig/aig_opt.hpp"
 #include "learn/learner.hpp"
 #include "sop/espresso.hpp"
 #include "sop/sop_to_aig.hpp"
@@ -25,9 +24,8 @@ class EspressoLearner final : public Learner {
   TrainedModel fit(const data::Dataset& train, const data::Dataset& valid,
                    core::Rng& rng) override {
     const sop::Cover cover = sop::espresso(train, options_, rng);
-    aig::Aig circuit =
-        aig::optimize(sop::cover_to_aig(cover, train.num_inputs()));
-    return finish_model(std::move(circuit), label_, train, valid);
+    return finish_model(sop::cover_to_aig(cover, train.num_inputs()), label_,
+                        train, valid);
   }
 
  private:

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "aig/aig_build.hpp"
-#include "aig/aig_opt.hpp"
 
 namespace lsml::learn {
 
@@ -88,8 +87,8 @@ std::vector<double> RandomForest::feature_importance(
 TrainedModel ForestLearner::fit(const data::Dataset& train,
                                 const data::Dataset& valid, core::Rng& rng) {
   const RandomForest forest = RandomForest::fit(train, options_, rng);
-  aig::Aig circuit = aig::optimize(forest.to_aig(train.num_inputs()));
-  return finish_model(std::move(circuit), label_, train, valid);
+  return finish_model(forest.to_aig(train.num_inputs()), label_, train,
+                      valid);
 }
 
 }  // namespace lsml::learn

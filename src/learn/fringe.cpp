@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "aig/aig_opt.hpp"
 
 namespace lsml::learn {
 
@@ -157,7 +156,7 @@ TrainedModel FringeLearner::fit(const data::Dataset& train,
   aig::Aig g(static_cast<std::uint32_t>(train.num_inputs()));
   const auto lits = bank.build_lits(g);
   g.add_output(tree.to_lit(g, lits));
-  return finish_model(aig::optimize(g), label_, train, valid);
+  return finish_model(std::move(g), label_, train, valid);
 }
 
 }  // namespace lsml::learn

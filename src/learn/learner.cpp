@@ -1,0 +1,27 @@
+#include "learn/learner.hpp"
+
+#include <utility>
+
+namespace lsml::learn {
+
+double circuit_accuracy(const aig::Aig& circuit, const data::Dataset& ds) {
+  const auto out = circuit.simulate(ds.column_ptrs());
+  return data::accuracy(out[0], ds.labels());
+}
+
+TrainedModel finish_model(aig::Aig circuit, std::string method,
+                          const data::Dataset& train,
+                          const data::Dataset& valid) {
+  const synth::Pipeline& pipeline = synth::default_pipeline();
+  const synth::PassManager manager(pipeline.options);
+  synth::SynthResult optimized = manager.run_cached(circuit, pipeline.script);
+  TrainedModel m;
+  m.circuit = std::move(optimized.circuit);
+  m.synth_trace = std::move(optimized.trace);
+  m.method = std::move(method);
+  m.train_acc = circuit_accuracy(m.circuit, train);
+  m.valid_acc = circuit_accuracy(m.circuit, valid);
+  return m;
+}
+
+}  // namespace lsml::learn

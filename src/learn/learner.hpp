@@ -6,13 +6,21 @@
 // `circuit` is the synthesized AIG — the contest's only deliverable. All
 // accuracies are measured by simulating that AIG, so every model pays its
 // own synthesis/quantization cost, exactly as in the contest.
+//
+// Learners lower their models to *raw* AIGs and hand them to
+// finish_model, which runs the process-default synth::Pipeline (memoized
+// by circuit structure) exactly once and records the pass trace. No
+// learner calls aig::optimize directly; "how circuits get optimized" is
+// the pass manager's contract, not each learner's habit.
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "aig/aig.hpp"
 #include "core/rng.hpp"
 #include "data/dataset.hpp"
+#include "synth/pass_manager.hpp"
 
 namespace lsml::learn {
 
@@ -21,6 +29,9 @@ struct TrainedModel {
   std::string method;      ///< human-readable description of what won
   double train_acc = 0.0;  ///< AIG accuracy on the training set
   double valid_acc = 0.0;  ///< AIG accuracy on the validation set
+  /// What the optimization pipeline did to the raw circuit (finish_model's
+  /// run, plus any approximation a portfolio applied on top).
+  std::vector<synth::PassStats> synth_trace;
 };
 
 class Learner {
@@ -34,7 +45,10 @@ class Learner {
 /// Accuracy of a single-output AIG on a dataset (packed simulation).
 double circuit_accuracy(const aig::Aig& circuit, const data::Dataset& ds);
 
-/// Fills train/valid accuracies of a model in place and returns it.
+/// Runs the process-default synth::Pipeline over the raw circuit (memoized
+/// on circuit structure, so identical circuits across teams optimize once
+/// per process), then measures train/valid accuracies of the optimized
+/// AIG. The returned model honors the pipeline's node budget.
 TrainedModel finish_model(aig::Aig circuit, std::string method,
                           const data::Dataset& train,
                           const data::Dataset& valid);

@@ -4,7 +4,6 @@
 #include <numeric>
 
 #include "aig/aig_build.hpp"
-#include "aig/aig_opt.hpp"
 
 namespace lsml::learn {
 
@@ -195,8 +194,7 @@ std::size_t LutNetwork::num_luts() const {
 TrainedModel LutNetLearner::fit(const data::Dataset& train,
                                 const data::Dataset& valid, core::Rng& rng) {
   const LutNetwork net = LutNetwork::fit(train, options_, rng);
-  aig::Aig circuit = aig::optimize(net.to_aig(train.num_inputs()));
-  return finish_model(std::move(circuit), label_, train, valid);
+  return finish_model(net.to_aig(train.num_inputs()), label_, train, valid);
 }
 
 LutNetwork lutnet_beam_search(const data::Dataset& train,

@@ -5,7 +5,6 @@
 #include <numeric>
 
 #include "aig/aig_build.hpp"
-#include "aig/aig_opt.hpp"
 #include "feature/selection.hpp"
 #include "tt/truth_table.hpp"
 
@@ -299,8 +298,7 @@ TrainedModel MlpLearner::fit(const data::Dataset& train,
                              const data::Dataset& valid, core::Rng& rng) {
   Mlp net = Mlp::fit(train, options_, rng);
   net.prune_to_fanin(train, rng);
-  aig::Aig circuit = aig::optimize(net.to_aig(train.num_inputs()));
-  return finish_model(std::move(circuit), label_, train, valid);
+  return finish_model(net.to_aig(train.num_inputs()), label_, train, valid);
 }
 
 MlpStageAccuracy mlp_staged_accuracy(const data::Dataset& train,

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "aig/aig_build.hpp"
-#include "aig/aig_opt.hpp"
 
 namespace lsml::learn {
 
@@ -166,8 +165,7 @@ TrainedModel RuleListLearner::fit(const data::Dataset& train,
                                   const data::Dataset& valid,
                                   core::Rng& rng) {
   const RuleList list = RuleList::fit(train, options_, rng);
-  aig::Aig circuit = aig::optimize(list.to_aig(train.num_inputs()));
-  return finish_model(std::move(circuit), label_, train, valid);
+  return finish_model(list.to_aig(train.num_inputs()), label_, train, valid);
 }
 
 }  // namespace lsml::learn

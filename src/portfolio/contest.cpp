@@ -49,6 +49,36 @@ double TeamRun::overfit() const {
     return r.valid_acc - r.test_acc;
   });
 }
+double TeamRun::avg_synth_ands_in() const {
+  return mean(results, [](const BenchmarkResult& r) {
+    return static_cast<double>(r.synth_ands_in());
+  });
+}
+double TeamRun::avg_synth_saved() const {
+  return mean(results, [](const BenchmarkResult& r) {
+    return static_cast<double>(r.synth_ands_saved());
+  });
+}
+double TeamRun::total_synth_ms() const {
+  double total = 0.0;
+  for (const auto& r : results) {
+    total += r.synth_ms();
+  }
+  return total;
+}
+
+std::uint32_t BenchmarkResult::synth_ands_in() const {
+  return synth::trace_ands_in(synth_trace, num_ands);
+}
+
+std::uint32_t BenchmarkResult::synth_ands_saved() const {
+  const std::uint32_t in = synth_ands_in();
+  return in > num_ands ? in - num_ands : 0;
+}
+
+double BenchmarkResult::synth_ms() const {
+  return synth::trace_total_ms(synth_trace);
+}
 
 core::Rng contest_rng(std::uint64_t seed, int team_number, int benchmark_id) {
   const core::Rng root(seed);
@@ -60,6 +90,24 @@ BenchmarkResult evaluate_on(learn::Learner& learner,
                             const oracle::Benchmark& bench, core::Rng& rng,
                             aig::Aig* circuit_out) {
   learn::TrainedModel model = learner.fit(bench.train, bench.valid, rng);
+  // The exported-artifact guarantee: whatever the learner did internally,
+  // the deliverable respects the default pipeline's gate cap. Portfolio
+  // teams enforce their own budget, so this pass almost always no-ops;
+  // bare learners entered via --learners rely on it.
+  const synth::SynthOptions& synth_options = synth::default_pipeline().options;
+  if (synth_options.node_budget > 0 &&
+      model.circuit.num_ands() > synth_options.node_budget) {
+    const synth::PassManager manager(synth_options);
+    synth::SynthResult capped = manager.run(
+        model.circuit, synth::Script::approx_to(synth_options.node_budget),
+        &rng);
+    model.circuit = std::move(capped.circuit);
+    model.synth_trace.insert(model.synth_trace.end(), capped.trace.begin(),
+                             capped.trace.end());
+    model.method += "+budget";
+    model.train_acc = learn::circuit_accuracy(model.circuit, bench.train);
+    model.valid_acc = learn::circuit_accuracy(model.circuit, bench.valid);
+  }
   BenchmarkResult result;
   result.benchmark_id = bench.id;
   result.benchmark = bench.name;
@@ -69,10 +117,28 @@ BenchmarkResult evaluate_on(learn::Learner& learner,
   result.test_acc = learn::circuit_accuracy(model.circuit, bench.test);
   result.num_ands = model.circuit.num_ands();
   result.num_levels = model.circuit.num_levels();
+  result.synth_trace = std::move(model.synth_trace);
   if (circuit_out != nullptr) {
     *circuit_out = std::move(model.circuit);
   }
   return result;
+}
+
+bool finalize_contest_stats(double elapsed_ms, int tasks_completed,
+                            std::int64_t time_budget_ms, int verbosity,
+                            ContestStats* stats) {
+  const bool over_budget =
+      time_budget_ms > 0 && elapsed_ms > static_cast<double>(time_budget_ms);
+  if (over_budget && verbosity >= 1) {
+    std::fprintf(stderr, "contest exceeded time budget: %.0f ms > %lld ms\n",
+                 elapsed_ms, static_cast<long long>(time_budget_ms));
+  }
+  if (stats != nullptr) {
+    stats->elapsed_ms = elapsed_ms;
+    stats->tasks_completed = tasks_completed;
+    stats->budget_exceeded = over_budget;
+  }
+  return over_budget;
 }
 
 namespace {
@@ -160,19 +226,8 @@ std::vector<TeamRun> run_contest(const std::vector<ContestEntry>& entries,
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)
           .count();
-  const bool over_budget =
-      options.time_budget_ms > 0 &&
-      elapsed_ms > static_cast<double>(options.time_budget_ms);
-  if (over_budget && options.verbosity >= 1) {
-    std::fprintf(stderr, "contest exceeded time budget: %.0f ms > %lld ms\n",
-                 elapsed_ms,
-                 static_cast<long long>(options.time_budget_ms));
-  }
-  if (stats != nullptr) {
-    stats->elapsed_ms = elapsed_ms;
-    stats->tasks_completed = static_cast<int>(tasks.size());
-    stats->budget_exceeded = over_budget;
-  }
+  finalize_contest_stats(elapsed_ms, static_cast<int>(tasks.size()),
+                         options.time_budget_ms, options.verbosity, stats);
   return runs;
 }
 

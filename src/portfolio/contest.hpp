@@ -53,6 +53,17 @@ struct BenchmarkResult {
   double test_acc = 0.0;
   std::uint32_t num_ands = 0;
   std::uint32_t num_levels = 0;
+  /// What the optimization pipeline did to the winning circuit: the
+  /// per-pass trace from finish_model plus any portfolio approximation
+  /// and the final budget enforcement. Persisted by suite::ResultCache.
+  std::vector<synth::PassStats> synth_trace;
+
+  /// AND gates entering the pipeline (the raw lowered circuit).
+  [[nodiscard]] std::uint32_t synth_ands_in() const;
+  /// Gates the pipeline removed (never negative; approximation included).
+  [[nodiscard]] std::uint32_t synth_ands_saved() const;
+  /// Total optimization wall time for this task.
+  [[nodiscard]] double synth_ms() const;
 };
 
 struct TeamRun {
@@ -65,6 +76,11 @@ struct TeamRun {
   [[nodiscard]] double avg_levels() const;
   /// The paper's overfit metric: mean (validation - test) accuracy.
   [[nodiscard]] double overfit() const;
+  /// Aggregate optimization gains: mean raw size entering the pipeline,
+  /// mean gates removed by it, and total pipeline wall time.
+  [[nodiscard]] double avg_synth_ands_in() const;
+  [[nodiscard]] double avg_synth_saved() const;
+  [[nodiscard]] double total_synth_ms() const;
 };
 
 /// The engine's one seeding rule: every (team, benchmark) task draws from
@@ -76,9 +92,24 @@ core::Rng contest_rng(std::uint64_t seed, int team_number, int benchmark_id);
 /// Evaluates one learner on one benchmark. When `circuit_out` is non-null
 /// it receives the synthesized AIG (the contest deliverable), so callers
 /// can export AIGER artifacts without re-running the learner.
+///
+/// The deliverable honors the process-default synth::Pipeline's node
+/// budget unconditionally: if the learner hands back a circuit over
+/// budget, one approx script runs here (with the task RNG) and the
+/// accuracies are re-measured — so every exported artifact fits the
+/// contest's gate cap no matter which learner produced it.
 BenchmarkResult evaluate_on(learn::Learner& learner,
                             const oracle::Benchmark& bench, core::Rng& rng,
                             aig::Aig* circuit_out = nullptr);
+
+/// Shared epilogue of both drivers (the in-memory contest and the
+/// disk-suite runner): fills `stats` from the observed run and applies
+/// the soft time-budget contract — all tasks always run to completion;
+/// blowing the budget only flags the run (and reports on stderr at
+/// verbosity >= 1). Returns the budget_exceeded flag.
+bool finalize_contest_stats(double elapsed_ms, int tasks_completed,
+                            std::int64_t time_budget_ms, int verbosity,
+                            ContestStats* stats);
 
 /// Runs a learner over the whole suite, serially. The learner instance is
 /// reused across benchmarks, but each benchmark draws from its own

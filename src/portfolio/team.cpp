@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "aig/aig_approx.hpp"
 #include "aig/aig_build.hpp"
-#include "aig/aig_opt.hpp"
 #include "feature/selection.hpp"
 #include "learn/bdd.hpp"
 #include "learn/boosting.hpp"
@@ -19,6 +17,7 @@
 #include "learn/mlp.hpp"
 #include "learn/rules.hpp"
 #include "portfolio/contest.hpp"
+#include "synth/pass_manager.hpp"
 #include "tt/truth_table.hpp"
 
 namespace lsml::portfolio {
@@ -51,13 +50,38 @@ learn::TrainedModel select_best_within_budget(
   if (best >= 0) {
     return std::move(candidates[static_cast<std::size_t>(best)]);
   }
-  // Everything over budget: approximate the best one down (Team 1's method).
+  // Everything over budget: approximate the best one down (Team 1's
+  // method), expressed as a one-pass script through the pass manager.
   TrainedModel& m = candidates[static_cast<std::size_t>(best_any)];
-  aig::ApproxOptions approx;
-  approx.node_budget = node_budget;
-  aig::Aig shrunk = aig::approximate_to_budget(m.circuit, approx, rng);
-  return learn::finish_model(std::move(shrunk), m.method + "+approx", train,
-                             valid);
+  if (node_budget == 0) {
+    // A zero budget admits exactly one circuit shape: the majority
+    // constant (the approx pass treats 0 as "uncapped", so spell it out).
+    aig::Aig constant(static_cast<std::uint32_t>(train.num_inputs()));
+    constant.add_output(train.label_fraction() >= 0.5 ? aig::kLitTrue
+                                                      : aig::kLitFalse);
+    TrainedModel finished = learn::finish_model(
+        std::move(constant), m.method + "+approx", train, valid);
+    // Keep the discarded candidate's pipeline history, as below.
+    finished.synth_trace.insert(finished.synth_trace.begin(),
+                                m.synth_trace.begin(), m.synth_trace.end());
+    return finished;
+  }
+  synth::SynthOptions options = synth::default_pipeline().options;
+  options.node_budget = node_budget;
+  options.max_rounds = 1;
+  const synth::PassManager manager(options);
+  synth::SynthResult shrunk =
+      manager.run(m.circuit, synth::Script::approx_to(node_budget), &rng);
+  TrainedModel finished = learn::finish_model(
+      std::move(shrunk.circuit), m.method + "+approx", train, valid);
+  // The full story of this circuit: the candidate's own pipeline, then
+  // the approximation, then the post-approx re-finish.
+  shrunk.trace.insert(shrunk.trace.end(), finished.synth_trace.begin(),
+                      finished.synth_trace.end());
+  shrunk.trace.insert(shrunk.trace.begin(), m.synth_trace.begin(),
+                      m.synth_trace.end());
+  finished.synth_trace = std::move(shrunk.trace);
+  return finished;
 }
 
 namespace {
@@ -127,9 +151,8 @@ class Team1 final : public PortfolioTeam {
       start.lut_inputs = 4;
       const learn::LutNetwork net = learn::lutnet_beam_search(
           train, valid, start, rng, fast() ? 3 : 6);
-      aig::Aig circuit = aig::optimize(net.to_aig(train.num_inputs()));
-      out.push_back(learn::finish_model(std::move(circuit), "t1:lutnet",
-                                        train, valid));
+      out.push_back(learn::finish_model(net.to_aig(train.num_inputs()),
+                                        "t1:lutnet", train, valid));
     }
     const std::vector<std::size_t> estimators =
         fast() ? std::vector<std::size_t>{5, 9, 15}
@@ -228,7 +251,9 @@ class Team3 final : public PortfolioTeam {
     }
     ensemble.add_output(ensemble.maj3(outs[0], outs[1], outs[2]));
     std::vector<TrainedModel> out;
-    out.push_back(learn::finish_model(aig::optimize(ensemble), "t3:ensemble",
+    // One pipeline invocation on the combined circuit; the members were
+    // already finished, so re-optimizing them separately would be waste.
+    out.push_back(learn::finish_model(std::move(ensemble), "t3:ensemble",
                                       train, valid));
     for (auto& m : members) {
       out.push_back(std::move(m));  // fall back to singles if too big
@@ -304,7 +329,7 @@ class Team4 final : public PortfolioTeam {
     }
     g.add_output(aig::from_truth_table(g, f, leaves));
     return learn::finish_model(
-        aig::optimize(g),
+        std::move(g),
         "t4:afn(d=" + std::to_string(d) + ",l=" + std::to_string(level) + ")",
         train, valid);
   }
@@ -400,8 +425,8 @@ class Team5 final : public PortfolioTeam {
     const aig::Lit out = reduced.output(0);
     permuted.add_output(
         aig::lit_notc(map[aig::lit_var(out)], aig::lit_compl(out)));
-    return learn::finish_model(aig::optimize(permuted), std::move(label),
-                               train, valid);
+    return learn::finish_model(std::move(permuted), std::move(label), train,
+                               valid);
   }
 
   /// NN-derived top-4 features + exhaustive small expression search
@@ -486,7 +511,7 @@ class Team5 final : public PortfolioTeam {
       leaves.push_back(g.pi(static_cast<std::uint32_t>(v)));
     }
     g.add_output(aig::from_truth_table(g, f, leaves));
-    return learn::finish_model(aig::optimize(g), "t5:nn-expr", train, valid);
+    return learn::finish_model(std::move(g), "t5:nn-expr", train, valid);
   }
 };
 
@@ -636,9 +661,8 @@ class Team9 final : public PortfolioTeam {
     std::vector<TrainedModel> out;
     out.push_back(learner.fit(cgp_half, valid, rng));
     // Always keep the plain bootstrap as a fallback candidate.
-    out.push_back(learn::finish_model(
-        aig::optimize(tree.to_aig(train.num_inputs())), "t9:dt-boot", train,
-        valid));
+    out.push_back(learn::finish_model(tree.to_aig(train.num_inputs()),
+                                      "t9:dt-boot", train, valid));
     return out;
   }
 };

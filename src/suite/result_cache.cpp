@@ -126,6 +126,31 @@ std::optional<CachedTask> ResultCache::load(const std::string& team_key,
       !read_u32("num_levels", &r.num_levels)) {
     return std::nullopt;
   }
+  std::uint32_t num_passes = 0;
+  if (!read_u32("synth_passes", &num_passes) || num_passes > (1u << 20)) {
+    return std::nullopt;
+  }
+  r.synth_trace.reserve(num_passes);
+  for (std::uint32_t p = 0; p < num_passes; ++p) {
+    if (!next_field(is, "pass", &value)) {
+      return std::nullopt;
+    }
+    // "<ands_before> <ands_after> <levels_before> <levels_after> <ms-hex>
+    //  <spelling...>" — the spelling goes last because it contains spaces.
+    synth::PassStats stats;
+    std::istringstream fields(value);
+    std::string ms_text;
+    if (!(fields >> stats.ands_before >> stats.ands_after >>
+          stats.levels_before >> stats.levels_after >> ms_text) ||
+        !parse_double(ms_text, &stats.ms)) {
+      return std::nullopt;
+    }
+    std::getline(fields >> std::ws, stats.pass);
+    if (stats.pass.empty()) {
+      return std::nullopt;
+    }
+    r.synth_trace.push_back(std::move(stats));
+  }
   if (!next_field(is, "aag", &value)) {
     return std::nullopt;
   }
@@ -185,7 +210,13 @@ void ResultCache::store(const std::string& team_key,
          << "test_acc " << double_repr(r.test_acc) << '\n'
          << "num_ands " << r.num_ands << '\n'
          << "num_levels " << r.num_levels << '\n'
-         << "aag " << task.aag.size() << '\n'
+         << "synth_passes " << r.synth_trace.size() << '\n';
+      for (const synth::PassStats& s : r.synth_trace) {
+        os << "pass " << s.ands_before << ' ' << s.ands_after << ' '
+           << s.levels_before << ' ' << s.levels_after << ' '
+           << double_repr(s.ms) << ' ' << s.pass << '\n';
+      }
+      os << "aag " << task.aag.size() << '\n'
          << task.aag;
       written = static_cast<bool>(os);
     }

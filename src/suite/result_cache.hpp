@@ -23,9 +23,14 @@ namespace lsml::suite {
 /// Bump whenever anything that changes contest numbers changes (per-task
 /// RNG derivation, learner defaults, metric definitions, entry format), so
 /// caches written by older builds are recomputed, never silently served.
-inline constexpr std::uint32_t kResultCacheSchemaVersion = 1;
+/// v2: circuits are optimized by the synth::PassManager (learners return
+/// raw AIGs) and entries carry the per-pass synth trace.
+inline constexpr std::uint32_t kResultCacheSchemaVersion = 2;
 
-/// A completed (team, benchmark) task, as cached.
+/// A completed (team, benchmark) task, as cached. The result's
+/// synth_trace (per-pass sizes and wall time) round-trips with it, so a
+/// cache-served leaderboard reports the same optimization stats as the
+/// run that populated it.
 struct CachedTask {
   portfolio::BenchmarkResult result;
   std::string aag;  ///< ASCII AIGER text of the synthesized circuit

@@ -81,9 +81,12 @@ std::string csv_quote(const std::string& s) {
 
 std::string leaderboard_csv(const std::vector<portfolio::TeamRun>& runs,
                             const std::vector<std::string>& keys) {
+  // Pass wall times stay out of the leaderboards deliberately: artifacts
+  // are byte-deterministic in (inputs, entries, seed, pipeline), and
+  // timings are not. They live in the cache entries and `lsml synth`.
   std::ostringstream os;
   os << "team,team_key,benchmark,method,train_acc,valid_acc,test_acc,"
-        "num_ands,num_levels\n";
+        "num_ands,num_levels,raw_ands,ands_saved,synth_passes\n";
   for (std::size_t e = 0; e < runs.size(); ++e) {
     for (const auto& r : runs[e].results) {
       // Team keys and benchmark names come from registry names and on-disk
@@ -92,7 +95,9 @@ std::string leaderboard_csv(const std::vector<portfolio::TeamRun>& runs,
          << csv_quote(r.benchmark) << ','
          << csv_quote(r.method) << ',' << fixed6(r.train_acc) << ','
          << fixed6(r.valid_acc) << ',' << fixed6(r.test_acc) << ','
-         << r.num_ands << ',' << r.num_levels << '\n';
+         << r.num_ands << ',' << r.num_levels << ','
+         << r.synth_ands_in() << ',' << r.synth_ands_saved() << ','
+         << r.synth_trace.size() << '\n';
     }
   }
   return os.str();
@@ -101,7 +106,7 @@ std::string leaderboard_csv(const std::vector<portfolio::TeamRun>& runs,
 std::string leaderboard_json(const std::vector<portfolio::TeamRun>& runs,
                              const std::vector<std::string>& keys,
                              const std::vector<std::string>& benchmarks,
-                             std::uint64_t seed) {
+                             const RunnerOptions& options) {
   // Rank by average test accuracy (Table III order); stable so ties keep
   // entry order and reruns are byte-identical.
   std::vector<std::size_t> order(runs.size());
@@ -113,8 +118,12 @@ std::string leaderboard_json(const std::vector<portfolio::TeamRun>& runs,
                      return runs[a].avg_test_acc() > runs[b].avg_test_acc();
                    });
   std::ostringstream os;
-  os << "{\n  \"schema\": \"lsml-leaderboard-v1\",\n  \"seed\": " << seed
-     << ",\n  \"benchmarks\": [";
+  os << "{\n  \"schema\": \"lsml-leaderboard-v2\",\n  \"seed\": "
+     << options.seed << ",\n  \"opt\": {\"script\": \""
+     << json_escape(options.pipeline.script.str()) << "\", \"node_budget\": "
+     << options.pipeline.options.node_budget << ", \"max_rounds\": "
+     << options.pipeline.options.max_rounds
+     << "},\n  \"benchmarks\": [";
   for (std::size_t b = 0; b < benchmarks.size(); ++b) {
     os << (b == 0 ? "" : ", ") << '"' << json_escape(benchmarks[b]) << '"';
   }
@@ -127,8 +136,10 @@ std::string leaderboard_json(const std::vector<portfolio::TeamRun>& runs,
        << fixed6(run.avg_test_acc()) << ", \"avg_ands\": "
        << fixed6(run.avg_ands()) << ", \"avg_levels\": "
        << fixed6(run.avg_levels()) << ", \"overfit\": "
-       << fixed6(run.overfit()) << "}" << (i + 1 < order.size() ? "," : "")
-       << '\n';
+       << fixed6(run.overfit()) << ", \"avg_raw_ands\": "
+       << fixed6(run.avg_synth_ands_in()) << ", \"avg_ands_saved\": "
+       << fixed6(run.avg_synth_saved()) << "}"
+       << (i + 1 < order.size() ? "," : "") << '\n';
   }
   os << "  ]\n}\n";
   return os.str();
@@ -148,6 +159,9 @@ RunnerReport run_contest_on(const std::vector<portfolio::ContestEntry>& entries,
                             const RunnerOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   const ResultCache cache(options.cache_dir);
+  // Every task below (and every learner inside it) optimizes through this
+  // pipeline; installed before workers spawn, restored when the run ends.
+  const synth::ScopedPipeline scoped_pipeline(options.pipeline);
 
   std::vector<std::string> keys;
   keys.reserve(entries.size());
@@ -168,10 +182,15 @@ RunnerReport run_contest_on(const std::vector<portfolio::ContestEntry>& entries,
     report.benchmarks.push_back(bench.name);
   }
 
+  // The pipeline changes every task's circuit, so its fingerprint is part
+  // of every key: results computed under one script/budget are never
+  // served under another.
+  const std::uint64_t pipeline_salt =
+      core::hash_combine(options.config_salt, options.pipeline.fingerprint());
   std::vector<std::uint64_t> bench_hash(suite.size());
   for (std::size_t b = 0; b < suite.size(); ++b) {
     bench_hash[b] = core::hash_combine(
-        task_content_hash(suite[b], options.seed), options.config_salt);
+        task_content_hash(suite[b], options.seed), pipeline_salt);
   }
   // The team number seeds the per-task RNG stream (contest_rng), so it is
   // part of the key: the same factory re-run under a different number is a
@@ -258,12 +277,15 @@ RunnerReport run_contest_on(const std::vector<portfolio::ContestEntry>& entries,
                     leaderboard_csv(report.runs, keys));
     write_text_file(
         report.leaderboard_json_path,
-        leaderboard_json(report.runs, keys, report.benchmarks, options.seed));
+        leaderboard_json(report.runs, keys, report.benchmarks, options));
   }
 
   report.elapsed_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();
+  portfolio::finalize_contest_stats(
+      report.elapsed_ms, report.cache_hits + report.cache_misses,
+      options.time_budget_ms, options.verbosity, &report.stats);
   if (options.verbosity >= 1) {
     std::fprintf(stderr,
                  "suite run: %zu tasks, %d from cache, %d computed "

@@ -18,6 +18,7 @@
 
 #include "portfolio/contest.hpp"
 #include "suite/result_cache.hpp"
+#include "synth/pass_manager.hpp"
 
 namespace lsml::suite {
 
@@ -35,6 +36,14 @@ struct RunnerOptions {
   int verbosity = 0;
   /// Skip AIGER/leaderboard files (tests and benches that only want runs).
   bool write_artifacts = true;
+  /// Optimization pipeline applied to every task's circuit. Installed as
+  /// the process default for the duration of the run and digested into
+  /// every cache key (a different script or budget is a different task).
+  synth::Pipeline pipeline = synth::default_pipeline();
+  /// Soft wall-clock budget for the whole run; 0 = unlimited. Same
+  /// contract as portfolio::ContestOptions::time_budget_ms: all tasks run
+  /// to completion, the run is only flagged in `stats`.
+  std::int64_t time_budget_ms = 0;
 };
 
 struct RunnerReport {
@@ -43,6 +52,9 @@ struct RunnerReport {
   int cache_hits = 0;
   int cache_misses = 0;
   double elapsed_ms = 0.0;
+  /// Same shape both contest drivers fill (tasks, elapsed, soft-budget
+  /// flag); cache hits count as completed tasks.
+  portfolio::ContestStats stats;
   std::string leaderboard_csv_path;  ///< empty unless artifacts written
   std::string leaderboard_json_path;
 };

@@ -1,0 +1,290 @@
+#include "synth/pass_manager.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "aig/aig_approx.hpp"
+#include "aig/aig_opt.hpp"
+#include "core/bits.hpp"
+
+namespace lsml::synth {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<std::uint64_t> g_runs_executed{0};
+std::atomic<std::uint64_t> g_memo_hits{0};
+
+/// Memo of deterministic runs. Bounded defensively: past the cap new
+/// results are simply not remembered (correctness never depends on it).
+constexpr std::size_t kMemoMaxEntries = 8192;
+
+std::mutex& memo_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<std::uint64_t, SynthResult>& memo_table() {
+  static std::unordered_map<std::uint64_t, SynthResult> table;
+  return table;
+}
+
+/// Smaller is better; depth breaks ties (the seed's final-balance rule).
+bool improves(const aig::Aig& candidate, const aig::Aig& best) {
+  if (candidate.num_ands() != best.num_ands()) {
+    return candidate.num_ands() < best.num_ands();
+  }
+  return candidate.num_levels() < best.num_levels();
+}
+
+}  // namespace
+
+std::uint64_t SynthOptions::fingerprint() const {
+  std::uint64_t h = core::hash_combine(0x5b7e9d23c0ffee01ULL, node_budget);
+  h = core::hash_combine(h, static_cast<std::uint64_t>(max_rounds));
+  h = core::hash_combine(h, static_cast<std::uint64_t>(time_budget_ms));
+  return core::hash_combine(h, approx_seed);
+}
+
+std::uint32_t trace_ands_in(const std::vector<PassStats>& trace,
+                            std::uint32_t fallback) {
+  return trace.empty() ? fallback : trace.front().ands_before;
+}
+
+double trace_total_ms(const std::vector<PassStats>& trace) {
+  double total = 0.0;
+  for (const PassStats& s : trace) {
+    total += s.ms;
+  }
+  return total;
+}
+
+std::uint32_t SynthResult::ands_in() const {
+  return trace_ands_in(trace, circuit.num_ands());
+}
+
+double SynthResult::total_ms() const { return trace_total_ms(trace); }
+
+SynthResult PassManager::run(const aig::Aig& in, const Script& script,
+                             core::Rng* rng) const {
+  g_runs_executed.fetch_add(1, std::memory_order_relaxed);
+  const Clock::time_point start = Clock::now();
+  const auto out_of_time = [&] {
+    if (options_.time_budget_ms <= 0) {
+      return false;
+    }
+    const double elapsed =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    return elapsed > static_cast<double>(options_.time_budget_ms);
+  };
+
+  core::Rng fallback_rng(options_.approx_seed);
+  core::Rng& approx_rng = rng != nullptr ? *rng : fallback_rng;
+
+  SynthResult result;
+  const auto timed = [&result](const std::string& name, const aig::Aig& from,
+                               auto&& fn) {
+    PassStats stats;
+    stats.pass = name;
+    stats.ands_before = from.num_ands();
+    stats.levels_before = from.num_levels();
+    const Clock::time_point t0 = Clock::now();
+    aig::Aig to = fn();
+    stats.ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    stats.ands_after = to.num_ands();
+    stats.levels_after = to.num_levels();
+    result.trace.push_back(std::move(stats));
+    return to;
+  };
+  const auto run_approx = [&](const aig::Aig& from, std::uint32_t budget,
+                              std::uint32_t protect_depth) {
+    aig::ApproxOptions approx;
+    approx.node_budget = budget;
+    approx.protect_depth = protect_depth;
+    Pass spell;
+    spell.kind = PassKind::kApprox;
+    spell.node_budget = budget;
+    return timed(spell.spelling(), from, [&] {
+      return aig::approximate_to_budget(from, approx, approx_rng);
+    });
+  };
+  // Approximation can stall when output-protection shields every node;
+  // dropping the shield always reaches the budget on nonzero circuits.
+  const auto shrink_to = [&](aig::Aig circuit, std::uint32_t budget) {
+    if (circuit.num_ands() > budget) {
+      circuit = run_approx(circuit, budget,
+                           aig::ApproxOptions{}.protect_depth);
+    }
+    if (circuit.num_ands() > budget) {
+      circuit = run_approx(circuit, budget, /*protect_depth=*/0);
+    }
+    return circuit;
+  };
+
+  aig::Aig current = in;
+  // The monotonicity baseline: a run never beats cleanup by less than zero.
+  aig::Aig best = in.cleanup();
+  bool timed_out = false;
+  const int rounds = options_.max_rounds > 1 ? options_.max_rounds : 1;
+  for (int round = 0; round < rounds && !timed_out; ++round) {
+    const std::uint32_t at_round_start = current.num_ands();
+    for (const Pass& pass : script.passes) {
+      if (out_of_time()) {
+        timed_out = true;
+        break;
+      }
+      // Every preset opens with "c"; reuse the baseline cleanup there
+      // instead of cleaning the raw circuit twice back to back.
+      const bool is_baseline =
+          round == 0 && &pass == script.passes.data() &&
+          pass.kind == PassKind::kCleanup;
+      switch (pass.kind) {
+        case PassKind::kCleanup:
+          current = timed("c", current, [&] {
+            return is_baseline ? best : current.cleanup();
+          });
+          break;
+        case PassKind::kBalance:
+          current = timed("b", current, [&] { return aig::balance(current); });
+          break;
+        case PassKind::kRewrite:
+        case PassKind::kRefactor:
+          current = timed(pass.spelling(), current, [&] {
+            return aig::rewrite(current, pass.effective_cut_size(),
+                                pass.effective_cuts_per_node());
+          });
+          break;
+        case PassKind::kApprox: {
+          const std::uint32_t budget =
+              pass.node_budget > 0 ? pass.node_budget : options_.node_budget;
+          if (budget > 0 && current.num_ands() > budget) {
+            current = shrink_to(std::move(current), budget);
+            // The function changed: earlier snapshots are incomparable.
+            best = current;
+          }
+          break;
+        }
+      }
+      if (pass.kind != PassKind::kApprox && improves(current, best)) {
+        best = current;
+      }
+    }
+    // Another round only pays while the script keeps shrinking the AIG.
+    if (current.num_ands() >= at_round_start) {
+      break;
+    }
+  }
+  // Hand back the best snapshot. Recorded in the trace whenever it differs
+  // from where the script ended, so the trace always reconciles with the
+  // returned circuit even when a late pass regressed.
+  if (current.num_ands() != best.num_ands() ||
+      current.num_levels() != best.num_levels()) {
+    current = timed("restore", current, [&] { return best; });
+  } else {
+    current = best;
+  }
+
+  // Budget guarantee: approximate down if the script left the circuit
+  // over, escalating until the cap provably holds.
+  if (options_.node_budget > 0 && current.num_ands() > options_.node_budget) {
+    current = shrink_to(std::move(current), options_.node_budget);
+  }
+  if (options_.node_budget > 0 && current.num_ands() > options_.node_budget) {
+    // Pathological fallback: a constant circuit always fits any budget.
+    // Each output gets its own majority constant under random simulation.
+    current = timed("const", current, [&] {
+      constexpr std::size_t kPatterns = 1024;
+      std::vector<core::BitVec> patterns(current.num_pis(),
+                                         core::BitVec(kPatterns));
+      std::vector<const core::BitVec*> pi_values;
+      pi_values.reserve(patterns.size());
+      for (auto& p : patterns) {
+        p.randomize(approx_rng);
+        pi_values.push_back(&p);
+      }
+      const auto sim = current.simulate(pi_values);
+      aig::Aig constant(current.num_pis());
+      for (std::size_t o = 0; o < current.num_outputs(); ++o) {
+        constant.add_output(2 * sim[o].count() >= kPatterns ? aig::kLitTrue
+                                                            : aig::kLitFalse);
+      }
+      return constant;
+    });
+  }
+
+  result.circuit = std::move(current);
+  return result;
+}
+
+SynthResult PassManager::run_cached(const aig::Aig& in,
+                                    const Script& script) const {
+  if (options_.time_budget_ms > 0) {
+    return run(in, script);  // time-dependent results are never memoized
+  }
+  const std::uint64_t key = core::hash_combine(
+      core::hash_combine(in.content_hash(), script.fingerprint()),
+      options_.fingerprint());
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex());
+    const auto it = memo_table().find(key);
+    if (it != memo_table().end()) {
+      g_memo_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  SynthResult result = run(in, script);
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex());
+    if (memo_table().size() < kMemoMaxEntries) {
+      memo_table().emplace(key, result);
+    }
+  }
+  return result;
+}
+
+std::uint64_t PassManager::runs_executed() {
+  return g_runs_executed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t PassManager::memo_hits() {
+  return g_memo_hits.load(std::memory_order_relaxed);
+}
+
+void PassManager::reset_counters() {
+  g_runs_executed.store(0, std::memory_order_relaxed);
+  g_memo_hits.store(0, std::memory_order_relaxed);
+}
+
+void PassManager::clear_memo() {
+  std::lock_guard<std::mutex> lock(memo_mutex());
+  memo_table().clear();
+}
+
+std::uint64_t Pipeline::fingerprint() const {
+  return core::hash_combine(script.fingerprint(), options.fingerprint());
+}
+
+namespace {
+
+Pipeline& default_pipeline_storage() {
+  static Pipeline pipeline{Script::preset("fast"), SynthOptions{}};
+  return pipeline;
+}
+
+}  // namespace
+
+const Pipeline& default_pipeline() { return default_pipeline_storage(); }
+
+Pipeline set_default_pipeline(Pipeline pipeline) {
+  Pipeline previous = std::move(default_pipeline_storage());
+  default_pipeline_storage() = std::move(pipeline);
+  return previous;
+}
+
+}  // namespace lsml::synth

@@ -8,6 +8,23 @@
 namespace lsml::portfolio {
 namespace {
 
+portfolio::BenchmarkResult make_result(int id, std::string bench,
+                                       std::string method, double train_acc,
+                                       double valid_acc, double test_acc,
+                                       std::uint32_t num_ands,
+                                       std::uint32_t num_levels) {
+  BenchmarkResult r;
+  r.benchmark_id = id;
+  r.benchmark = std::move(bench);
+  r.method = std::move(method);
+  r.train_acc = train_acc;
+  r.valid_acc = valid_acc;
+  r.test_acc = test_acc;
+  r.num_ands = num_ands;
+  r.num_levels = num_levels;
+  return r;
+}
+
 std::vector<oracle::Benchmark> tiny_suite() {
   oracle::SuiteOptions options;
   options.rows_per_split = 200;
@@ -112,9 +129,9 @@ TEST(Contest, TimeBudgetIsReportedConsistently) {
 TEST(Contest, OverfitIsValidMinusTest) {
   TeamRun run;
   run.results.push_back(
-      BenchmarkResult{0, "a", "m", 1.0, 0.9, 0.8, 10, 3});
+      make_result(0, "a", "m", 1.0, 0.9, 0.8, 10, 3));
   run.results.push_back(
-      BenchmarkResult{1, "b", "m", 1.0, 0.7, 0.7, 20, 4});
+      make_result(1, "b", "m", 1.0, 0.7, 0.7, 20, 4));
   EXPECT_NEAR(run.overfit(), 0.05, 1e-12);
   EXPECT_NEAR(run.avg_ands(), 15.0, 1e-12);
 }
@@ -127,9 +144,9 @@ TEST(Contest, ParetoIsMonotoneInBudget) {
   strong.team = 2;
   for (int b = 0; b < 5; ++b) {
     cheap.results.push_back(
-        BenchmarkResult{b, "ex", "m", 0, 0, 0.7, 50, 5});
+        make_result(b, "ex", "m", 0, 0, 0.7, 50, 5));
     strong.results.push_back(
-        BenchmarkResult{b, "ex", "m", 0, 0, 0.95, 2000, 9});
+        make_result(b, "ex", "m", 0, 0, 0.95, 2000, 9));
   }
   const auto points =
       virtual_best_pareto({cheap, strong}, {100.0, 5000.0});
@@ -142,11 +159,11 @@ TEST(Contest, ParetoIsMonotoneInBudget) {
 
 TEST(Contest, MaxAccuracyPerBenchmark) {
   TeamRun a;
-  a.results.push_back(BenchmarkResult{0, "x", "m", 0, 0, 0.6, 1, 1});
-  a.results.push_back(BenchmarkResult{1, "y", "m", 0, 0, 0.9, 1, 1});
+  a.results.push_back(make_result(0, "x", "m", 0, 0, 0.6, 1, 1));
+  a.results.push_back(make_result(1, "y", "m", 0, 0, 0.9, 1, 1));
   TeamRun b;
-  b.results.push_back(BenchmarkResult{0, "x", "m", 0, 0, 0.8, 1, 1});
-  b.results.push_back(BenchmarkResult{1, "y", "m", 0, 0, 0.5, 1, 1});
+  b.results.push_back(make_result(0, "x", "m", 0, 0, 0.8, 1, 1));
+  b.results.push_back(make_result(1, "y", "m", 0, 0, 0.5, 1, 1));
   const auto best = max_accuracy_per_benchmark({a, b});
   EXPECT_EQ(best, (std::vector<double>{0.8, 0.9}));
 }
@@ -154,13 +171,13 @@ TEST(Contest, MaxAccuracyPerBenchmark) {
 TEST(Contest, WinRatesCountBestAndNearBest) {
   TeamRun a;
   a.team = 1;
-  a.results.push_back(BenchmarkResult{0, "x", "m", 0, 0, 0.90, 1, 1});
+  a.results.push_back(make_result(0, "x", "m", 0, 0, 0.90, 1, 1));
   TeamRun b;
   b.team = 2;
-  b.results.push_back(BenchmarkResult{0, "x", "m", 0, 0, 0.895, 1, 1});
+  b.results.push_back(make_result(0, "x", "m", 0, 0, 0.895, 1, 1));
   TeamRun c;
   c.team = 3;
-  c.results.push_back(BenchmarkResult{0, "x", "m", 0, 0, 0.5, 1, 1});
+  c.results.push_back(make_result(0, "x", "m", 0, 0, 0.5, 1, 1));
   const auto rates = win_rates({a, b, c});
   EXPECT_EQ(rates[0].best, 1);
   EXPECT_EQ(rates[1].best, 0);
@@ -171,10 +188,10 @@ TEST(Contest, WinRatesCountBestAndNearBest) {
 TEST(Contest, LeaderboardSortsByAccuracy) {
   TeamRun a;
   a.team = 1;
-  a.results.push_back(BenchmarkResult{0, "x", "m", 0, 0.8, 0.6, 10, 2});
+  a.results.push_back(make_result(0, "x", "m", 0, 0.8, 0.6, 10, 2));
   TeamRun b;
   b.team = 2;
-  b.results.push_back(BenchmarkResult{0, "x", "m", 0, 0.9, 0.9, 30, 3});
+  b.results.push_back(make_result(0, "x", "m", 0, 0.9, 0.9, 30, 3));
   const std::string table = format_leaderboard({a, b});
   const auto pos2 = table.find("  2 ");
   const auto pos1 = table.find("  1 ");

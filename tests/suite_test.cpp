@@ -130,6 +130,10 @@ TEST(SuiteResultCache, RoundTripsBitExact) {
   task.result.test_acc = 2.0 / 7.0;
   task.result.num_ands = 4321;
   task.result.num_levels = 17;
+  task.result.synth_trace.push_back(
+      {"c", 6000, 5800, 40, 40, 0.125});
+  task.result.synth_trace.push_back(
+      {"rw -k 6", 5800, 4321, 40, 30, 17.03125});
   task.aag = "aag 0 0 0 0 0\n";
   cache.store("team3", "ex07", 0xdeadbeefULL, task);
 
@@ -143,6 +147,16 @@ TEST(SuiteResultCache, RoundTripsBitExact) {
   EXPECT_EQ(loaded->result.test_acc, task.result.test_acc);
   EXPECT_EQ(loaded->result.num_ands, 4321u);
   EXPECT_EQ(loaded->result.num_levels, 17u);
+  ASSERT_EQ(loaded->result.synth_trace.size(), 2u);
+  EXPECT_EQ(loaded->result.synth_trace[0].pass, "c");
+  EXPECT_EQ(loaded->result.synth_trace[1].pass, "rw -k 6");
+  EXPECT_EQ(loaded->result.synth_trace[1].ands_before, 5800u);
+  EXPECT_EQ(loaded->result.synth_trace[1].ands_after, 4321u);
+  EXPECT_EQ(loaded->result.synth_trace[1].levels_after, 30u);
+  EXPECT_EQ(loaded->result.synth_trace[1].ms, 17.03125)
+      << "hexfloat timings round-trip exactly";
+  EXPECT_EQ(loaded->result.synth_ands_in(), 6000u);
+  EXPECT_EQ(loaded->result.synth_ands_saved(), 6000u - 4321u);
   EXPECT_EQ(loaded->aag, task.aag);
 
   EXPECT_FALSE(cache.load("team3", "ex07", 0xdeadbef0ULL).has_value())
@@ -155,6 +169,42 @@ TEST(SuiteResultCache, DisabledStoreAlwaysMisses) {
   EXPECT_FALSE(cache.enabled());
   cache.store("t", "b", 1, CachedTask{});  // dropped, no crash
   EXPECT_FALSE(cache.load("t", "b", 1).has_value());
+}
+
+TEST(SuiteResultCache, PreSchemaBumpEntryIsAMiss) {
+  // A well-formed entry written by the v1 layout (no synth trace) must be
+  // treated as a plain miss by the v2 reader, never half-parsed.
+  const ResultCache cache(fresh_dir("schema_v1"));
+  cache.store("t", "b", 21, CachedTask{});  // creates the directory
+  write_file(cache.entry_path("t", "b", 21),
+             "# lsml-result v1\n"
+             "team t\n"
+             "benchmark_id 3\n"
+             "benchmark b\n"
+             "method dt\n"
+             "train_acc 0x1p-1\n"
+             "valid_acc 0x1p-1\n"
+             "test_acc 0x1p-1\n"
+             "num_ands 12\n"
+             "num_levels 4\n"
+             "aag 14\naag 0 0 0 0 0\n");
+  EXPECT_FALSE(cache.load("t", "b", 21).has_value());
+
+  // A current-version header over the old field layout is corrupt, not
+  // served: the missing synth_passes field fails the parse.
+  write_file(cache.entry_path("t", "b", 21),
+             "# lsml-result v2\n"
+             "team t\n"
+             "benchmark_id 3\n"
+             "benchmark b\n"
+             "method dt\n"
+             "train_acc 0x1p-1\n"
+             "valid_acc 0x1p-1\n"
+             "test_acc 0x1p-1\n"
+             "num_ands 12\n"
+             "num_levels 4\n"
+             "aag 14\naag 0 0 0 0 0\n");
+  EXPECT_FALSE(cache.load("t", "b", 21).has_value());
 }
 
 TEST(SuiteResultCache, CorruptEntryIsAMiss) {
@@ -245,6 +295,20 @@ TEST_F(SuiteRunner, SecondRunIsAllCacheHitsAndBitIdentical) {
   cold.write_artifacts = false;
   expect_same_runs(first.runs,
                    run_suite_dir(suite_dir, entries(), cold).runs);
+
+  // Fresh (cache-less) runs are byte-deterministic at any thread count:
+  // pass wall times never reach the leaderboards.
+  RunnerOptions fresh = options;
+  fresh.cache_dir.clear();
+  fresh.out_dir = fresh_dir("run_out_fresh1");
+  const RunnerReport f1 = run_suite_dir(suite_dir, entries(), fresh);
+  fresh.out_dir = fresh_dir("run_out_fresh2");
+  fresh.num_threads = 4;
+  const RunnerReport f2 = run_suite_dir(suite_dir, entries(), fresh);
+  EXPECT_EQ(read_file(f1.leaderboard_csv_path),
+            read_file(f2.leaderboard_csv_path));
+  EXPECT_EQ(read_file(f1.leaderboard_json_path),
+            read_file(f2.leaderboard_json_path));
 }
 
 TEST_F(SuiteRunner, CacheKeysCoverSeedSaltAndContents) {
@@ -274,6 +338,15 @@ TEST_F(SuiteRunner, CacheKeysCoverSeedSaltAndContents) {
   salted.config_salt = 1;
   EXPECT_EQ(warm(salted).cache_misses, 2) << "salt is part of the key";
 
+  RunnerOptions rescripted = options;
+  rescripted.pipeline.script = synth::Script::preset("resyn2");
+  EXPECT_EQ(warm(rescripted).cache_misses, 2)
+      << "the optimization script is part of the key";
+  RunnerOptions rebudgeted = options;
+  rebudgeted.pipeline.options.node_budget = 123;
+  EXPECT_EQ(warm(rebudgeted).cache_misses, 2)
+      << "the node budget is part of the key";
+
   // The same factory under a different team number draws a different RNG
   // stream (contest_rng), so it must never hit the other number's rows.
   const std::vector<portfolio::ContestEntry> renumbered = {
@@ -290,6 +363,33 @@ TEST_F(SuiteRunner, CacheKeysCoverSeedSaltAndContents) {
   text[cube + 1] = text[cube + 1] == '0' ? '1' : '0';
   write_file(manifest[0].train_path, text);
   EXPECT_EQ(warm(options).cache_misses, 2) << "contents are part of the key";
+}
+
+TEST_F(SuiteRunner, HonorsTheSoftTimeBudget) {
+  const std::string suite_dir = fresh_dir("budget_suite");
+  GenerateOptions gen;
+  gen.first = 0;
+  gen.last = 0;
+  gen.rows_per_split = 40;
+  generate_suite(suite_dir, gen);
+  RunnerOptions options;
+  options.cache_dir.clear();
+  options.write_artifacts = false;
+  options.num_threads = 1;
+  options.time_budget_ms = 1;  // tight enough that real runs usually blow it
+  const RunnerReport report = run_suite_dir(suite_dir, entries(), options);
+  ASSERT_EQ(report.runs.size(), 2u);
+  EXPECT_EQ(report.runs[0].results.size(), 1u) << "all tasks still run";
+  // Same contract as portfolio::run_contest: defined by elapsed vs budget,
+  // not by how fast this machine happens to be.
+  EXPECT_EQ(report.stats.budget_exceeded,
+            report.stats.elapsed_ms >
+                static_cast<double>(options.time_budget_ms));
+  EXPECT_EQ(report.stats.tasks_completed, 2);
+
+  options.time_budget_ms = 0;
+  const RunnerReport unlimited = run_suite_dir(suite_dir, entries(), options);
+  EXPECT_FALSE(unlimited.stats.budget_exceeded) << "0 means no budget";
 }
 
 TEST_F(SuiteRunner, RerunDropsStaleArtifacts) {

@@ -1,0 +1,280 @@
+// synth:: pass-manager tests: script parsing, preset properties over
+// random AIGs (equivalence, budget, determinism, monotonicity), the
+// process-wide memo, and the one-pipeline-per-task contract.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/aig_io.hpp"
+#include "aig/aig_random.hpp"
+#include "learn/factory.hpp"
+#include "oracle/suite.hpp"
+#include "portfolio/contest.hpp"
+#include "synth/pass_manager.hpp"
+#include "synth/script.hpp"
+
+namespace lsml::synth {
+namespace {
+
+// ---------------------------------------------------------------- scripts
+
+TEST(Script, ParsesAndRoundTrips) {
+  const Script s = Script::parse("b;rw;b;rw -k 6");
+  ASSERT_EQ(s.passes.size(), 4u);
+  EXPECT_EQ(s.passes[0].kind, PassKind::kBalance);
+  EXPECT_EQ(s.passes[1].kind, PassKind::kRewrite);
+  EXPECT_EQ(s.passes[1].effective_cut_size(), 4);
+  EXPECT_EQ(s.passes[3].cut_size, 6);
+  EXPECT_EQ(s.str(), "b; rw; b; rw -k 6");
+  EXPECT_EQ(Script::parse(s.str()).str(), s.str()) << "canonical round-trip";
+  // Long spellings and loose whitespace are accepted.
+  const Script long_form =
+      Script::parse(" balance ; rewrite -k 5 ; cleanup; approx -n 100 ");
+  EXPECT_EQ(long_form.str(), "b; rw -k 5; c; approx -n 100");
+}
+
+TEST(Script, RejectsMalformedInput) {
+  EXPECT_THROW(Script::parse(""), std::invalid_argument);
+  EXPECT_THROW(Script::parse("  ;  "), std::invalid_argument);
+  EXPECT_THROW(Script::parse("b; frobnicate"), std::invalid_argument);
+  EXPECT_THROW(Script::parse("rw -k"), std::invalid_argument);
+  EXPECT_THROW(Script::parse("rw -k 9"), std::invalid_argument);
+  EXPECT_THROW(Script::parse("rw -k -3"), std::invalid_argument);
+  EXPECT_THROW(Script::parse("b -k 4"), std::invalid_argument);
+  EXPECT_THROW(Script::parse("approx -k 4"), std::invalid_argument);
+  EXPECT_THROW(Script::parse("rw -n 100"), std::invalid_argument);
+  EXPECT_THROW(Script::preset("resyn3"), std::invalid_argument);
+}
+
+TEST(Script, PresetsResolveAndFingerprintsDiffer) {
+  for (const std::string& name : Script::preset_names()) {
+    const Script s = Script::preset(name);
+    EXPECT_EQ(s.name, name);
+    EXPECT_FALSE(s.passes.empty());
+    EXPECT_EQ(Script::named_or_parse(name).str(), s.str());
+  }
+  EXPECT_NE(Script::preset("fast").fingerprint(),
+            Script::preset("resyn2").fingerprint());
+  EXPECT_NE(Script::preset("resyn2").fingerprint(),
+            Script::preset("compress2max").fingerprint());
+  // A parsed script spelled like a preset fingerprints like it too.
+  EXPECT_EQ(Script::parse("c; b; rw").fingerprint(),
+            Script::preset("fast").fingerprint());
+  EXPECT_EQ(Script::approx_to(50).str(), "approx -n 50");
+}
+
+// ------------------------------------------------- preset property tests
+
+bool equivalent_exhaustive(const aig::Aig& a, const aig::Aig& b) {
+  // Packed simulation over every minterm of up to 16 PIs.
+  const std::size_t rows = std::size_t{1} << a.num_pis();
+  std::vector<core::BitVec> cols(a.num_pis(), core::BitVec(rows));
+  std::vector<const core::BitVec*> ptrs;
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      if ((r >> c) & 1) {
+        cols[c].set(r, true);
+      }
+    }
+    ptrs.push_back(&cols[c]);
+  }
+  const auto sa = a.simulate(ptrs);
+  const auto sb = b.simulate(ptrs);
+  return sa[0] == sb[0];
+}
+
+class PresetProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(PresetProperty, PreservesFunctionNeverRegressesAndIsDeterministic) {
+  const auto& [preset, seed] = GetParam();
+  core::Rng rng(static_cast<std::uint64_t>(seed) * 97 + 11);
+  aig::ConeOptions cone;
+  cone.num_inputs = 8;
+  cone.num_ands = 140;
+  cone.flavor = seed % 2 ? aig::ConeFlavor::kXorRich
+                         : aig::ConeFlavor::kRandom;
+  const aig::Aig g = aig::random_cone(cone, rng);
+
+  SynthOptions options;  // default budget far above these cones
+  const PassManager manager(options);
+  const SynthResult result = manager.run(g, Script::preset(preset));
+
+  // Functionality-preserving scripts must be exhaustively equivalent.
+  EXPECT_TRUE(equivalent_exhaustive(g, result.circuit))
+      << preset << " changed the function (seed " << seed << ")";
+  // Monotonicity: never worse than plain cleanup.
+  EXPECT_LE(result.circuit.num_ands(), g.cleanup().num_ands());
+  // Budget: trivially satisfied here, but the contract is unconditional.
+  EXPECT_LE(result.circuit.num_ands(), options.node_budget);
+  // The trace observed every pass of at least one round.
+  EXPECT_GE(result.trace.size(), Script::preset(preset).passes.size());
+  EXPECT_EQ(result.ands_in(), g.num_ands());
+
+  // Determinism: an identical second run serializes identically.
+  const SynthResult again = manager.run(g, Script::preset(preset));
+  std::ostringstream first, second;
+  aig::write_aag(result.circuit, first);
+  aig::write_aag(again.circuit, second);
+  EXPECT_EQ(first.str(), second.str());
+  ASSERT_EQ(result.trace.size(), again.trace.size());
+  for (std::size_t i = 0; i < result.trace.size(); ++i) {
+    EXPECT_EQ(result.trace[i].pass, again.trace[i].pass);
+    EXPECT_EQ(result.trace[i].ands_after, again.trace[i].ands_after);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, PresetProperty,
+    ::testing::Combine(::testing::Values("fast", "resyn2", "compress2max"),
+                       ::testing::Range(1, 5)));
+
+TEST(PassManager, BudgetIsEnforcedByApproximation) {
+  core::Rng rng(12);
+  aig::ConeOptions cone;
+  cone.num_inputs = 10;
+  cone.num_ands = 300;
+  const aig::Aig g = aig::random_cone(cone, rng);
+
+  SynthOptions options;
+  options.node_budget = 50;
+  const PassManager manager(options);
+  const SynthResult result = manager.run(g, Script::preset("fast"));
+  EXPECT_LE(result.circuit.num_ands(), 50u);
+  bool saw_approx = false;
+  for (const PassStats& s : result.trace) {
+    saw_approx |= s.pass.rfind("approx", 0) == 0;
+  }
+  EXPECT_TRUE(saw_approx) << "the cap must come from an approx pass";
+
+  // Approximation draws from options.approx_seed when no RNG is passed,
+  // so even the function-changing path is reproducible.
+  const SynthResult again = manager.run(g, Script::preset("fast"));
+  std::ostringstream first, second;
+  aig::write_aag(result.circuit, first);
+  aig::write_aag(again.circuit, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(PassManager, ExplicitApproxPassRespectsItsOwnBudget) {
+  core::Rng rng(5);
+  aig::ConeOptions cone;
+  cone.num_inputs = 9;
+  cone.num_ands = 200;
+  const aig::Aig g = aig::random_cone(cone, rng);
+  SynthOptions options;
+  options.node_budget = 0;  // uncapped overall...
+  const PassManager manager(options);
+  const SynthResult result = manager.run(g, Script::parse("b; approx -n 40"));
+  EXPECT_LE(result.circuit.num_ands(), 40u)
+      << "...but the script's own approx budget still applies";
+}
+
+// ----------------------------------------------------------- memo + tasks
+
+TEST(PassManager, MemoDeduplicatesStructurallyIdenticalCircuits) {
+  PassManager::clear_memo();
+  PassManager::reset_counters();
+  // Two independently built but structurally identical circuits.
+  const auto build = [] {
+    aig::Aig g(4);
+    g.add_output(g.and2(g.xor2(g.pi(0), g.pi(1)), g.or2(g.pi(2), g.pi(3))));
+    return g;
+  };
+  const aig::Aig a = build();
+  const aig::Aig b = build();
+  ASSERT_EQ(a.content_hash(), b.content_hash());
+
+  const PassManager manager;
+  const SynthResult ra = manager.run_cached(a, Script::preset("fast"));
+  const SynthResult rb = manager.run_cached(b, Script::preset("fast"));
+  EXPECT_EQ(PassManager::runs_executed(), 1u)
+      << "the second circuit must be served from the memo";
+  EXPECT_EQ(PassManager::memo_hits(), 1u);
+  EXPECT_EQ(ra.circuit.num_ands(), rb.circuit.num_ands());
+
+  // A different script is a different memo row.
+  (void)manager.run_cached(a, Script::preset("resyn2"));
+  EXPECT_EQ(PassManager::runs_executed(), 2u);
+}
+
+TEST(PassManager, EachContestTaskRunsThePipelineExactlyOnce) {
+  oracle::SuiteOptions suite_options;
+  suite_options.rows_per_split = 120;
+  const oracle::Benchmark bench = oracle::make_benchmark(30, suite_options);
+
+  PassManager::clear_memo();
+  PassManager::reset_counters();
+  const auto learner = learn::LearnerFactory::from_registry("dt").make();
+  core::Rng rng = portfolio::contest_rng(2020, 1, bench.id);
+  const portfolio::BenchmarkResult result =
+      portfolio::evaluate_on(*learner, bench, rng);
+  EXPECT_EQ(PassManager::runs_executed(), 1u)
+      << "one task, one pipeline invocation (got "
+      << PassManager::runs_executed() << ")";
+  EXPECT_FALSE(result.synth_trace.empty());
+  EXPECT_LE(result.num_ands, default_pipeline().options.node_budget);
+  EXPECT_EQ(result.synth_ands_in(), result.synth_trace.front().ands_before);
+  PassManager::clear_memo();
+}
+
+namespace {
+
+/// A rogue learner that hands back an over-budget raw circuit without
+/// going through finish_model, to exercise evaluate_on's hard guarantee.
+class RogueLearner final : public learn::Learner {
+ public:
+  [[nodiscard]] std::string name() const override { return "rogue"; }
+  learn::TrainedModel fit(const data::Dataset& train,
+                          const data::Dataset& valid,
+                          core::Rng& rng) override {
+    (void)train;
+    (void)valid;
+    aig::ConeOptions cone;
+    cone.num_inputs = 10;
+    cone.num_ands = 400;
+    learn::TrainedModel m;
+    m.circuit = aig::random_cone(cone, rng);
+    m.method = "rogue";
+    return m;
+  }
+};
+
+}  // namespace
+
+TEST(PassManager, EvaluateOnEnforcesTheArtifactBudget) {
+  Pipeline small = default_pipeline();
+  small.options.node_budget = 100;
+  const ScopedPipeline scoped(small);
+
+  oracle::SuiteOptions suite_options;
+  suite_options.rows_per_split = 64;
+  const oracle::Benchmark bench = oracle::make_benchmark(30, suite_options);
+  RogueLearner rogue;
+  core::Rng rng(9);
+  aig::Aig circuit{0};
+  const portfolio::BenchmarkResult result =
+      portfolio::evaluate_on(rogue, bench, rng, &circuit);
+  EXPECT_LE(result.num_ands, 100u);
+  EXPECT_LE(circuit.num_ands(), 100u);
+  EXPECT_NE(result.method.find("+budget"), std::string::npos);
+  EXPECT_FALSE(result.synth_trace.empty());
+}
+
+TEST(ContestStats, BothDriversFlagTheSoftBudgetConsistently) {
+  const double elapsed = 12.5;
+  portfolio::ContestStats a;
+  portfolio::ContestStats b;
+  EXPECT_TRUE(portfolio::finalize_contest_stats(elapsed, 4, 1, 0, &a));
+  EXPECT_FALSE(portfolio::finalize_contest_stats(elapsed, 4, 0, 0, &b));
+  EXPECT_TRUE(a.budget_exceeded);
+  EXPECT_EQ(a.tasks_completed, 4);
+  EXPECT_EQ(a.elapsed_ms, elapsed);
+  EXPECT_FALSE(b.budget_exceeded) << "0 means unlimited";
+  EXPECT_FALSE(
+      portfolio::finalize_contest_stats(12.5, 4, 13, 0, nullptr));
+}
+
+}  // namespace
+}  // namespace lsml::synth

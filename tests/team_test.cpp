@@ -74,23 +74,25 @@ TEST(Teams, TechniqueMatrixMatchesFig1Counts) {
 }
 
 TEST(SelectBest, PrefersAccurateWithinBudget) {
+  // Labels are the parity of the three inputs: no optimization pass can
+  // reduce an exact model to zero gates, so the budget bites for real.
   data::Dataset train(3, 16);
   data::Dataset valid(3, 16);
   core::Rng rng(1);
   for (std::size_t r = 0; r < 16; ++r) {
-    train.set_input(r, 0, r & 1);
-    train.set_label(r, r & 1);
-    valid.set_input(r, 0, r & 1);
-    valid.set_label(r, r & 1);
+    const std::size_t m = r & 7;
+    for (std::size_t c = 0; c < 3; ++c) {
+      train.set_input(r, c, (m >> c) & 1);
+      valid.set_input(r, c, (m >> c) & 1);
+    }
+    const bool parity = ((m >> 0) ^ (m >> 1) ^ (m >> 2)) & 1;
+    train.set_label(r, parity);
+    valid.set_label(r, parity);
   }
-  // Candidate A: perfect but "huge" (we force budget below its size).
+  // Candidate A: perfect (exact parity) but over any zero-gate budget.
   aig::Aig big(3);
-  aig::Lit acc = big.pi(0);
-  for (int i = 0; i < 10; ++i) {
-    acc = big.and2(acc, big.or2(big.pi(1), acc));
-  }
-  big.add_output(big.or2(big.pi(0), big.and2(acc, aig::lit_not(acc))));
-  // Candidate B: also computes x0, tiny.
+  big.add_output(big.xor2(big.xor2(big.pi(0), big.pi(1)), big.pi(2)));
+  // Candidate B: a bare PI — 50% accurate, zero gates.
   aig::Aig small(3);
   small.add_output(small.pi(0));
 
@@ -98,10 +100,13 @@ TEST(SelectBest, PrefersAccurateWithinBudget) {
   candidates.push_back(learn::finish_model(std::move(big), "big", train, valid));
   candidates.push_back(
       learn::finish_model(std::move(small), "small", train, valid));
+  EXPECT_GT(candidates[0].valid_acc, candidates[1].valid_acc);
+  EXPECT_GT(candidates[0].circuit.num_ands(), 0u);
   const std::uint32_t budget = 0;  // only the PI-only model fits
   const auto chosen = select_best_within_budget(std::move(candidates), train,
                                                 valid, budget, rng);
-  EXPECT_EQ(chosen.method, "small");
+  EXPECT_EQ(chosen.method, "small")
+      << "within-budget must beat more-accurate-over-budget";
 }
 
 TEST(SelectBest, ApproximatesWhenNothingFits) {
