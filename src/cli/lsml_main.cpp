@@ -19,14 +19,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "aig/aig_io.hpp"
 #include "core/config.hpp"
 #include "learn/factory.hpp"
+#include "pla/pla.hpp"
 #include "portfolio/contest.hpp"
 #include "portfolio/team.hpp"
+#include "sat/cec.hpp"
 #include "suite/generate.hpp"
 #include "suite/manifest.hpp"
 #include "suite/runner.hpp"
@@ -55,17 +60,31 @@ constexpr const char* kUsage =
     "      --seed S             contest seed              [2020]\n"
     "      --scale smoke|fast|full  team grid sizes       [fast]\n"
     "      --opt-script S       preset name or pass script [fast]\n"
-    "                           (presets: fast, resyn2, compress2max;\n"
-    "                            script syntax e.g. \"b;rw;b;rw -k 6\")\n"
+    "                           (presets: fast, resyn2, resyn2fs,\n"
+    "                            compress2max; script syntax e.g.\n"
+    "                            \"b;rw;b;rw -k 6\" or \"b;rw;fs -c 500\")\n"
     "      --max-gates N        AND-gate cap on artifacts [5000, 0 = off]\n"
     "      --opt-rounds N       script repetitions        [3]\n"
     "      --time-budget-ms N   soft run budget, 0 = off  [0]\n"
+    "      --verify             SAT-certify every artifact's pipeline run\n"
+    "                           (adds the leaderboard's verified column)\n"
     "  synth <in.aag>   optimize one AIGER file, print the pass trace\n"
+    "                   (`-` reads the AIGER text from stdin)\n"
     "      --script S           preset name or pass script [resyn2]\n"
+    "                           (presets include resyn2fs = resyn2 + SAT\n"
+    "                            sweeping; pass `fs -c N` bounds conflicts)\n"
     "      --max-gates N        AND-gate cap              [5000, 0 = off]\n"
     "      --rounds N           script repetitions        [1]\n"
     "      --seed S             approximation RNG seed\n"
     "      --out FILE           write the optimized AIGER here\n"
+    "      --verify             SAT-certify the run (exit 1 if it failed)\n"
+    "  cec <a.aag> <b.aag>  SAT equivalence check (`-` = stdin, once)\n"
+    "      --conflicts N        solver conflict budget, 0 = unlimited\n"
+    "                           [100000]\n"
+    "      --cex-out FILE       append the counterexample minterm (labeled\n"
+    "                           by circuit a) to a replayable .pla dump\n"
+    "      exit: 0 equivalent, 1 not equivalent (counterexample printed),\n"
+    "            2 undecided within budget, 3 usage/input error\n"
     "  teams            list team numbers and registered learner names\n"
     "\n"
     "common run/synth flags: -v / -vv for progress on stderr\n";
@@ -293,6 +312,8 @@ int cmd_run(const std::vector<std::string>& args) {
         return 2;
       }
       options.time_budget_ms = static_cast<std::int64_t>(u);
+    } else if (args[i] == "--verify") {
+      options.pipeline.options.verify_equivalence = true;
     } else if (args[i] == "-v") {
       options.verbosity = 1;
     } else if (args[i] == "-vv") {
@@ -348,6 +369,18 @@ int cmd_run(const std::vector<std::string>& args) {
               options.pipeline.script.str().c_str(),
               options.pipeline.options.node_budget,
               options.pipeline.options.max_rounds);
+  if (options.pipeline.options.verify_equivalence) {
+    double verified = 0.0;
+    for (const auto& run : report.runs) {
+      verified += run.verified_fraction();
+    }
+    std::printf("verification: %.0f%% of artifacts SAT-certified exact "
+                "(see the leaderboard's verified column)\n",
+                report.runs.empty()
+                    ? 0.0
+                    : 100.0 * verified /
+                          static_cast<double>(report.runs.size()));
+  }
   {
     double saved = 0.0;
     double synth_ms = 0.0;
@@ -378,8 +411,8 @@ int cmd_run(const std::vector<std::string>& args) {
 }
 
 int cmd_synth(const std::vector<std::string>& args) {
-  if (args.empty() || args[0][0] == '-') {
-    return usage_error("synth needs an input .aag file");
+  if (args.empty() || (args[0][0] == '-' && args[0] != "-")) {
+    return usage_error("synth needs an input .aag file (or - for stdin)");
   }
   const std::string in_path = args[0];
   std::string script_text = "resyn2";
@@ -418,6 +451,8 @@ int cmd_synth(const std::vector<std::string>& args) {
         return 2;
       }
       synth_options.time_budget_ms = static_cast<std::int64_t>(u);
+    } else if (args[i] == "--verify") {
+      synth_options.verify_equivalence = true;
     } else if (args[i] == "-v" || args[i] == "-vv") {
       // The trace is always printed; nothing further to say.
     } else {
@@ -428,7 +463,8 @@ int cmd_synth(const std::vector<std::string>& args) {
   synth_options.node_budget = static_cast<std::uint32_t>(max_gates);
   synth_options.max_rounds = rounds;
 
-  const aig::Aig in = aig::read_aag_file(in_path);
+  const aig::Aig in =
+      in_path == "-" ? aig::read_aag(std::cin) : aig::read_aag_file(in_path);
   const synth::PassManager manager(synth_options);
   const synth::SynthResult result = manager.run(in, script);
 
@@ -457,11 +493,93 @@ int cmd_synth(const std::vector<std::string>& args) {
                         static_cast<double>(in_ands),
               in.num_levels(), result.circuit.num_levels(),
               result.total_ms());
+  if (synth_options.verify_equivalence) {
+    std::printf("verification: %s\n", synth::to_string(result.verify));
+  }
   if (!out_path.empty()) {
     aig::write_aag_file(result.circuit, out_path);
     std::printf("wrote %s\n", out_path.c_str());
   }
-  return 0;
+  return result.verify == synth::VerifyStatus::kFailed ? 1 : 0;
+}
+
+int cmd_cec(const std::vector<std::string>& args) {
+  const auto cec_usage = [](const std::string& message) {
+    std::fprintf(stderr, "lsml: %s\n\n%s", message.c_str(), kUsage);
+    return 3;  // exit codes 0/1/2 are verdicts; usage errors get 3
+  };
+  std::vector<std::string> paths;
+  sat::CecLimits limits;
+  std::string cex_out;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string value;
+    std::uint64_t u = 0;
+    if (args[i] == "--conflicts") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
+        return cec_usage("--conflicts needs a non-negative integer");
+      }
+      limits.conflict_budget = static_cast<std::int64_t>(u);
+    } else if (args[i] == "--cex-out") {
+      if (!flag_value(args, &i, &cex_out)) {
+        return cec_usage("--cex-out needs a file path");
+      }
+    } else if (args[i] == "-" || args[i][0] != '-') {
+      paths.push_back(args[i]);
+    } else {
+      return cec_usage("unknown cec option " + args[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    return cec_usage("cec needs exactly two .aag files");
+  }
+  if (paths[0] == "-" && paths[1] == "-") {
+    return cec_usage("only one cec input may be stdin");
+  }
+  const auto load = [](const std::string& path) {
+    return path == "-" ? aig::read_aag(std::cin) : aig::read_aag_file(path);
+  };
+  const aig::Aig a = load(paths[0]);
+  const aig::Aig b = load(paths[1]);
+  const sat::CecResult result = sat::cec(a, b, limits);
+  switch (result.status) {
+    case sat::CecStatus::kEquivalent:
+      std::printf("EQUIVALENT (%llu conflicts)\n",
+                  static_cast<unsigned long long>(
+                      result.solver_stats.conflicts));
+      return 0;
+    case sat::CecStatus::kUndecided:
+      std::printf("UNDECIDED: conflict budget (%lld) exhausted\n",
+                  static_cast<long long>(limits.conflict_budget));
+      return 2;
+    case sat::CecStatus::kNotEquivalent:
+      break;
+  }
+  // Print the counterexample as a PLA-style minterm so it pastes straight
+  // into the contest's data files: input cube, then each circuit's value.
+  std::string cube;
+  for (const std::uint8_t v : result.counterexample) {
+    cube += v != 0 ? '1' : '0';
+  }
+  const std::size_t o = result.failing_output;
+  std::printf("NOT EQUIVALENT on output %zu\ncounterexample %s  (%s -> %d, "
+              "%s -> %d)\n",
+              o, cube.c_str(), paths[0].c_str(),
+              a.eval_row(result.counterexample)[o] ? 1 : 0, paths[1].c_str(),
+              b.eval_row(result.counterexample)[o] ? 1 : 0);
+  if (!cex_out.empty()) {
+    // Grow a Dataset-compatible cube dump: one labeled minterm per
+    // NOT_EQUIVALENT verdict, labeled by circuit a (the reference),
+    // replayable through Aig::simulate / the PLA loaders.
+    data::Dataset dump;
+    if (std::filesystem::exists(cex_out)) {
+      dump = pla::read_pla_file(cex_out).to_dataset();
+    }
+    sat::append_cex_minterm(result.counterexample, a, &dump, o);
+    pla::write_pla_file(pla::Pla::from_dataset(dump), cex_out);
+    std::printf("appended counterexample to %s (%zu minterm(s))\n",
+                cex_out.c_str(), dump.num_rows());
+  }
+  return 1;
 }
 
 }  // namespace
@@ -487,6 +605,15 @@ int main(int argc, char** argv) {
     }
     if (command == "synth") {
       return cmd_synth(rest);
+    }
+    if (command == "cec") {
+      try {
+        return cmd_cec(rest);
+      } catch (const std::exception& e) {
+        // 0/1/2 are verdicts; anything that prevented a verdict is 3.
+        std::fprintf(stderr, "lsml: %s\n", e.what());
+        return 3;
+      }
     }
     if (command == "teams") {
       return cmd_teams();

@@ -18,6 +18,7 @@ TrainedModel finish_model(aig::Aig circuit, std::string method,
   TrainedModel m;
   m.circuit = std::move(optimized.circuit);
   m.synth_trace = std::move(optimized.trace);
+  m.verified = optimized.verify;
   m.method = std::move(method);
   m.train_acc = circuit_accuracy(m.circuit, train);
   m.valid_acc = circuit_accuracy(m.circuit, valid);

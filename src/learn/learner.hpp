@@ -32,6 +32,11 @@ struct TrainedModel {
   /// What the optimization pipeline did to the raw circuit (finish_model's
   /// run, plus any approximation a portfolio applied on top).
   std::vector<synth::PassStats> synth_trace;
+  /// SAT certification of that pipeline run (kNotRequested unless the
+  /// pipeline's SynthOptions enabled verify_equivalence). Certifies the
+  /// pass-manager run, not the learner: a later approximation downgrades
+  /// it to kSkippedApprox (and is also visible in the method suffix).
+  synth::VerifyStatus verified = synth::VerifyStatus::kNotRequested;
 };
 
 class Learner {

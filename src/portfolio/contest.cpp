@@ -59,6 +59,12 @@ double TeamRun::avg_synth_saved() const {
     return static_cast<double>(r.synth_ands_saved());
   });
 }
+double TeamRun::verified_fraction() const {
+  return mean(results, [](const BenchmarkResult& r) {
+    return r.verified == synth::VerifyStatus::kExact ? 1.0 : 0.0;
+  });
+}
+
 double TeamRun::total_synth_ms() const {
   double total = 0.0;
   for (const auto& r : results) {
@@ -104,6 +110,11 @@ BenchmarkResult evaluate_on(learn::Learner& learner,
     model.circuit = std::move(capped.circuit);
     model.synth_trace.insert(model.synth_trace.end(), capped.trace.begin(),
                              capped.trace.end());
+    // The artifact no longer equals whatever finish_model certified.
+    if (model.verified == synth::VerifyStatus::kExact ||
+        model.verified == synth::VerifyStatus::kUndecided) {
+      model.verified = synth::VerifyStatus::kSkippedApprox;
+    }
     model.method += "+budget";
     model.train_acc = learn::circuit_accuracy(model.circuit, bench.train);
     model.valid_acc = learn::circuit_accuracy(model.circuit, bench.valid);
@@ -118,6 +129,7 @@ BenchmarkResult evaluate_on(learn::Learner& learner,
   result.num_ands = model.circuit.num_ands();
   result.num_levels = model.circuit.num_levels();
   result.synth_trace = std::move(model.synth_trace);
+  result.verified = model.verified;
   if (circuit_out != nullptr) {
     *circuit_out = std::move(model.circuit);
   }

@@ -57,6 +57,12 @@ struct BenchmarkResult {
   /// per-pass trace from finish_model plus any portfolio approximation
   /// and the final budget enforcement. Persisted by suite::ResultCache.
   std::vector<synth::PassStats> synth_trace;
+  /// SAT certification of the artifact's pipeline run (the `verified`
+  /// leaderboard column). kExact means sat::cec proved the optimized
+  /// circuit equivalent to the raw learner output; any approximation on
+  /// top (the +budget/+approx method suffixes) downgrades to
+  /// kSkippedApprox. Persisted by suite::ResultCache.
+  synth::VerifyStatus verified = synth::VerifyStatus::kNotRequested;
 
   /// AND gates entering the pipeline (the raw lowered circuit).
   [[nodiscard]] std::uint32_t synth_ands_in() const;
@@ -81,6 +87,9 @@ struct TeamRun {
   [[nodiscard]] double avg_synth_ands_in() const;
   [[nodiscard]] double avg_synth_saved() const;
   [[nodiscard]] double total_synth_ms() const;
+  /// Fraction of this team's artifacts whose pipeline run was SAT-proved
+  /// exact (verified == kExact); 0 when verification was off.
+  [[nodiscard]] double verified_fraction() const;
 };
 
 /// The engine's one seeding rule: every (team, benchmark) task draws from

@@ -64,6 +64,12 @@ learn::TrainedModel select_best_within_budget(
     // Keep the discarded candidate's pipeline history, as below.
     finished.synth_trace.insert(finished.synth_trace.begin(),
                                 m.synth_trace.begin(), m.synth_trace.end());
+    // The artifact's function was replaced outright; the re-finish's
+    // certification must not read as "exact" on the leaderboard.
+    if (finished.verified == synth::VerifyStatus::kExact ||
+        finished.verified == synth::VerifyStatus::kUndecided) {
+      finished.verified = synth::VerifyStatus::kSkippedApprox;
+    }
     return finished;
   }
   synth::SynthOptions options = synth::default_pipeline().options;
@@ -81,6 +87,13 @@ learn::TrainedModel select_best_within_budget(
   shrunk.trace.insert(shrunk.trace.begin(), m.synth_trace.begin(),
                       m.synth_trace.end());
   finished.synth_trace = std::move(shrunk.trace);
+  // Same downgrade as evaluate_on's +budget path: the approximation
+  // changed the function, so the re-finish's certificate covers only the
+  // post-approx pipeline run, never the candidate the team trained.
+  if (finished.verified == synth::VerifyStatus::kExact ||
+      finished.verified == synth::VerifyStatus::kUndecided) {
+    finished.verified = synth::VerifyStatus::kSkippedApprox;
+  }
   return finished;
 }
 

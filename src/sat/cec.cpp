@@ -1,0 +1,96 @@
+#include "sat/cec.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sat/cnf.hpp"
+
+namespace lsml::sat {
+
+CecResult cec(const aig::Aig& a, const aig::Aig& b, const CecLimits& limits) {
+  if (a.num_pis() != b.num_pis()) {
+    throw std::invalid_argument("sat::cec: PI counts differ (" +
+                                std::to_string(a.num_pis()) + " vs " +
+                                std::to_string(b.num_pis()) + ")");
+  }
+  if (a.num_outputs() != b.num_outputs()) {
+    throw std::invalid_argument("sat::cec: output counts differ (" +
+                                std::to_string(a.num_outputs()) + " vs " +
+                                std::to_string(b.num_outputs()) + ")");
+  }
+  Solver solver;
+  CnfBuilder ca(solver, a);
+  CnfBuilder cb(solver, b, ca);
+  // The miter: some output pair differs.
+  std::vector<Lit> diffs;
+  diffs.reserve(a.num_outputs());
+  for (std::size_t i = 0; i < a.num_outputs(); ++i) {
+    diffs.push_back(add_xor(solver, ca.lit(a.output(i)), cb.lit(b.output(i))));
+  }
+  const Lit mismatch = add_or(solver, diffs);
+
+  Budget budget;
+  budget.max_conflicts = limits.conflict_budget;
+  budget.max_propagations = limits.propagation_budget;
+  const Status status = solver.solve({mismatch}, budget);
+
+  CecResult result;
+  result.solver_stats = solver.stats();
+  if (status == Status::kUnsat) {
+    result.status = CecStatus::kEquivalent;
+    return result;
+  }
+  if (status == Status::kUnknown) {
+    result.status = CecStatus::kUndecided;
+    return result;
+  }
+  result.status = CecStatus::kNotEquivalent;
+  result.counterexample.resize(a.num_pis());
+  for (std::uint32_t i = 0; i < a.num_pis(); ++i) {
+    result.counterexample[i] =
+        solver.model_value(ca.pi_lit(i)) ? std::uint8_t{1} : std::uint8_t{0};
+  }
+  // Identify a distinguishing output by replaying the cube; a model that
+  // fails to distinguish any output would mean the solver or encoding is
+  // unsound, which must never pass silently.
+  const std::vector<bool> va = a.eval_row(result.counterexample);
+  const std::vector<bool> vb = b.eval_row(result.counterexample);
+  bool found = false;
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    if (va[i] != vb[i]) {
+      result.failing_output = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    throw std::logic_error(
+        "sat::cec: SAT model does not distinguish the circuits "
+        "(solver or encoding bug)");
+  }
+  return result;
+}
+
+data::Dataset cex_to_minterm(const std::vector<std::uint8_t>& counterexample,
+                             const aig::Aig& oracle, std::size_t output) {
+  data::Dataset row(counterexample.size(), 1);
+  for (std::size_t i = 0; i < counterexample.size(); ++i) {
+    row.set_input(0, i, counterexample[i] != 0);
+  }
+  row.set_label(0, oracle.eval_row(counterexample)[output]);
+  return row;
+}
+
+void append_cex_minterm(const std::vector<std::uint8_t>& counterexample,
+                        const aig::Aig& oracle, data::Dataset* out,
+                        std::size_t output) {
+  data::Dataset row = cex_to_minterm(counterexample, oracle, output);
+  if (out->num_rows() == 0) {
+    *out = std::move(row);
+    return;
+  }
+  *out = out->merged_with(row);
+}
+
+}  // namespace lsml::sat

@@ -25,7 +25,10 @@ namespace lsml::suite {
 /// caches written by older builds are recomputed, never silently served.
 /// v2: circuits are optimized by the synth::PassManager (learners return
 /// raw AIGs) and entries carry the per-pass synth trace.
-inline constexpr std::uint32_t kResultCacheSchemaVersion = 2;
+/// v3: entries carry the SAT-certification verdict (`verified` field,
+/// synth::VerifyStatus spelling) behind the leaderboard's verified
+/// column.
+inline constexpr std::uint32_t kResultCacheSchemaVersion = 3;
 
 /// A completed (team, benchmark) task, as cached. The result's
 /// synth_trace (per-pass sizes and wall time) round-trips with it, so a

@@ -86,7 +86,7 @@ std::string leaderboard_csv(const std::vector<portfolio::TeamRun>& runs,
   // timings are not. They live in the cache entries and `lsml synth`.
   std::ostringstream os;
   os << "team,team_key,benchmark,method,train_acc,valid_acc,test_acc,"
-        "num_ands,num_levels,raw_ands,ands_saved,synth_passes\n";
+        "num_ands,num_levels,raw_ands,ands_saved,synth_passes,verified\n";
   for (std::size_t e = 0; e < runs.size(); ++e) {
     for (const auto& r : runs[e].results) {
       // Team keys and benchmark names come from registry names and on-disk
@@ -97,7 +97,8 @@ std::string leaderboard_csv(const std::vector<portfolio::TeamRun>& runs,
          << fixed6(r.valid_acc) << ',' << fixed6(r.test_acc) << ','
          << r.num_ands << ',' << r.num_levels << ','
          << r.synth_ands_in() << ',' << r.synth_ands_saved() << ','
-         << r.synth_trace.size() << '\n';
+         << r.synth_trace.size() << ','
+         << synth::to_string(r.verified) << '\n';
     }
   }
   return os.str();
@@ -118,11 +119,12 @@ std::string leaderboard_json(const std::vector<portfolio::TeamRun>& runs,
                      return runs[a].avg_test_acc() > runs[b].avg_test_acc();
                    });
   std::ostringstream os;
-  os << "{\n  \"schema\": \"lsml-leaderboard-v2\",\n  \"seed\": "
+  os << "{\n  \"schema\": \"lsml-leaderboard-v3\",\n  \"seed\": "
      << options.seed << ",\n  \"opt\": {\"script\": \""
      << json_escape(options.pipeline.script.str()) << "\", \"node_budget\": "
      << options.pipeline.options.node_budget << ", \"max_rounds\": "
-     << options.pipeline.options.max_rounds
+     << options.pipeline.options.max_rounds << ", \"verify\": "
+     << (options.pipeline.options.verify_equivalence ? "true" : "false")
      << "},\n  \"benchmarks\": [";
   for (std::size_t b = 0; b < benchmarks.size(); ++b) {
     os << (b == 0 ? "" : ", ") << '"' << json_escape(benchmarks[b]) << '"';
@@ -138,7 +140,8 @@ std::string leaderboard_json(const std::vector<portfolio::TeamRun>& runs,
        << fixed6(run.avg_levels()) << ", \"overfit\": "
        << fixed6(run.overfit()) << ", \"avg_raw_ands\": "
        << fixed6(run.avg_synth_ands_in()) << ", \"avg_ands_saved\": "
-       << fixed6(run.avg_synth_saved()) << "}"
+       << fixed6(run.avg_synth_saved()) << ", \"verified\": "
+       << fixed6(run.verified_fraction()) << "}"
        << (i + 1 < order.size() ? "," : "") << '\n';
   }
   os << "  ]\n}\n";

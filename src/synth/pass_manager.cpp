@@ -9,6 +9,8 @@
 #include "aig/aig_approx.hpp"
 #include "aig/aig_opt.hpp"
 #include "core/bits.hpp"
+#include "sat/cec.hpp"
+#include "sat/fraig.hpp"
 
 namespace lsml::synth {
 
@@ -43,11 +45,48 @@ bool improves(const aig::Aig& candidate, const aig::Aig& best) {
 
 }  // namespace
 
+const char* to_string(VerifyStatus status) {
+  switch (status) {
+    case VerifyStatus::kNotRequested:
+      return "-";
+    case VerifyStatus::kExact:
+      return "exact";
+    case VerifyStatus::kUndecided:
+      return "undecided";
+    case VerifyStatus::kSkippedApprox:
+      return "approx";
+    case VerifyStatus::kFailed:
+      return "failed";
+  }
+  return "-";
+}
+
+bool verify_status_from_string(const std::string& text, VerifyStatus* out) {
+  for (const VerifyStatus status :
+       {VerifyStatus::kNotRequested, VerifyStatus::kExact,
+        VerifyStatus::kUndecided, VerifyStatus::kSkippedApprox,
+        VerifyStatus::kFailed}) {
+    if (text == to_string(status)) {
+      *out = status;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::uint64_t SynthOptions::fingerprint() const {
   std::uint64_t h = core::hash_combine(0x5b7e9d23c0ffee01ULL, node_budget);
   h = core::hash_combine(h, static_cast<std::uint64_t>(max_rounds));
   h = core::hash_combine(h, static_cast<std::uint64_t>(time_budget_ms));
-  return core::hash_combine(h, approx_seed);
+  h = core::hash_combine(h, approx_seed);
+  if (verify_equivalence) {
+    // Verification changes observable results (the verify field, plus the
+    // repair fallback on failure), so verified runs key apart; the digest
+    // of unverified runs is unchanged from before the hook existed.
+    h = core::hash_combine(h, 0xcecULL);
+    h = core::hash_combine(h, static_cast<std::uint64_t>(verify_conflict_budget));
+  }
+  return h;
 }
 
 std::uint32_t trace_ands_in(const std::vector<PassStats>& trace,
@@ -131,6 +170,9 @@ SynthResult PassManager::run(const aig::Aig& in, const Script& script,
   // The monotonicity baseline: a run never beats cleanup by less than zero.
   aig::Aig best = in.cleanup();
   bool timed_out = false;
+  // Set once any approx/const step runs: the function differs from `in`
+  // on purpose, so the verify hook has nothing exact left to certify.
+  bool function_changed = false;
   const int rounds = options_.max_rounds > 1 ? options_.max_rounds : 1;
   for (int round = 0; round < rounds && !timed_out; ++round) {
     const std::uint32_t at_round_start = current.num_ands();
@@ -160,11 +202,19 @@ SynthResult PassManager::run(const aig::Aig& in, const Script& script,
                                 pass.effective_cuts_per_node());
           });
           break;
+        case PassKind::kFraig:
+          current = timed(pass.spelling(), current, [&] {
+            sat::FraigOptions fraig_options;
+            fraig_options.conflict_budget = pass.effective_conflict_budget();
+            return sat::fraig(current, fraig_options, approx_rng);
+          });
+          break;
         case PassKind::kApprox: {
           const std::uint32_t budget =
               pass.node_budget > 0 ? pass.node_budget : options_.node_budget;
           if (budget > 0 && current.num_ands() > budget) {
             current = shrink_to(std::move(current), budget);
+            function_changed = true;
             // The function changed: earlier snapshots are incomparable.
             best = current;
           }
@@ -194,10 +244,12 @@ SynthResult PassManager::run(const aig::Aig& in, const Script& script,
   // over, escalating until the cap provably holds.
   if (options_.node_budget > 0 && current.num_ands() > options_.node_budget) {
     current = shrink_to(std::move(current), options_.node_budget);
+    function_changed = true;
   }
   if (options_.node_budget > 0 && current.num_ands() > options_.node_budget) {
     // Pathological fallback: a constant circuit always fits any budget.
     // Each output gets its own majority constant under random simulation.
+    function_changed = true;
     current = timed("const", current, [&] {
       constexpr std::size_t kPatterns = 1024;
       std::vector<core::BitVec> patterns(current.num_pis(),
@@ -216,6 +268,41 @@ SynthResult PassManager::run(const aig::Aig& in, const Script& script,
       }
       return constant;
     });
+  }
+
+  // The verify_equivalence hook: certify the whole script exact with one
+  // SAT call on the (input, output) miter. Failure never escapes as a
+  // wrong circuit — the run falls back to the input's cleanup.
+  if (options_.verify_equivalence) {
+    if (function_changed) {
+      result.verify = VerifyStatus::kSkippedApprox;
+    } else {
+      sat::CecStatus cec_status = sat::CecStatus::kUndecided;
+      current = timed("verify", current, [&] {
+        sat::CecLimits limits;
+        limits.conflict_budget = options_.verify_conflict_budget;
+        cec_status = sat::cec(in, current, limits).status;
+        return current;
+      });
+      switch (cec_status) {
+        case sat::CecStatus::kEquivalent:
+          result.verify = VerifyStatus::kExact;
+          break;
+        case sat::CecStatus::kUndecided:
+          result.verify = VerifyStatus::kUndecided;
+          break;
+        case sat::CecStatus::kNotEquivalent:
+          result.verify = VerifyStatus::kFailed;
+          current = timed("restore", current, [&] { return in.cleanup(); });
+          if (options_.node_budget > 0 &&
+              current.num_ands() > options_.node_budget) {
+            // The baseline itself busts the cap; the budget guarantee
+            // outranks exactness (and the status already says kFailed).
+            current = shrink_to(std::move(current), options_.node_budget);
+          }
+          break;
+      }
+    }
   }
 
   result.circuit = std::move(current);

@@ -30,6 +30,23 @@
 
 namespace lsml::synth {
 
+/// Outcome of the optional post-script SAT certification (see
+/// SynthOptions::verify_equivalence).
+enum class VerifyStatus {
+  kNotRequested,  ///< verification was off for this run
+  kExact,         ///< SAT-proved equivalent to the input circuit
+  kUndecided,     ///< the verification budget ran out before a verdict
+  kSkippedApprox, ///< an approx/const pass changed the function on purpose
+  kFailed,        ///< a pass broke the function; the run returned the safe
+                  ///< cleanup baseline instead of the broken circuit
+};
+
+/// Canonical spellings ("-", "exact", "undecided", "approx", "failed");
+/// stable, they participate in leaderboards and the on-disk result cache.
+[[nodiscard]] const char* to_string(VerifyStatus status);
+/// Inverse of to_string; false on unknown spellings (corrupt cache entry).
+bool verify_status_from_string(const std::string& text, VerifyStatus* out);
+
 /// The contract a PassManager run honors.
 struct SynthOptions {
   /// Hard AND-gate cap on the returned circuit; 0 = uncapped. Enforced by
@@ -46,6 +63,16 @@ struct SynthOptions {
   /// Seed of the approximation RNG when the caller provides none, so
   /// budget enforcement is reproducible from the options alone.
   std::uint64_t approx_seed = 0x5eed5eedULL;
+  /// Post-script verify_equivalence hook: SAT-check (sat::cec) that the
+  /// returned circuit still computes the input's function, certifying the
+  /// whole script exact. Runs with the approx RNG untouched. When a pass
+  /// intentionally changed the function (approx, const fallback) the
+  /// check is skipped and reported as such; when verification *fails* the
+  /// run returns the input's cleanup — the safe exact baseline — instead
+  /// of the broken circuit.
+  bool verify_equivalence = false;
+  /// Conflict budget of the certification SAT call; 0 = unlimited.
+  std::int64_t verify_conflict_budget = 1 << 20;
 
   /// Stable digest; participates in on-disk cache keys (same caveat as
   /// Script::fingerprint).
@@ -73,6 +100,9 @@ struct PassStats {
 struct SynthResult {
   aig::Aig circuit{0};
   std::vector<PassStats> trace;
+  /// Post-script SAT certification verdict (kNotRequested unless
+  /// SynthOptions::verify_equivalence was set).
+  VerifyStatus verify = VerifyStatus::kNotRequested;
 
   /// AND gates entering the pipeline (before the implicit cleanup).
   [[nodiscard]] std::uint32_t ands_in() const;

@@ -13,6 +13,7 @@ namespace {
 constexpr int kDefaultRewriteCut = 4;
 constexpr int kDefaultRefactorCut = 6;
 constexpr int kDefaultCutsPerNode = 8;
+constexpr int kDefaultFraigConflicts = 1000;
 
 const char* kind_spelling(PassKind kind) {
   switch (kind) {
@@ -24,6 +25,8 @@ const char* kind_spelling(PassKind kind) {
       return "rw";
     case PassKind::kRefactor:
       return "rf";
+    case PassKind::kFraig:
+      return "fs";
     case PassKind::kApprox:
       return "approx";
   }
@@ -66,6 +69,8 @@ Pass parse_pass(const std::string& pass_text) {
     pass.kind = PassKind::kRewrite;
   } else if (head == "rf" || head == "refactor") {
     pass.kind = PassKind::kRefactor;
+  } else if (head == "fs" || head == "fraig") {
+    pass.kind = PassKind::kFraig;
   } else if (head == "approx") {
     pass.kind = PassKind::kApprox;
   } else {
@@ -76,6 +81,16 @@ Pass parse_pass(const std::string& pass_text) {
     if (i + 1 >= tokens.size()) {
       throw std::invalid_argument("synth script: " + flag +
                                   " needs a value in '" + pass_text + "'");
+    }
+    if (flag == "-c" && pass.kind == PassKind::kFraig) {
+      // fs alone admits zero: "fs -c 0" is the canonical unlimited
+      // spelling (stored as -1 so it stays distinct from "use default").
+      const std::string& text = tokens[++i];
+      const int value = text == "0" ? 0
+                                    : parse_positive_int(pass_text, flag,
+                                                         text);
+      pass.conflict_budget = value == 0 ? -1 : value;
+      continue;
     }
     const int value = parse_positive_int(pass_text, flag, tokens[++i]);
     const bool resynth = pass.kind == PassKind::kRewrite ||
@@ -112,6 +127,13 @@ int Pass::effective_cuts_per_node() const {
   return cuts_per_node > 0 ? cuts_per_node : kDefaultCutsPerNode;
 }
 
+std::int64_t Pass::effective_conflict_budget() const {
+  if (conflict_budget < 0) {
+    return 0;  // sat::FraigOptions convention: 0 = unlimited
+  }
+  return conflict_budget > 0 ? conflict_budget : kDefaultFraigConflicts;
+}
+
 std::string Pass::spelling() const {
   std::string out = kind_spelling(kind);
   const bool resynth = kind == PassKind::kRewrite || kind == PassKind::kRefactor;
@@ -123,6 +145,13 @@ std::string Pass::spelling() const {
     }
     if (cuts_per_node > 0 && cuts_per_node != kDefaultCutsPerNode) {
       out += " -c " + std::to_string(cuts_per_node);
+    }
+  } else if (kind == PassKind::kFraig) {
+    if (conflict_budget < 0) {
+      out += " -c 0";  // unlimited: distinct spelling, distinct fingerprint
+    } else if (conflict_budget > 0 &&
+               conflict_budget != kDefaultFraigConflicts) {
+      out += " -c " + std::to_string(conflict_budget);
     }
   } else if (kind == PassKind::kApprox && node_budget > 0) {
     out += " -n " + std::to_string(node_budget);
@@ -184,16 +213,23 @@ Script Script::preset(const std::string& name) {
     // the zero-cost variants, which this rewriter does not distinguish.
     return build("c; b; rw; rf; b; rw; b; rf; b");
   }
+  if (name == "resyn2fs") {
+    // resyn2 followed by SAT sweeping: fraiging merges the functionally-
+    // equivalent nodes the cut rewriter cannot see, then a cleanup drops
+    // the released cones. Never worse than resyn2 (fs only merges).
+    return build("c; b; rw; rf; b; rw; b; rf; b; fs; c");
+  }
   if (name == "compress2max") {
     // Heaviest preset: alternate cut sizes up to the 6-leaf maximum.
     return build("c; b; rw; rf; b; rw -k 6; b; rf -k 5; rw; b");
   }
   throw std::invalid_argument("synth script: unknown preset '" + name +
-                              "' (try: fast, resyn2, compress2max)");
+                              "' (try: fast, resyn2, resyn2fs, "
+                              "compress2max)");
 }
 
 std::vector<std::string> Script::preset_names() {
-  return {"fast", "resyn2", "compress2max"};
+  return {"fast", "resyn2", "resyn2fs", "compress2max"};
 }
 
 Script Script::approx_to(std::uint32_t node_budget) {

@@ -127,7 +127,8 @@ TEST_P(PresetProperty, PreservesFunctionNeverRegressesAndIsDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(
     Presets, PresetProperty,
-    ::testing::Combine(::testing::Values("fast", "resyn2", "compress2max"),
+    ::testing::Combine(::testing::Values("fast", "resyn2", "resyn2fs",
+                                         "compress2max"),
                        ::testing::Range(1, 5)));
 
 TEST(PassManager, BudgetIsEnforcedByApproximation) {
