@@ -1,0 +1,361 @@
+// Closed-loop load generator for `lsml serve`.
+//
+// Measures request/response throughput and latency percentiles of the
+// serving daemon at 1..64 concurrent connections. By default it starts an
+// in-process server (ephemeral port, hardware-width worker pool) and
+// drives it over real TCP sockets; `--connect HOST:PORT` aims it at an
+// externally started `lsml serve` instead (the nightly soak does this).
+//
+// Modes:
+//   eval   (default) one learn seeds a model, then every connection
+//          replays a fixed eval batch — the paper's deployment story
+//          (train offline, answer queries fast) and the acceptance
+//          criterion's scaling workload.
+//   ping   protocol-only round trips (optionally with a server-side
+//          sleep) — isolates transport overhead from synthesis work.
+//
+// Output: one table row per connection count with req/s and p50/p95/p99
+// latency, a greppable `serve-bench:` summary line per row, and the
+// 1->8 connection scaling factor.
+//
+//   bench_serve [--connect H:P] [--threads N] [--duration-s D]
+//               [--conns 1,2,4,...] [--rows R] [--mode eval|ping]
+//               [--sleep-ms S]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/rng.hpp"
+#include "server/client.hpp"
+#include "server/json.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace lsml;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string connect_host;  ///< empty = start an in-process server
+  int connect_port = 0;
+  int threads = 0;  ///< in-process server pool width (0 = hardware)
+  double duration_s = 3.0;
+  std::vector<int> conns = {1, 2, 4, 8, 16, 32, 64};
+  std::size_t rows = 256;   ///< minterms per eval request
+  std::string mode = "eval";
+  std::int64_t sleep_ms = 0;  ///< ping mode: server-side sleep
+};
+
+[[noreturn]] void usage(const char* message) {
+  std::fprintf(stderr,
+               "bench_serve: %s\n"
+               "usage: bench_serve [--connect H:P] [--threads N]\n"
+               "                   [--duration-s D] [--conns 1,2,4,...]\n"
+               "                   [--rows R] [--mode eval|ping]\n"
+               "                   [--sleep-ms S]\n",
+               message);
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  options.threads = core::threads_from_env("LSML_THREADS", 0);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage((arg + " needs a value").c_str());
+      }
+      return argv[++i];
+    };
+    if (arg == "--connect") {
+      const std::string hp = value();
+      const std::size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) {
+        usage("--connect needs HOST:PORT");
+      }
+      options.connect_host = hp.substr(0, colon);
+      options.connect_port = std::atoi(hp.c_str() + colon + 1);
+      if (options.connect_port <= 0) {
+        usage("--connect needs a positive port");
+      }
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(value().c_str());
+    } else if (arg == "--duration-s") {
+      options.duration_s = std::atof(value().c_str());
+      if (options.duration_s <= 0) {
+        usage("--duration-s must be positive");
+      }
+    } else if (arg == "--conns") {
+      options.conns.clear();
+      std::istringstream list(value());
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        const int n = std::atoi(item.c_str());
+        if (n <= 0) {
+          usage("--conns needs positive integers");
+        }
+        options.conns.push_back(n);
+      }
+      if (options.conns.empty()) {
+        usage("--conns is empty");
+      }
+    } else if (arg == "--rows") {
+      options.rows = static_cast<std::size_t>(std::atoll(value().c_str()));
+      if (options.rows == 0) {
+        usage("--rows must be positive");
+      }
+    } else if (arg == "--mode") {
+      options.mode = value();
+      if (options.mode != "eval" && options.mode != "ping") {
+        usage("--mode must be eval or ping");
+      }
+    } else if (arg == "--sleep-ms") {
+      options.sleep_ms = std::atoll(value().c_str());
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+  return options;
+}
+
+/// Random 10-input training PLA (learned once to seed the eval workload).
+std::string training_pla(core::Rng& rng) {
+  constexpr std::size_t kInputs = 10;
+  constexpr std::size_t kRows = 400;
+  std::ostringstream os;
+  os << ".i " << kInputs << "\n.o 1\n";
+  for (std::size_t r = 0; r < kRows; ++r) {
+    const std::uint64_t bits = rng.next();
+    for (std::size_t c = 0; c < kInputs; ++c) {
+      os << (((bits >> c) & 1u) != 0 ? '1' : '0');
+    }
+    // A learnable but non-trivial target: majority of three columns.
+    const int votes = static_cast<int>((bits >> 0) & 1u) +
+                      static_cast<int>((bits >> 3) & 1u) +
+                      static_cast<int>((bits >> 7) & 1u);
+    os << ' ' << (votes >= 2 ? '1' : '0') << '\n';
+  }
+  os << ".e\n";
+  return os.str();
+}
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+Percentiles percentiles_ms(std::vector<double>& latencies_ms) {
+  Percentiles p;
+  if (latencies_ms.empty()) {
+    return p;
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto at = [&](double q) {
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_ms.size() - 1));
+    return latencies_ms[idx];
+  };
+  p.p50 = at(0.50);
+  p.p95 = at(0.95);
+  p.p99 = at(0.99);
+  return p;
+}
+
+struct RoundResult {
+  int conns = 0;
+  std::uint64_t requests = 0;
+  double reqs_per_s = 0.0;
+  Percentiles latency;
+};
+
+RoundResult run_round(const std::string& host, int port,
+                      const std::string& request_line, int conns,
+                      double duration_s) {
+  std::vector<std::vector<double>> latencies(conns);
+  std::vector<std::string> errors(conns);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        server::Client client;
+        client.connect(host, port);
+        client.roundtrip(request_line);  // connection + cache warmup
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        const auto end_at =
+            Clock::now() + std::chrono::duration<double>(duration_s);
+        while (Clock::now() < end_at) {
+          const auto t0 = Clock::now();
+          const std::string response = client.roundtrip(request_line);
+          const auto t1 = Clock::now();
+          if (response.find("\"ok\":true") == std::string::npos) {
+            errors[c] = "request failed: " + response;
+            return;
+          }
+          latencies[c].push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+        }
+      } catch (const std::exception& e) {
+        errors[c] = e.what();
+      }
+    });
+  }
+  const auto wall_start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+  for (int c = 0; c < conns; ++c) {
+    if (!errors[c].empty()) {
+      std::fprintf(stderr, "bench_serve: connection %d: %s\n", c,
+                   errors[c].c_str());
+      std::exit(1);
+    }
+  }
+  RoundResult result;
+  result.conns = conns;
+  std::vector<double> all;
+  for (auto& per_conn : latencies) {
+    result.requests += per_conn.size();
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  }
+  result.reqs_per_s =
+      wall_s > 0 ? static_cast<double>(result.requests) / wall_s : 0.0;
+  result.latency = percentiles_ms(all);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_options(argc, argv);
+
+  // The target server: external (--connect) or in-process.
+  std::unique_ptr<server::Server> local;
+  std::string host = options.connect_host;
+  int port = options.connect_port;
+  if (host.empty()) {
+    server::ServerOptions server_options;
+    server_options.port = 0;
+    server_options.num_threads = options.threads;
+    server_options.service.cache_dir.clear();  // measure compute, not disk
+    local = std::make_unique<server::Server>(server_options);
+    local->start();
+    host = "127.0.0.1";
+    port = local->port();
+    std::printf("in-process server on port %d (%s workers)\n", port,
+                options.threads == 0
+                    ? "hardware"
+                    : std::to_string(options.threads).c_str());
+  } else {
+    std::printf("targeting external server %s:%d\n", host.c_str(), port);
+  }
+
+  // Build the one request line every connection replays.
+  std::string request_line;
+  if (options.mode == "eval") {
+    core::Rng rng(2020);
+    server::Client setup;
+    setup.connect(host, port);
+    server::Json learn = server::Json::object();
+    learn.set("type", "learn");
+    learn.set("learner", "dt");
+    learn.set("pla", training_pla(rng));
+    const server::Json learned =
+        server::Json::parse(setup.roundtrip(learn.dump()));
+    if (!learned.at("ok").as_bool()) {
+      std::fprintf(stderr, "bench_serve: learn failed: %s\n",
+                   learned.dump().c_str());
+      return 1;
+    }
+    const std::string model = learned.at("model").as_string();
+    const auto inputs_count =
+        static_cast<std::size_t>(learned.at("inputs").as_int());
+    server::Json eval = server::Json::object();
+    eval.set("type", "eval");
+    eval.set("model", model);
+    server::Json inputs = server::Json::array();
+    for (std::size_t r = 0; r < options.rows; ++r) {
+      std::string row(inputs_count, '0');
+      const std::uint64_t bits = rng.next();
+      for (std::size_t c = 0; c < inputs_count; ++c) {
+        row[c] = ((bits >> c) & 1u) != 0 ? '1' : '0';
+      }
+      inputs.push_back(server::Json(std::move(row)));
+    }
+    eval.set("inputs", std::move(inputs));
+    request_line = eval.dump();
+    std::printf("mode eval: model %s (%lld ANDs), %zu rows/request\n",
+                model.c_str(),
+                static_cast<long long>(learned.at("ands").as_int()),
+                options.rows);
+  } else {
+    server::Json ping = server::Json::object();
+    ping.set("type", "ping");
+    if (options.sleep_ms > 0) {
+      ping.set("sleep_ms", options.sleep_ms);
+    }
+    request_line = ping.dump();
+    std::printf("mode ping%s\n",
+                options.sleep_ms > 0
+                    ? (" (sleep " + std::to_string(options.sleep_ms) + " ms)")
+                          .c_str()
+                    : "");
+  }
+
+  std::printf("%.1f s per point, closed loop\n\n", options.duration_s);
+  std::printf("%6s %10s %10s %9s %9s %9s\n", "conns", "requests", "req/s",
+              "p50 ms", "p95 ms", "p99 ms");
+  std::vector<RoundResult> results;
+  for (const int conns : options.conns) {
+    const RoundResult r =
+        run_round(host, port, request_line, conns, options.duration_s);
+    results.push_back(r);
+    std::printf("%6d %10llu %10.0f %9.3f %9.3f %9.3f\n", r.conns,
+                static_cast<unsigned long long>(r.requests), r.reqs_per_s,
+                r.latency.p50, r.latency.p95, r.latency.p99);
+    std::printf("serve-bench: mode=%s conns=%d reqs=%llu reqs_per_s=%.0f "
+                "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f\n",
+                options.mode.c_str(), r.conns,
+                static_cast<unsigned long long>(r.requests), r.reqs_per_s,
+                r.latency.p50, r.latency.p95, r.latency.p99);
+    std::fflush(stdout);
+  }
+
+  // Scaling headline: throughput at 8 connections over 1 connection.
+  const auto find = [&](int conns) -> const RoundResult* {
+    for (const auto& r : results) {
+      if (r.conns == conns) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+  const RoundResult* one = find(1);
+  const RoundResult* eight = find(8);
+  if (one != nullptr && eight != nullptr && one->reqs_per_s > 0) {
+    std::printf("\nscaling 1->8 connections: %.2fx req/s\n",
+                eight->reqs_per_s / one->reqs_per_s);
+  }
+  if (local != nullptr) {
+    local->stop();
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#pragma once
+// The `lsml` command-line driver as a library entry point.
+//
+// src/cli/lsml_main.cpp is a three-line wrapper around run(): keeping the
+// implementation in the library lets tests invoke subcommands in-process
+// and assert the exit-code contract below instead of spawning binaries.
+//
+// Exit-code convention, unified across every subcommand:
+//
+//   0 (kExitOk)       the command did what was asked
+//   1 (kExitRuntime)  a valid invocation failed at runtime (I/O error,
+//                     malformed input file, failed verification, a query
+//                     the server answered with ok:false)
+//   2 (kExitUsage)    the command line itself is wrong (unknown command
+//                     or option, missing/invalid value)
+//
+// `cec` is the one necessary exception: its 0/1/2 are verdicts
+// (equivalent / not equivalent / undecided), so *both* usage and runtime
+// errors map to 3 (kExitCecError) — an error is not a verdict.
+
+#include <string>
+#include <vector>
+
+namespace lsml::cli {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRuntime = 1;
+inline constexpr int kExitUsage = 2;
+
+inline constexpr int kExitCecNotEquivalent = 1;
+inline constexpr int kExitCecUndecided = 2;
+inline constexpr int kExitCecError = 3;
+
+/// Runs one `lsml` invocation (args exclude argv[0]) and returns its exit
+/// code. Never throws; never calls exit().
+int run(const std::vector<std::string>& args);
+
+}  // namespace lsml::cli

@@ -1,626 +1,11 @@
-// lsml — command-line driver for the contest over on-disk benchmark
-// suites.
-//
-//   lsml gen <out-dir>    write a contest-format PLA suite from the
-//                         Table I oracles (so `run` works with no data)
-//   lsml ls <suite-dir>   list the benchmark triples a directory provides
-//   lsml run <suite-dir>  run teams/learners over the suite: AIGER
-//                         artifacts + JSON/CSV leaderboard, incremental
-//                         via the content-hash result cache
-//   lsml synth <in.aag>   run an optimization script over a standalone
-//                         AIGER file and print the pass trace
-//   lsml teams            list contest teams and registered learners
-//
-// Every run is deterministic in (suite contents, entries, seed, script):
-// thread count never changes results, and a second run over unchanged
-// inputs is served entirely from the cache, byte-identical to the first.
+// Thin executable wrapper: the whole driver lives in cli/cli.cpp (inside
+// the library) so tests can invoke subcommands in-process and assert the
+// exit-code contract documented in cli/cli.hpp.
 
-#include <climits>
-#include <cstdio>
-#include <cstdlib>
-#include <exception>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <string>
 #include <vector>
 
-#include "aig/aig_io.hpp"
-#include "core/config.hpp"
-#include "learn/factory.hpp"
-#include "pla/pla.hpp"
-#include "portfolio/contest.hpp"
-#include "portfolio/team.hpp"
-#include "sat/cec.hpp"
-#include "suite/generate.hpp"
-#include "suite/manifest.hpp"
-#include "suite/runner.hpp"
-#include "synth/pass_manager.hpp"
-
-namespace {
-
-using namespace lsml;
-
-constexpr const char* kUsage =
-    "usage: lsml <command> [options]\n"
-    "\n"
-    "commands:\n"
-    "  gen <out-dir>    generate a contest-format PLA suite\n"
-    "      --first N --last N   benchmark id range        [0, 9]\n"
-    "      --rows N             minterms per split        [1000]\n"
-    "      --seed S             oracle sampling seed      [2020]\n"
-    "  ls <suite-dir>   list the benchmark triples of a suite\n"
-    "  run <suite-dir>  contest over a suite directory\n"
-    "      --teams A,B,...      contest teams to run      [1..10]\n"
-    "      --learners X,Y,...   registered learners to add as entries\n"
-    "      --out DIR            artifact directory        [lsml-out]\n"
-    "      --cache DIR          incremental result store  [.lsml-cache]\n"
-    "      --no-cache           disable the result store\n"
-    "      --threads N          workers (0 = hardware)    [0]\n"
-    "      --seed S             contest seed              [2020]\n"
-    "      --scale smoke|fast|full  team grid sizes       [fast]\n"
-    "      --opt-script S       preset name or pass script [fast]\n"
-    "                           (presets: fast, resyn2, resyn2fs,\n"
-    "                            compress2max; script syntax e.g.\n"
-    "                            \"b;rw;b;rw -k 6\" or \"b;rw;fs -c 500\")\n"
-    "      --max-gates N        AND-gate cap on artifacts [5000, 0 = off]\n"
-    "      --opt-rounds N       script repetitions        [3]\n"
-    "      --time-budget-ms N   soft run budget, 0 = off  [0]\n"
-    "      --verify             SAT-certify every artifact's pipeline run\n"
-    "                           (adds the leaderboard's verified column)\n"
-    "  synth <in.aag>   optimize one AIGER file, print the pass trace\n"
-    "                   (`-` reads the AIGER text from stdin)\n"
-    "      --script S           preset name or pass script [resyn2]\n"
-    "                           (presets include resyn2fs = resyn2 + SAT\n"
-    "                            sweeping; pass `fs -c N` bounds conflicts)\n"
-    "      --max-gates N        AND-gate cap              [5000, 0 = off]\n"
-    "      --rounds N           script repetitions        [1]\n"
-    "      --seed S             approximation RNG seed\n"
-    "      --out FILE           write the optimized AIGER here\n"
-    "      --verify             SAT-certify the run (exit 1 if it failed)\n"
-    "  cec <a.aag> <b.aag>  SAT equivalence check (`-` = stdin, once)\n"
-    "      --conflicts N        solver conflict budget, 0 = unlimited\n"
-    "                           [100000]\n"
-    "      --cex-out FILE       append the counterexample minterm (labeled\n"
-    "                           by circuit a) to a replayable .pla dump\n"
-    "      exit: 0 equivalent, 1 not equivalent (counterexample printed),\n"
-    "            2 undecided within budget, 3 usage/input error\n"
-    "  teams            list team numbers and registered learner names\n"
-    "\n"
-    "common run/synth flags: -v / -vv for progress on stderr\n";
-
-int usage_error(const std::string& message) {
-  std::fprintf(stderr, "lsml: %s\n\n%s", message.c_str(), kUsage);
-  return 2;
-}
-
-bool parse_u64(const std::string& text, std::uint64_t* out) {
-  if (text.empty() || text[0] == '-') {
-    return false;  // strtoull would silently wrap negatives around
-  }
-  char* end = nullptr;
-  *out = std::strtoull(text.c_str(), &end, 10);
-  return end != text.c_str() && *end == '\0';
-}
-
-bool parse_int(const std::string& text, int* out) {
-  char* end = nullptr;
-  const long v = std::strtol(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0' || v < INT_MIN || v > INT_MAX) {
-    return false;  // reject rather than wrap out-of-range values
-  }
-  *out = static_cast<int>(v);
-  return true;
-}
-
-std::vector<std::string> split_csv(const std::string& list) {
-  std::vector<std::string> items;
-  std::size_t begin = 0;
-  while (begin <= list.size()) {
-    const std::size_t end = list.find(',', begin);
-    const std::string item =
-        list.substr(begin, end == std::string::npos ? end : end - begin);
-    if (!item.empty()) {
-      items.push_back(item);
-    }
-    if (end == std::string::npos) {
-      break;
-    }
-    begin = end + 1;
-  }
-  return items;
-}
-
-/// Pulls the value of `--flag value`; returns false (after reporting) if
-/// the value is missing.
-bool flag_value(const std::vector<std::string>& args, std::size_t* i,
-                std::string* value) {
-  if (*i + 1 >= args.size()) {
-    std::fprintf(stderr, "lsml: %s needs a value\n", args[*i].c_str());
-    return false;
-  }
-  *value = args[++*i];
-  return true;
-}
-
-int cmd_gen(const std::vector<std::string>& args) {
-  if (args.empty() || args[0][0] == '-') {
-    return usage_error("gen needs an output directory");
-  }
-  const std::string out_dir = args[0];
-  suite::GenerateOptions options;
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    std::string value;
-    std::uint64_t u = 0;
-    if (args[i] == "--first" || args[i] == "--last") {
-      const bool is_first = args[i] == "--first";
-      int v = 0;
-      if (!flag_value(args, &i, &value) || !parse_int(value, &v)) {
-        return 2;
-      }
-      (is_first ? options.first : options.last) = v;
-    } else if (args[i] == "--rows") {
-      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
-        return 2;
-      }
-      options.rows_per_split = u;
-    } else if (args[i] == "--seed") {
-      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
-        return 2;
-      }
-      options.seed = u;
-    } else {
-      return usage_error("unknown gen option " + args[i]);
-    }
-  }
-  const std::vector<std::string> names =
-      suite::generate_suite(out_dir, options);
-  std::printf("wrote %zu benchmark triples (%zu minterms/split) to %s\n",
-              names.size(), options.rows_per_split, out_dir.c_str());
-  // Generation never deletes files it did not just write, so point out
-  // leftovers from previous generations — `lsml run` would include them.
-  try {
-    const std::size_t found = suite::discover_suite(out_dir).size();
-    if (found > names.size()) {
-      std::fprintf(stderr,
-                   "lsml: warning: %s holds %zu other triple(s) from "
-                   "previous generations; `lsml run` will include them\n",
-                   out_dir.c_str(), found - names.size());
-    }
-  } catch (const std::exception&) {
-    // A stale, incomplete triple makes discovery throw; `lsml run` will
-    // report it with full context.
-  }
-  return 0;
-}
-
-int cmd_ls(const std::vector<std::string>& args) {
-  if (args.empty()) {
-    return usage_error("ls needs a suite directory");
-  }
-  const std::vector<suite::SuiteEntry> entries =
-      suite::discover_suite(args[0]);
-  for (const auto& entry : entries) {
-    const oracle::Benchmark bench = suite::load_benchmark(entry);
-    std::printf("%-12s id=%-3d %3zu inputs  %zu/%zu/%zu rows\n",
-                entry.name.c_str(), entry.id, bench.num_inputs,
-                bench.train.num_rows(), bench.valid.num_rows(),
-                bench.test.num_rows());
-  }
-  std::printf("%zu benchmarks in %s\n", entries.size(), args[0].c_str());
-  return 0;
-}
-
-int cmd_teams() {
-  std::printf("contest teams (lsml run --teams):\n ");
-  for (const int team : portfolio::all_team_numbers()) {
-    std::printf(" %d", team);
-  }
-  std::printf("\nregistered learner factories (lsml run --learners):\n");
-  for (const auto& name : learn::LearnerFactory::registered()) {
-    std::printf("  %s\n", name.c_str());
-  }
-  return 0;
-}
-
-int cmd_run(const std::vector<std::string>& args) {
-  if (args.empty() || args[0][0] == '-') {
-    return usage_error("run needs a suite directory");
-  }
-  const std::string suite_dir = args[0];
-  suite::RunnerOptions options;
-  options.num_threads = 0;
-  std::vector<int> teams = portfolio::all_team_numbers();
-  std::vector<std::string> learners;
-  core::Scale scale = core::Scale::kFast;
-  std::string opt_script = "fast";
-  std::uint64_t max_gates = 5000;
-  int opt_rounds = 3;
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    std::string value;
-    std::uint64_t u = 0;
-    if (args[i] == "--teams") {
-      if (!flag_value(args, &i, &value)) {
-        return 2;
-      }
-      teams.clear();
-      for (const auto& item : split_csv(value)) {
-        int team = 0;
-        if (!parse_int(item, &team)) {
-          return usage_error("bad team number '" + item + "'");
-        }
-        teams.push_back(team);
-      }
-    } else if (args[i] == "--learners") {
-      if (!flag_value(args, &i, &value)) {
-        return 2;
-      }
-      learners = split_csv(value);
-    } else if (args[i] == "--out") {
-      if (!flag_value(args, &i, &options.out_dir)) {
-        return 2;
-      }
-    } else if (args[i] == "--cache") {
-      if (!flag_value(args, &i, &options.cache_dir)) {
-        return 2;
-      }
-    } else if (args[i] == "--no-cache") {
-      options.cache_dir.clear();
-    } else if (args[i] == "--threads") {
-      if (!flag_value(args, &i, &value) ||
-          !parse_int(value, &options.num_threads)) {
-        return 2;
-      }
-      // Same bound threads_from_env enforces for the env-var path.
-      if (options.num_threads < 0 || options.num_threads > 4096) {
-        return usage_error("--threads must be in [0, 4096] (0 = hardware)");
-      }
-    } else if (args[i] == "--seed") {
-      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
-        return 2;
-      }
-      options.seed = u;
-    } else if (args[i] == "--scale") {
-      if (!flag_value(args, &i, &value)) {
-        return 2;
-      }
-      if (value == "smoke") {
-        scale = core::Scale::kSmoke;
-      } else if (value == "fast") {
-        scale = core::Scale::kFast;
-      } else if (value == "full") {
-        scale = core::Scale::kFull;
-      } else {
-        return usage_error("bad scale '" + value + "'");
-      }
-    } else if (args[i] == "--opt-script") {
-      if (!flag_value(args, &i, &opt_script)) {
-        return 2;
-      }
-    } else if (args[i] == "--max-gates") {
-      if (!flag_value(args, &i, &value) || !parse_u64(value, &max_gates) ||
-          max_gates > 0xffffffffULL) {
-        return usage_error("--max-gates must be in [0, 2^32) (0 = uncapped)");
-      }
-    } else if (args[i] == "--opt-rounds") {
-      if (!flag_value(args, &i, &value) || !parse_int(value, &opt_rounds) ||
-          opt_rounds < 1) {
-        return usage_error("--opt-rounds must be >= 1");
-      }
-    } else if (args[i] == "--time-budget-ms") {
-      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
-        return 2;
-      }
-      options.time_budget_ms = static_cast<std::int64_t>(u);
-    } else if (args[i] == "--verify") {
-      options.pipeline.options.verify_equivalence = true;
-    } else if (args[i] == "-v") {
-      options.verbosity = 1;
-    } else if (args[i] == "-vv") {
-      options.verbosity = 2;
-    } else {
-      return usage_error("unknown run option " + args[i]);
-    }
-  }
-  options.pipeline.script = synth::Script::named_or_parse(opt_script);
-  options.pipeline.options.node_budget =
-      static_cast<std::uint32_t>(max_gates);
-  options.pipeline.options.max_rounds = opt_rounds;
-
-  portfolio::TeamOptions team_options;
-  team_options.scale = scale;
-  // Teams select candidates under the same cap the artifacts must honor;
-  // "uncapped" lifts their selection pressure entirely.
-  team_options.node_budget = max_gates == 0
-                                 ? 0xffffffffu
-                                 : static_cast<std::uint32_t>(max_gates);
-  // The scale changes team hyper-parameter grids without changing entry
-  // keys, so it must participate in cache invalidation.
-  options.config_salt = static_cast<std::uint64_t>(scale);
-  std::vector<portfolio::ContestEntry> entries =
-      portfolio::contest_entries(teams, team_options);
-  // Named learners join as extra contestants. Their team ids (100, 101,
-  // ...) depend only on their position in --learners, so reruns of the
-  // same command line reuse the same RNG streams and cache rows.
-  for (std::size_t i = 0; i < learners.size(); ++i) {
-    learn::LearnerFactory factory =
-        learn::LearnerFactory::try_from_registry(learners[i]);
-    if (!factory) {
-      std::fprintf(stderr,
-                   "lsml: no learner named '%s' (see `lsml teams`)\n",
-                   learners[i].c_str());
-      return 1;
-    }
-    entries.push_back({100 + static_cast<int>(i), std::move(factory)});
-  }
-  if (entries.empty()) {
-    return usage_error("nothing to run: --teams and --learners both empty");
-  }
-
-  const suite::RunnerReport report =
-      suite::run_suite_dir(suite_dir, entries, options);
-  std::printf("%s", portfolio::format_leaderboard(report.runs).c_str());
-  std::printf(
-      "\n%zu benchmarks x %zu entries: %d task(s) from cache, %d computed "
-      "in %.0f ms\n",
-      report.benchmarks.size(), entries.size(), report.cache_hits,
-      report.cache_misses, report.elapsed_ms);
-  std::printf("opt script: %s (max-gates %u, rounds %d)\n",
-              options.pipeline.script.str().c_str(),
-              options.pipeline.options.node_budget,
-              options.pipeline.options.max_rounds);
-  if (options.pipeline.options.verify_equivalence) {
-    double verified = 0.0;
-    for (const auto& run : report.runs) {
-      verified += run.verified_fraction();
-    }
-    std::printf("verification: %.0f%% of artifacts SAT-certified exact "
-                "(see the leaderboard's verified column)\n",
-                report.runs.empty()
-                    ? 0.0
-                    : 100.0 * verified /
-                          static_cast<double>(report.runs.size()));
-  }
-  {
-    double saved = 0.0;
-    double synth_ms = 0.0;
-    for (const auto& run : report.runs) {
-      saved += run.avg_synth_saved();
-      synth_ms += run.total_synth_ms();
-    }
-    std::printf("optimization removed %.0f gates per task on average "
-                "(%.0f ms total pass time)\n",
-                report.runs.empty()
-                    ? 0.0
-                    : saved / static_cast<double>(report.runs.size()),
-                synth_ms);
-  }
-  if (report.stats.budget_exceeded) {
-    std::printf("warning: run exceeded --time-budget-ms (%.0f ms > %lld ms)\n",
-                report.stats.elapsed_ms,
-                static_cast<long long>(options.time_budget_ms));
-  }
-  std::printf("leaderboard: %s\n             %s\n",
-              report.leaderboard_csv_path.c_str(),
-              report.leaderboard_json_path.c_str());
-  std::printf("AIGER artifacts under %s/aig/\n", options.out_dir.c_str());
-  if (!options.cache_dir.empty()) {
-    std::printf("result cache: %s\n", options.cache_dir.c_str());
-  }
-  return 0;
-}
-
-int cmd_synth(const std::vector<std::string>& args) {
-  if (args.empty() || (args[0][0] == '-' && args[0] != "-")) {
-    return usage_error("synth needs an input .aag file (or - for stdin)");
-  }
-  const std::string in_path = args[0];
-  std::string script_text = "resyn2";
-  std::string out_path;
-  std::uint64_t max_gates = 5000;
-  int rounds = 1;
-  synth::SynthOptions synth_options;
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    std::string value;
-    std::uint64_t u = 0;
-    if (args[i] == "--script") {
-      if (!flag_value(args, &i, &script_text)) {
-        return 2;
-      }
-    } else if (args[i] == "--out") {
-      if (!flag_value(args, &i, &out_path)) {
-        return 2;
-      }
-    } else if (args[i] == "--max-gates") {
-      if (!flag_value(args, &i, &value) || !parse_u64(value, &max_gates) ||
-          max_gates > 0xffffffffULL) {
-        return usage_error("--max-gates must be in [0, 2^32) (0 = uncapped)");
-      }
-    } else if (args[i] == "--rounds") {
-      if (!flag_value(args, &i, &value) || !parse_int(value, &rounds) ||
-          rounds < 1) {
-        return usage_error("--rounds must be >= 1");
-      }
-    } else if (args[i] == "--seed") {
-      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
-        return 2;
-      }
-      synth_options.approx_seed = u;
-    } else if (args[i] == "--time-budget-ms") {
-      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
-        return 2;
-      }
-      synth_options.time_budget_ms = static_cast<std::int64_t>(u);
-    } else if (args[i] == "--verify") {
-      synth_options.verify_equivalence = true;
-    } else if (args[i] == "-v" || args[i] == "-vv") {
-      // The trace is always printed; nothing further to say.
-    } else {
-      return usage_error("unknown synth option " + args[i]);
-    }
-  }
-  const synth::Script script = synth::Script::named_or_parse(script_text);
-  synth_options.node_budget = static_cast<std::uint32_t>(max_gates);
-  synth_options.max_rounds = rounds;
-
-  const aig::Aig in =
-      in_path == "-" ? aig::read_aag(std::cin) : aig::read_aag_file(in_path);
-  const synth::PassManager manager(synth_options);
-  const synth::SynthResult result = manager.run(in, script);
-
-  std::printf("%s: %u inputs, %u AND gates, %u levels\n", in_path.c_str(),
-              in.num_pis(), in.num_ands(), in.num_levels());
-  std::printf("script %s (%s), max-gates %u, rounds %d\n\n",
-              script.name.c_str(), script.str().c_str(),
-              synth_options.node_budget, rounds);
-  std::printf("%-14s %9s %9s %8s %8s %9s\n", "pass", "ands", "->", "levels",
-              "->", "ms");
-  for (const synth::PassStats& s : result.trace) {
-    std::printf("%-14s %9u %9u %8u %8u %9.2f\n", s.pass.c_str(),
-                s.ands_before, s.ands_after, s.levels_before, s.levels_after,
-                s.ms);
-  }
-  const std::uint32_t in_ands = result.ands_in();
-  const std::uint32_t out_ands = result.circuit.num_ands();
-  std::printf("\n%u -> %u AND gates (%s%.1f%%), %u -> %u levels, %.2f ms\n",
-              in_ands, out_ands, out_ands <= in_ands ? "-" : "+",
-              in_ands == 0
-                  ? 0.0
-                  : 100.0 *
-                        (in_ands > out_ands
-                             ? static_cast<double>(in_ands - out_ands)
-                             : static_cast<double>(out_ands - in_ands)) /
-                        static_cast<double>(in_ands),
-              in.num_levels(), result.circuit.num_levels(),
-              result.total_ms());
-  if (synth_options.verify_equivalence) {
-    std::printf("verification: %s\n", synth::to_string(result.verify));
-  }
-  if (!out_path.empty()) {
-    aig::write_aag_file(result.circuit, out_path);
-    std::printf("wrote %s\n", out_path.c_str());
-  }
-  return result.verify == synth::VerifyStatus::kFailed ? 1 : 0;
-}
-
-int cmd_cec(const std::vector<std::string>& args) {
-  const auto cec_usage = [](const std::string& message) {
-    std::fprintf(stderr, "lsml: %s\n\n%s", message.c_str(), kUsage);
-    return 3;  // exit codes 0/1/2 are verdicts; usage errors get 3
-  };
-  std::vector<std::string> paths;
-  sat::CecLimits limits;
-  std::string cex_out;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    std::string value;
-    std::uint64_t u = 0;
-    if (args[i] == "--conflicts") {
-      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
-        return cec_usage("--conflicts needs a non-negative integer");
-      }
-      limits.conflict_budget = static_cast<std::int64_t>(u);
-    } else if (args[i] == "--cex-out") {
-      if (!flag_value(args, &i, &cex_out)) {
-        return cec_usage("--cex-out needs a file path");
-      }
-    } else if (args[i] == "-" || args[i][0] != '-') {
-      paths.push_back(args[i]);
-    } else {
-      return cec_usage("unknown cec option " + args[i]);
-    }
-  }
-  if (paths.size() != 2) {
-    return cec_usage("cec needs exactly two .aag files");
-  }
-  if (paths[0] == "-" && paths[1] == "-") {
-    return cec_usage("only one cec input may be stdin");
-  }
-  const auto load = [](const std::string& path) {
-    return path == "-" ? aig::read_aag(std::cin) : aig::read_aag_file(path);
-  };
-  const aig::Aig a = load(paths[0]);
-  const aig::Aig b = load(paths[1]);
-  const sat::CecResult result = sat::cec(a, b, limits);
-  switch (result.status) {
-    case sat::CecStatus::kEquivalent:
-      std::printf("EQUIVALENT (%llu conflicts)\n",
-                  static_cast<unsigned long long>(
-                      result.solver_stats.conflicts));
-      return 0;
-    case sat::CecStatus::kUndecided:
-      std::printf("UNDECIDED: conflict budget (%lld) exhausted\n",
-                  static_cast<long long>(limits.conflict_budget));
-      return 2;
-    case sat::CecStatus::kNotEquivalent:
-      break;
-  }
-  // Print the counterexample as a PLA-style minterm so it pastes straight
-  // into the contest's data files: input cube, then each circuit's value.
-  std::string cube;
-  for (const std::uint8_t v : result.counterexample) {
-    cube += v != 0 ? '1' : '0';
-  }
-  const std::size_t o = result.failing_output;
-  std::printf("NOT EQUIVALENT on output %zu\ncounterexample %s  (%s -> %d, "
-              "%s -> %d)\n",
-              o, cube.c_str(), paths[0].c_str(),
-              a.eval_row(result.counterexample)[o] ? 1 : 0, paths[1].c_str(),
-              b.eval_row(result.counterexample)[o] ? 1 : 0);
-  if (!cex_out.empty()) {
-    // Grow a Dataset-compatible cube dump: one labeled minterm per
-    // NOT_EQUIVALENT verdict, labeled by circuit a (the reference),
-    // replayable through Aig::simulate / the PLA loaders.
-    data::Dataset dump;
-    if (std::filesystem::exists(cex_out)) {
-      dump = pla::read_pla_file(cex_out).to_dataset();
-    }
-    sat::append_cex_minterm(result.counterexample, a, &dump, o);
-    pla::write_pla_file(pla::Pla::from_dataset(dump), cex_out);
-    std::printf("appended counterexample to %s (%zu minterm(s))\n",
-                cex_out.c_str(), dump.num_rows());
-  }
-  return 1;
-}
-
-}  // namespace
+#include "cli/cli.hpp"
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty() || args[0] == "help" || args[0] == "--help" ||
-      args[0] == "-h") {
-    std::printf("%s", kUsage);
-    return args.empty() ? 2 : 0;
-  }
-  const std::string command = args[0];
-  const std::vector<std::string> rest(args.begin() + 1, args.end());
-  try {
-    if (command == "gen") {
-      return cmd_gen(rest);
-    }
-    if (command == "ls") {
-      return cmd_ls(rest);
-    }
-    if (command == "run") {
-      return cmd_run(rest);
-    }
-    if (command == "synth") {
-      return cmd_synth(rest);
-    }
-    if (command == "cec") {
-      try {
-        return cmd_cec(rest);
-      } catch (const std::exception& e) {
-        // 0/1/2 are verdicts; anything that prevented a verdict is 3.
-        std::fprintf(stderr, "lsml: %s\n", e.what());
-        return 3;
-      }
-    }
-    if (command == "teams") {
-      return cmd_teams();
-    }
-    return usage_error("unknown command '" + command + "'");
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "lsml: %s\n", e.what());
-    return 1;
-  }
+  return lsml::cli::run(std::vector<std::string>(argv + 1, argv + argc));
 }

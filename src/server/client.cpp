@@ -1,0 +1,139 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace lsml::server {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, int port) {
+  close();
+  const std::string spelled = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, spelled.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("cannot parse host '" + host +
+                             "' (use a numeric IPv4 address)");
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    fail_errno("socket");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail_errno("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void Client::shutdown_write() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_WR);
+  }
+}
+
+void Client::send_raw(const std::string& bytes) {
+  if (fd_ < 0) {
+    throw std::runtime_error("client is not connected");
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      fail_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::send_line(const std::string& line) { send_raw(line + "\n"); }
+
+bool Client::recv_line(std::string* line) {
+  if (fd_ < 0) {
+    return false;
+  }
+  char chunk[64 * 1024];
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') {
+        line->pop_back();
+      }
+      return true;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) {
+      return false;  // server closed; any partial line is dropped
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      fail_errno("recv");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::roundtrip(const std::string& request_line) {
+  send_line(request_line);
+  std::string response;
+  if (!recv_line(&response)) {
+    throw std::runtime_error("server closed the connection before replying");
+  }
+  return response;
+}
+
+Json Client::request(const Json& request_object) {
+  return Json::parse(roundtrip(request_object.dump()));
+}
+
+}  // namespace lsml::server

@@ -1,0 +1,58 @@
+#pragma once
+// Small blocking client for the `lsml serve` protocol.
+//
+// One TCP connection, newline-delimited JSON both ways. This is the
+// client `lsml query` and bench/bench_serve are built on; tests also use
+// the raw byte-level entry points (send_raw, shutdown_write) to poke the
+// daemon with truncated and malformed traffic.
+//
+// Not thread-safe: one Client per thread (the protocol is strictly
+// request/response per connection anyway).
+
+#include <cstdint>
+#include <string>
+
+#include "server/json.hpp"
+
+namespace lsml::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port (numeric IPv4 or "localhost"); throws
+  /// std::runtime_error with errno context on failure.
+  void connect(const std::string& host, int port);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Half-close: signals end-of-requests while keeping the read side open
+  /// (and lets tests model a client vanishing mid-request).
+  void shutdown_write();
+
+  /// Sends `line` plus the protocol's '\n' framing.
+  void send_line(const std::string& line);
+  /// Sends bytes exactly as given — no framing (malformed-input tests).
+  void send_raw(const std::string& bytes);
+
+  /// Reads one response line (without the '\n'); false on EOF.
+  bool recv_line(std::string* line);
+
+  /// send_line + recv_line; throws on connection loss.
+  std::string roundtrip(const std::string& request_line);
+
+  /// Typed convenience: dump, roundtrip, parse.
+  Json request(const Json& request_object);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace lsml::server

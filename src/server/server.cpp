@@ -1,0 +1,275 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+namespace lsml::server {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Numeric IPv4 only, plus the "localhost" spelling — the daemon is a
+/// loopback/cluster-internal service, not a name-resolving client.
+in_addr_t resolve_host(const std::string& host) {
+  const std::string spelled = host == "localhost" ? "127.0.0.1" : host;
+  in_addr addr{};
+  if (inet_pton(AF_INET, spelled.c_str(), &addr) != 1) {
+    throw std::runtime_error("cannot parse host '" + host +
+                             "' (use a numeric IPv4 address)");
+  }
+  return addr.s_addr;
+}
+
+/// write() the whole buffer; MSG_NOSIGNAL so a vanished client yields an
+/// error return instead of SIGPIPE killing the daemon.
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load()) {
+    return;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    fail_errno("socket");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = resolve_host(options_.host);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    fail_errno("bind " + options_.host + ":" + std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    fail_errno("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  pool_ = std::make_unique<core::ThreadPool>(
+      options_.num_threads > 0 ? static_cast<std::size_t>(options_.num_threads)
+                               : 0);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Unblock accept(): shutdown makes a blocked accept return on Linux;
+  // close() finishes the job.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& conn : connections_) {
+      ::shutdown(conn->fd, SHUT_RDWR);  // unblocks the I/O thread's recv
+    }
+  }
+  // Join outside the lock: connection threads take it on exit.
+  std::vector<std::unique_ptr<Connection>> drained;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    drained.swap(connections_);
+  }
+  for (auto& conn : drained) {
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+    ::close(conn->fd);
+  }
+  pool_.reset();  // drains in-flight work
+}
+
+void Server::reap_finished_locked() {
+  for (std::size_t i = 0; i < connections_.size();) {
+    if (connections_[i]->done.load()) {
+      if (connections_[i]->thread.joinable()) {
+        connections_[i]->thread.join();
+      }
+      ::close(connections_[i]->fd);
+      connections_[i] = std::move(connections_.back());
+      connections_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  while (running_.load()) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof peer;
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (!running_.load()) {
+        return;  // stop() closed the listener
+      }
+      stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    if (options_.verbosity >= 1) {
+      std::fprintf(stderr, "lsml serve: connection from %s:%d\n",
+                   inet_ntoa(peer.sin_addr), ntohs(peer.sin_port));
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    reap_finished_locked();
+    conn->thread = std::thread([this, raw] { connection_loop(raw); });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void Server::connection_loop(Connection* conn) {
+  const int fd = conn->fd;
+  const std::size_t max_bytes = options_.max_request_bytes;
+  std::string buffer;
+  char chunk[64 * 1024];
+  // Requests framed but not yet answered, each stamped with the time its
+  // line became available. Pipelined requests (several lines in one write)
+  // are all stamped before the first one is processed, so a later
+  // request's deadline clock covers the time it spends waiting behind its
+  // predecessors — the documented "queueing counts" semantics.
+  std::deque<std::pair<std::string, std::chrono::steady_clock::time_point>>
+      pending;
+  bool open = true;
+  while (open) {
+    // Frame every complete line already buffered before processing any.
+    std::size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (line.empty()) {
+        continue;
+      }
+      if (max_bytes > 0 && line.size() > max_bytes) {
+        // A complete-but-oversized line (it fit in the read buffer before
+        // the cap check below could trip): same reject-and-close policy.
+        stats_.oversized_rejects.fetch_add(1, std::memory_order_relaxed);
+        Json r = Json::object();
+        r.set("ok", false);
+        r.set("error", "request exceeds --max-request-bytes (" +
+                           std::to_string(max_bytes) +
+                           "); closing connection");
+        const std::string response = r.dump() + "\n";
+        send_all(fd, response.data(), response.size());
+        open = false;
+        break;
+      }
+      pending.emplace_back(std::move(line), std::chrono::steady_clock::now());
+    }
+    while (open && !pending.empty()) {
+      const std::string& line = pending.front().first;
+      const auto received_at = pending.front().second;
+      std::string response =
+          pool_->submit([this, &line, received_at] {
+                 return service_.handle_line(line, received_at);
+               })
+              .get();
+      pending.pop_front();
+      response.push_back('\n');
+      if (!send_all(fd, response.data(), response.size())) {
+        stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+        open = false;
+      }
+    }
+    if (!open) {
+      break;
+    }
+    if (max_bytes > 0 && buffer.size() > max_bytes) {
+      // An unterminated request past the cap: answer, then hang up — the
+      // only way to bound memory is to stop reading this stream.
+      stats_.oversized_rejects.fetch_add(1, std::memory_order_relaxed);
+      Json r = Json::object();
+      r.set("ok", false);
+      r.set("error", "request exceeds --max-request-bytes (" +
+                         std::to_string(max_bytes) + "); closing connection");
+      const std::string response = r.dump() + "\n";
+      send_all(fd, response.data(), response.size());
+      break;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) {
+      break;  // orderly client close (any partial line is dropped)
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // reset mid-request: this connection only
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  // Signal EOF to the peer now; the fd itself is closed when the accept
+  // loop (or stop()) reaps this connection, so stop()'s own shutdown call
+  // never races a reused descriptor number.
+  ::shutdown(fd, SHUT_RDWR);
+  conn->done.store(true);
+}
+
+}  // namespace lsml::server

@@ -1,0 +1,107 @@
+#pragma once
+// `lsml serve` — the TCP transport around server::Service.
+//
+// One daemon, three moving parts:
+//
+//   accept loop   one background thread; hands each connection to an I/O
+//                 thread and reaps finished ones.
+//   I/O threads   one per live connection; they only frame bytes into
+//                 newline-delimited request lines and write response lines
+//                 back (TCP_NODELAY, partial-write safe). They never run
+//                 learner/SAT/synth work themselves.
+//   worker pool   the existing core::ThreadPool. Every request line is
+//                 submitted as one task; the I/O thread blocks on the
+//                 future, which keeps requests on one connection FIFO
+//                 while CPU-bound work across connections is capped at the
+//                 pool width no matter how many clients connect.
+//
+// Robustness contract (pinned by tests/server_test.cpp): a malformed line
+// gets an error response and the connection lives on; a line that grows
+// past `max_request_bytes` gets an error response and the connection is
+// closed (the only way to bound memory without trusting the client); a
+// client that disconnects mid-request or mid-response affects nothing but
+// its own connection. The daemon itself only stops via stop().
+//
+// Binding port 0 picks an ephemeral port, readable via port() — how tests
+// and the bench run many servers without colliding.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "server/service.hpp"
+
+namespace lsml::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral (see Server::port())
+  /// Worker pool width, ThreadPool convention: 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Hard cap on one request line; longer requests are rejected and the
+  /// connection closed. 0 disables the cap (tests only).
+  std::size_t max_request_bytes = 8u << 20;
+  ServiceOptions service;
+  int verbosity = 0;  ///< 1 = connection lifecycle lines on stderr
+};
+
+/// Transport-level counters (request-level ones live in ServiceStats).
+struct ServerStats {
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> oversized_rejects{0};
+  std::atomic<std::uint64_t> io_errors{0};
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept loop. Throws std::runtime_error
+  /// (with errno context) when the address cannot be bound.
+  void start();
+
+  /// Stops accepting, shuts every live connection down, joins all
+  /// threads. Idempotent; called by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  /// The bound port (resolves an ephemeral request); 0 before start().
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] Service& service() { return service_; }
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void connection_loop(Connection* conn);
+  void reap_finished_locked();
+
+  ServerOptions options_;
+  Service service_;
+  ServerStats stats_;
+  std::unique_ptr<core::ThreadPool> pool_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace lsml::server

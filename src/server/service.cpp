@@ -1,0 +1,700 @@
+#include "server/service.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "aig/aig_io.hpp"
+#include "core/bits.hpp"
+#include "core/rng.hpp"
+#include "learn/factory.hpp"
+#include "learn/learner.hpp"
+#include "pla/pla.hpp"
+#include "portfolio/contest.hpp"
+#include "sat/cec.hpp"
+#include "synth/script.hpp"
+
+namespace lsml::server {
+
+namespace {
+
+/// A request that cannot be served as asked; becomes an ok:false response.
+class RequestError : public std::runtime_error {
+ public:
+  explicit RequestError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A deadline that ran out before the heavy phase started; becomes an
+/// ok:false response with "expired":true.
+class DeadlineExpired : public std::runtime_error {
+ public:
+  explicit DeadlineExpired(const std::string& phase)
+      : std::runtime_error("deadline expired before " + phase) {}
+};
+
+const Json* optional_member(const Json& request, const char* key) {
+  return request.find(key);
+}
+
+std::string required_string(const Json& request, const char* key) {
+  const Json* v = request.find(key);
+  if (v == nullptr || !v->is_string()) {
+    throw RequestError(std::string("request needs a string '") + key +
+                       "' field");
+  }
+  return v->as_string();
+}
+
+std::int64_t optional_int(const Json& request, const char* key,
+                          std::int64_t fallback, std::int64_t min,
+                          std::int64_t max) {
+  const Json* v = request.find(key);
+  if (v == nullptr) {
+    return fallback;
+  }
+  if (!v->is_number()) {
+    throw RequestError(std::string("'") + key + "' must be a number");
+  }
+  const std::int64_t value = v->as_int();
+  if (value < min || value > max) {
+    throw RequestError(std::string("'") + key + "' must be in [" +
+                       std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return value;
+}
+
+bool optional_bool(const Json& request, const char* key, bool fallback) {
+  const Json* v = request.find(key);
+  if (v == nullptr) {
+    return fallback;
+  }
+  if (!v->is_bool()) {
+    throw RequestError(std::string("'") + key + "' must be a boolean");
+  }
+  return v->as_bool();
+}
+
+data::Dataset parse_pla_payload(const std::string& text, const char* field) {
+  try {
+    std::istringstream is(text);
+    return pla::read_pla(is).to_dataset();
+  } catch (const std::exception& e) {
+    throw RequestError(std::string("bad PLA in '") + field + "': " + e.what());
+  }
+}
+
+aig::Aig parse_aag_payload(const std::string& text, const char* field) {
+  try {
+    std::istringstream is(text);
+    return aig::read_aag(is);
+  } catch (const std::exception& e) {
+    throw RequestError(std::string("bad AIGER in '") + field +
+                       "': " + e.what());
+  }
+}
+
+std::string aag_to_string(const aig::Aig& aig) {
+  std::ostringstream os;
+  aig::write_aag(aig, os);
+  return os.str();
+}
+
+/// Response skeleton: echoed id (if any) first, then ok and type, so every
+/// response line starts with the fields a client dispatches on.
+Json response_base(const Json& request, const char* type, bool ok) {
+  Json r = Json::object();
+  if (request.is_object()) {
+    if (const Json* id = request.find("id")) {
+      r.set("id", *id);
+    }
+  }
+  r.set("ok", ok);
+  r.set("type", type);
+  return r;
+}
+
+/// How many SAT conflicts a cec deadline buys per remaining millisecond —
+/// a deliberately conservative rate (small instances do thousands/ms), so
+/// a deadline always wins over a pathological miter.
+constexpr std::int64_t kCecConflictsPerMs = 2000;
+
+}  // namespace
+
+std::int64_t Deadline::elapsed_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - received_at)
+      .count();
+}
+
+std::int64_t Deadline::remaining_ms() const {
+  const std::int64_t left = budget_ms - elapsed_ms();
+  return left > 0 ? left : 0;
+}
+
+std::string model_id_from_hash(std::uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "m-%016" PRIx64, hash);
+  return buf;
+}
+
+bool model_hash_from_id(const std::string& id, std::uint64_t* hash) {
+  if (id.size() != 18 || id[0] != 'm' || id[1] != '-') {
+    return false;
+  }
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(id.c_str() + 2, &end, 16);
+  if (end != id.c_str() + id.size()) {
+    return false;
+  }
+  *hash = value;
+  return true;
+}
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)),
+      pipeline_(synth::default_pipeline()),
+      disk_cache_(options_.cache_dir) {}
+
+std::string Service::handle_line(const std::string& line) {
+  return handle_line(line, std::chrono::steady_clock::now());
+}
+
+std::string Service::handle_line(
+    const std::string& line,
+    std::chrono::steady_clock::time_point received_at) {
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  Json request;
+  try {
+    request = Json::parse(line);
+    if (!request.is_object()) {
+      throw RequestError("request must be a JSON object");
+    }
+    Deadline deadline;
+    deadline.received_at = received_at;
+    deadline.budget_ms =
+        optional_int(request, "deadline_ms", 0, 0, 24LL * 3600 * 1000);
+    Json response = dispatch(request, deadline);
+    return response.dump();
+  } catch (const DeadlineExpired& e) {
+    stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    Json r = response_base(request, "error", false);
+    r.set("error", e.what());
+    r.set("expired", true);
+    return r.dump();
+  } catch (const std::exception& e) {
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    Json r = response_base(request, "error", false);
+    r.set("error", e.what());
+    return r.dump();
+  }
+}
+
+Json Service::dispatch(const Json& request, const Deadline& deadline) {
+  const std::string type = required_string(request, "type");
+  if (type == "learn") {
+    return handle_learn(request, deadline);
+  }
+  if (type == "eval") {
+    return handle_eval(request);
+  }
+  if (type == "synth") {
+    return handle_synth(request, deadline);
+  }
+  if (type == "cec") {
+    return handle_cec(request, deadline);
+  }
+  if (type == "ping") {
+    return handle_ping(request, deadline);
+  }
+  if (type == "stats") {
+    return handle_stats();
+  }
+  throw RequestError("unknown request type '" + type +
+                     "' (expected learn, eval, synth, cec, ping, or stats)");
+}
+
+// ----------------------------------------------------------------- learn
+
+Json Service::handle_learn(const Json& request, const Deadline& deadline) {
+  const std::string learner_name = required_string(request, "learner");
+  const learn::LearnerFactory factory =
+      learn::LearnerFactory::try_from_registry(learner_name);
+  if (!factory) {
+    throw RequestError("no learner named '" + learner_name +
+                       "' is registered");
+  }
+  const data::Dataset train =
+      parse_pla_payload(required_string(request, "pla"), "pla");
+  if (train.num_rows() == 0) {
+    throw RequestError("'pla' holds no minterms");
+  }
+  data::Dataset valid = train;
+  if (const Json* v = optional_member(request, "valid_pla")) {
+    if (!v->is_string()) {
+      throw RequestError("'valid_pla' must be a string");
+    }
+    valid = parse_pla_payload(v->as_string(), "valid_pla");
+    if (valid.num_inputs() != train.num_inputs()) {
+      throw RequestError("'valid_pla' input count differs from 'pla'");
+    }
+  }
+  const auto seed = static_cast<std::uint64_t>(optional_int(
+      request, "seed", static_cast<std::int64_t>(options_.default_seed), 0,
+      INT64_MAX));
+
+  // Model identity: the same content-hash recipe the contest's result
+  // cache uses (datasets + seed + schema version), extended by who learns
+  // and under which pipeline. Equal requests — across connections,
+  // restarts, and replays — map to equal ids.
+  const std::uint64_t valid_hash = valid.content_hash();
+  std::uint64_t hash = suite::task_content_hash(
+      0, seed, train.content_hash(), valid_hash, valid_hash);
+  hash = core::hash_combine(
+      hash, core::fnv1a(learner_name.data(), learner_name.size()));
+  hash = core::hash_combine(hash, pipeline_.fingerprint());
+  const std::string id = model_id_from_hash(hash);
+
+  std::shared_ptr<const StoredModel> model = store_get(id);
+  if (model == nullptr) {
+    // Single-flight: concurrent identical learns elect one leader; the
+    // rest wait on its future instead of refitting N times on a cold
+    // server (the store alone cannot close that window).
+    std::promise<std::shared_ptr<const StoredModel>> promise;
+    std::shared_future<std::shared_ptr<const StoredModel>> shared;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      const auto it = inflight_.find(id);
+      if (it != inflight_.end()) {
+        shared = it->second;
+      } else {
+        shared = promise.get_future().share();
+        inflight_.emplace(id, shared);
+        leader = true;
+      }
+    }
+    if (!leader) {
+      stats_.model_inflight_joins.fetch_add(1, std::memory_order_relaxed);
+      model = shared.get();  // rethrows whatever failed the leader
+    } else {
+      std::exception_ptr failure;
+      try {
+        // Re-check both cache levels now that this thread owns the
+        // flight: a leader that just finished published to the store
+        // *before* leaving the table, so this lookup cannot miss its
+        // result.
+        model = store_get(id);
+        if (model == nullptr) {
+          model = disk_get(id, hash);
+        }
+        if (model == nullptr) {
+          // Cache hits are cheap enough to honor even past the deadline;
+          // an actual refit is the phase a deadline exists to gate.
+          if (deadline.expired()) {
+            throw DeadlineExpired("learn started");
+          }
+          stats_.learns.fetch_add(1, std::memory_order_relaxed);
+          core::Rng rng(hash);  // depends only on the request content hash
+          const std::unique_ptr<learn::Learner> learner = factory.make();
+          learn::TrainedModel trained = learner->fit(train, valid, rng);
+          auto stored = std::make_shared<StoredModel>();
+          stored->circuit = std::move(trained.circuit);
+          stored->learner = learner_name;
+          stored->method = std::move(trained.method);
+          stored->train_acc = trained.train_acc;
+          stored->valid_acc = trained.valid_acc;
+          stored->verified = trained.verified;
+          disk_put(id, hash, *stored, trained.synth_trace);
+          store_put(id, stored);
+          model = std::move(stored);
+        }
+      } catch (...) {
+        failure = std::current_exception();
+      }
+      if (failure == nullptr) {
+        promise.set_value(model);
+      } else {
+        promise.set_exception(failure);
+      }
+      {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_.erase(id);
+      }
+      if (failure != nullptr) {
+        std::rethrow_exception(failure);
+      }
+    }
+  }
+
+  Json r = response_base(request, "learn", true);
+  r.set("model", id);
+  r.set("learner", model->learner);
+  r.set("method", model->method);
+  r.set("train_acc", model->train_acc);
+  r.set("valid_acc", model->valid_acc);
+  r.set("ands", model->circuit.num_ands());
+  r.set("levels", model->circuit.num_levels());
+  r.set("inputs", model->circuit.num_pis());
+  r.set("verified", synth::to_string(model->verified));
+  return r;
+}
+
+// ------------------------------------------------------------------ eval
+
+Json Service::handle_eval(const Json& request) {
+  const std::string id = required_string(request, "model");
+  std::uint64_t hash = 0;
+  if (!model_hash_from_id(id, &hash)) {
+    throw RequestError("'" + id +
+                       "' is not a model id (expected m-<16 hex digits>)");
+  }
+  std::shared_ptr<const StoredModel> model = store_get(id);
+  if (model == nullptr) {
+    model = disk_get(id, hash);
+  }
+  if (model == nullptr) {
+    throw RequestError("unknown model '" + id + "' (learn it first)");
+  }
+
+  const Json* inputs = optional_member(request, "inputs");
+  if (inputs == nullptr || !inputs->is_array()) {
+    throw RequestError("request needs an 'inputs' array of minterm strings");
+  }
+  const std::size_t rows = inputs->size();
+  if (rows == 0) {
+    throw RequestError("'inputs' is empty");
+  }
+  if (rows > options_.max_eval_rows) {
+    throw RequestError("'inputs' exceeds the per-request row cap (" +
+                       std::to_string(options_.max_eval_rows) + ")");
+  }
+  const std::size_t num_pis = model->circuit.num_pis();
+  std::vector<core::BitVec> columns(num_pis, core::BitVec(rows));
+  for (std::size_t row = 0; row < rows; ++row) {
+    const Json& line = inputs->at(row);
+    if (!line.is_string() || line.as_string().size() != num_pis) {
+      throw RequestError("inputs[" + std::to_string(row) + "] must be a " +
+                         std::to_string(num_pis) + "-character 0/1 string");
+    }
+    const std::string& bits = line.as_string();
+    for (std::size_t col = 0; col < num_pis; ++col) {
+      if (bits[col] == '1') {
+        columns[col].set(row, true);
+      } else if (bits[col] != '0') {
+        throw RequestError("inputs[" + std::to_string(row) +
+                           "] holds a character other than 0/1");
+      }
+    }
+  }
+  std::vector<const core::BitVec*> column_ptrs(num_pis);
+  for (std::size_t col = 0; col < num_pis; ++col) {
+    column_ptrs[col] = &columns[col];
+  }
+  const std::vector<core::BitVec> outputs =
+      model->circuit.simulate(column_ptrs);
+
+  stats_.evals.fetch_add(1, std::memory_order_relaxed);
+  Json r = response_base(request, "eval", true);
+  r.set("model", id);
+  r.set("rows", static_cast<std::int64_t>(rows));
+  Json out = Json::array();
+  for (const core::BitVec& bits : outputs) {
+    std::string text(rows, '0');
+    for (std::size_t row = 0; row < rows; ++row) {
+      if (bits.get(row)) {
+        text[row] = '1';
+      }
+    }
+    out.push_back(Json(std::move(text)));
+  }
+  r.set("outputs", std::move(out));
+  return r;
+}
+
+// ----------------------------------------------------------------- synth
+
+Json Service::handle_synth(const Json& request, const Deadline& deadline) {
+  const aig::Aig in = parse_aag_payload(required_string(request, "aag"), "aag");
+  synth::Script script;
+  const std::string script_text = [&] {
+    const Json* s = optional_member(request, "script");
+    if (s == nullptr) {
+      return std::string("resyn2");
+    }
+    if (!s->is_string()) {
+      throw RequestError("'script' must be a string");
+    }
+    return s->as_string();
+  }();
+  try {
+    script = synth::Script::named_or_parse(script_text);
+  } catch (const std::exception& e) {
+    throw RequestError(std::string("bad 'script': ") + e.what());
+  }
+  synth::SynthOptions opts;
+  opts.node_budget = static_cast<std::uint32_t>(
+      optional_int(request, "max_gates", 5000, 0, 0xffffffffLL));
+  opts.max_rounds =
+      static_cast<int>(optional_int(request, "rounds", 1, 1, 1000));
+  opts.approx_seed = static_cast<std::uint64_t>(optional_int(
+      request, "seed", static_cast<std::int64_t>(opts.approx_seed), 0,
+      INT64_MAX));
+  opts.verify_equivalence = optional_bool(request, "verify", false);
+  if (deadline.active()) {
+    if (deadline.expired()) {
+      throw DeadlineExpired("synth started");
+    }
+    // Map the remaining deadline onto the pass manager's existing soft
+    // time budget; such runs bypass the process memo by design.
+    opts.time_budget_ms = deadline.remaining_ms();
+  }
+  const synth::PassManager manager(opts);
+  const synth::SynthResult result = manager.run_cached(in, script);
+
+  stats_.synths.fetch_add(1, std::memory_order_relaxed);
+  Json r = response_base(request, "synth", true);
+  r.set("script", script.str());
+  r.set("ands_in", result.ands_in());
+  r.set("ands", result.circuit.num_ands());
+  r.set("levels", result.circuit.num_levels());
+  r.set("verified", synth::to_string(result.verify));
+  // Wall times stay out of the trace: responses must be bit-identical
+  // across replays (the ms column is observable via the CLI instead).
+  Json trace = Json::array();
+  for (const synth::PassStats& pass : result.trace) {
+    Json p = Json::object();
+    p.set("pass", pass.pass);
+    p.set("ands_before", pass.ands_before);
+    p.set("ands_after", pass.ands_after);
+    p.set("levels_before", pass.levels_before);
+    p.set("levels_after", pass.levels_after);
+    trace.push_back(std::move(p));
+  }
+  r.set("trace", std::move(trace));
+  r.set("aag", aag_to_string(result.circuit));
+  return r;
+}
+
+// ------------------------------------------------------------------- cec
+
+Json Service::handle_cec(const Json& request, const Deadline& deadline) {
+  const aig::Aig a = parse_aag_payload(required_string(request, "a"), "a");
+  const aig::Aig b = parse_aag_payload(required_string(request, "b"), "b");
+  sat::CecLimits limits;
+  limits.conflict_budget = optional_int(request, "conflicts",
+                                        options_.cec_conflict_budget, 0,
+                                        INT64_MAX);
+  stats_.cecs.fetch_add(1, std::memory_order_relaxed);
+
+  Json r = response_base(request, "cec", true);
+  if (deadline.active()) {
+    const std::int64_t remaining = deadline.remaining_ms();
+    if (remaining <= 0) {
+      // A blown deadline degrades to the verdict a blown SAT budget gives:
+      // undecided, never a wrong answer and never a stalled worker.
+      stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      r.set("verdict", "undecided");
+      r.set("expired", true);
+      return r;
+    }
+    const std::int64_t cap = remaining * kCecConflictsPerMs;
+    if (limits.conflict_budget == 0 || limits.conflict_budget > cap) {
+      limits.conflict_budget = cap;
+    }
+  }
+  sat::CecResult result;
+  try {
+    result = sat::cec(a, b, limits);
+  } catch (const std::invalid_argument& e) {
+    throw RequestError(e.what());  // PI/output shape mismatch
+  }
+  switch (result.status) {
+    case sat::CecStatus::kEquivalent:
+      r.set("verdict", "equivalent");
+      break;
+    case sat::CecStatus::kNotEquivalent: {
+      r.set("verdict", "not_equivalent");
+      std::string cube;
+      for (const std::uint8_t v : result.counterexample) {
+        cube += v != 0 ? '1' : '0';
+      }
+      r.set("counterexample", cube);
+      r.set("failing_output",
+            static_cast<std::int64_t>(result.failing_output));
+      break;
+    }
+    case sat::CecStatus::kUndecided:
+      r.set("verdict", "undecided");
+      break;
+  }
+  r.set("conflicts",
+        static_cast<std::int64_t>(result.solver_stats.conflicts));
+  return r;
+}
+
+// ------------------------------------------------------------ ping/stats
+
+Json Service::handle_ping(const Json& request, const Deadline& deadline) {
+  if (deadline.expired()) {
+    throw DeadlineExpired("ping ran");
+  }
+  const std::int64_t sleep_ms = optional_int(request, "sleep_ms", 0, 0,
+                                             options_.max_ping_sleep_ms);
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  stats_.pings.fetch_add(1, std::memory_order_relaxed);
+  return response_base(request, "ping", true);
+}
+
+Json Service::handle_stats() {
+  Json r = response_base(Json(), "stats", true);
+  const auto get = [](const std::atomic<std::uint64_t>& c) {
+    return static_cast<std::int64_t>(c.load(std::memory_order_relaxed));
+  };
+  r.set("requests", get(stats_.requests));
+  r.set("errors", get(stats_.errors));
+  r.set("learns", get(stats_.learns));
+  r.set("model_memory_hits", get(stats_.model_memory_hits));
+  r.set("model_disk_hits", get(stats_.model_disk_hits));
+  r.set("model_inflight_joins", get(stats_.model_inflight_joins));
+  r.set("evals", get(stats_.evals));
+  r.set("synths", get(stats_.synths));
+  r.set("cecs", get(stats_.cecs));
+  r.set("pings", get(stats_.pings));
+  r.set("deadline_expired", get(stats_.deadline_expired));
+  r.set("models_cached", static_cast<std::int64_t>(models_cached()));
+  r.set("synth_memo_hits",
+        static_cast<std::int64_t>(synth::PassManager::memo_hits()));
+  r.set("pipeline", pipeline_.script.str());
+  return r;
+}
+
+// ------------------------------------------------------------ model store
+
+std::shared_ptr<const StoredModel> Service::store_get(const std::string& id) {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  const auto it = models_.find(id);
+  if (it == models_.end()) {
+    return nullptr;
+  }
+  lru_order_.splice(lru_order_.begin(), lru_order_, it->second.first);
+  stats_.model_memory_hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second.second;
+}
+
+void Service::store_put(const std::string& id,
+                        std::shared_ptr<const StoredModel> m) {
+  if (options_.model_capacity == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  const auto it = models_.find(id);
+  if (it != models_.end()) {
+    lru_order_.splice(lru_order_.begin(), lru_order_, it->second.first);
+    it->second.second = std::move(m);
+    return;
+  }
+  lru_order_.push_front(id);
+  models_.emplace(id, std::make_pair(lru_order_.begin(), std::move(m)));
+  while (models_.size() > options_.model_capacity) {
+    models_.erase(lru_order_.back());
+    lru_order_.pop_back();
+  }
+}
+
+std::size_t Service::models_cached() const {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  return models_.size();
+}
+
+std::shared_ptr<const StoredModel> Service::disk_get(
+    const std::string& id, std::uint64_t content_hash) {
+  if (!disk_cache_.enabled()) {
+    return nullptr;
+  }
+  const std::optional<suite::CachedTask> task =
+      disk_cache_.load("models", id, content_hash);
+  if (!task.has_value()) {
+    return nullptr;
+  }
+  auto stored = std::make_shared<StoredModel>();
+  try {
+    std::istringstream is(task->aag);
+    stored->circuit = aig::read_aag(is);
+  } catch (const std::exception&) {
+    return nullptr;  // corrupt entry: treat as a plain miss
+  }
+  stored->method = task->result.method;
+  // The learner name is recoverable from the method only heuristically, so
+  // the cache stores it in the benchmark row's `benchmark` companion
+  // field; see disk_put. BenchmarkResult::benchmark holds the learner.
+  stored->learner = task->result.benchmark;
+  stored->train_acc = task->result.train_acc;
+  stored->valid_acc = task->result.valid_acc;
+  stored->verified = task->result.verified;
+  stats_.model_disk_hits.fetch_add(1, std::memory_order_relaxed);
+  store_put(id, stored);
+  return stored;
+}
+
+void Service::disk_put(const std::string& id, std::uint64_t content_hash,
+                       const StoredModel& model,
+                       const std::vector<synth::PassStats>& trace) {
+  if (!disk_cache_.enabled()) {
+    return;
+  }
+  suite::CachedTask task;
+  task.result.benchmark_id = 0;
+  task.result.benchmark = model.learner;  // see disk_get
+  task.result.method = model.method;
+  task.result.train_acc = model.train_acc;
+  task.result.valid_acc = model.valid_acc;
+  task.result.test_acc = model.valid_acc;
+  task.result.num_ands = model.circuit.num_ands();
+  task.result.num_levels = model.circuit.num_levels();
+  task.result.synth_trace = trace;
+  task.result.verified = model.verified;
+  task.aag = aag_to_string(model.circuit);
+  disk_cache_.store("models", id, content_hash, task);
+}
+
+// ----------------------------------------------------------------- stdio
+
+std::uint64_t Service::serve_stream(std::istream& in, std::ostream& out,
+                                    std::size_t max_request_bytes) {
+  std::uint64_t answered = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    std::string response;
+    if (max_request_bytes > 0 && line.size() > max_request_bytes) {
+      stats_.requests.fetch_add(1, std::memory_order_relaxed);
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      Json r = Json::object();
+      r.set("ok", false);
+      r.set("error", "request exceeds --max-request-bytes (" +
+                         std::to_string(max_request_bytes) + ")");
+      response = r.dump();
+    } else {
+      response = handle_line(line);
+    }
+    out << response << '\n' << std::flush;
+    ++answered;
+  }
+  return answered;
+}
+
+}  // namespace lsml::server

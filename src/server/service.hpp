@@ -1,0 +1,186 @@
+#pragma once
+// The learning-as-a-service request handler behind `lsml serve`.
+//
+// A Service is the transport-agnostic core of the daemon: it maps one
+// request line (newline-delimited JSON, see README "Serving") to one
+// response line, reusing every layer built so far —
+//
+//   learn  PLA payload -> learn::LearnerFactory -> TrainedModel, optimized
+//          through the installed synth::Pipeline (and SAT-verified when the
+//          pipeline's SynthOptions say so)
+//   eval   model id + minterm batch -> packed-simulation outputs
+//   synth  AIGER text + script string -> optimized AIGER + pass trace
+//   cec    two AIGER payloads -> verdict + counterexample cube
+//   ping   liveness (optional server-side sleep, for load/deadline tests)
+//   stats  service counters (the one intentionally non-deterministic reply)
+//
+// Learned models live in a bounded LRU store keyed by a content hash over
+// (datasets, learner, seed, pipeline fingerprint) — the same
+// Dataset::content_hash / task_content_hash machinery that keys the
+// contest's on-disk suite::ResultCache, which doubles as this store's
+// second level when `cache_dir` is set: a restarted server serves `learn`
+// and `eval` requests for already-learned models without refitting.
+//
+// Determinism contract: every response except `stats` is a pure function
+// of the request (given a fixed installed pipeline), with no wall times or
+// cache-hit markers in the body — so N concurrent clients replaying a
+// request set get byte-identical lines to a serial replay. Hit counts are
+// observable through `stats` instead.
+//
+// Thread safety: handle_line is safe to call from any number of threads
+// (the model store and counters are internally synchronized; the synth
+// memo and learner stack are already thread-safe). Install the process
+// synth::Pipeline (synth::set_default_pipeline) BEFORE constructing a
+// Service: the constructor snapshots it for model-id fingerprints, and
+// learners read it concurrently afterwards.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "server/json.hpp"
+#include "suite/result_cache.hpp"
+#include "synth/pass_manager.hpp"
+
+namespace lsml::server {
+
+struct ServiceOptions {
+  /// LRU capacity of the in-memory model store (entries, not bytes).
+  std::size_t model_capacity = 64;
+  /// On-disk second level (a suite::ResultCache); empty disables it.
+  std::string cache_dir;
+  /// Contest seed used when a learn request does not send one.
+  std::uint64_t default_seed = 2020;
+  /// Default SAT conflict budget of a cec request (0 = unlimited).
+  std::int64_t cec_conflict_budget = 100000;
+  /// Row cap of one eval batch (guards against absurd payloads).
+  std::size_t max_eval_rows = 1u << 20;
+  /// Cap on ping's optional server-side sleep.
+  std::int64_t max_ping_sleep_ms = 60000;
+};
+
+/// Per-request deadline: a budget in milliseconds counted from the moment
+/// the transport finished reading the request line (so time spent queued
+/// behind busy workers counts). budget_ms == 0 means "no deadline".
+struct Deadline {
+  std::chrono::steady_clock::time_point received_at{};
+  std::int64_t budget_ms = 0;
+
+  [[nodiscard]] bool active() const { return budget_ms > 0; }
+  [[nodiscard]] std::int64_t elapsed_ms() const;
+  /// Remaining budget, clamped at 0; meaningless unless active().
+  [[nodiscard]] std::int64_t remaining_ms() const;
+  [[nodiscard]] bool expired() const { return active() && remaining_ms() <= 0; }
+};
+
+/// Monotonic counters; every field is updated atomically and readable at
+/// any time (the `stats` request serializes them).
+struct ServiceStats {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};  ///< ok:false responses
+  std::atomic<std::uint64_t> learns{0};  ///< learn requests that refit
+  std::atomic<std::uint64_t> model_memory_hits{0};
+  std::atomic<std::uint64_t> model_disk_hits{0};
+  /// Requests that waited on a concurrent identical learn instead of
+  /// refitting (single-flight).
+  std::atomic<std::uint64_t> model_inflight_joins{0};
+  std::atomic<std::uint64_t> evals{0};
+  std::atomic<std::uint64_t> synths{0};
+  std::atomic<std::uint64_t> cecs{0};
+  std::atomic<std::uint64_t> pings{0};
+  std::atomic<std::uint64_t> deadline_expired{0};
+};
+
+/// A learned circuit as the store keeps it (immutable once published).
+struct StoredModel {
+  aig::Aig circuit{0};
+  std::string learner;
+  std::string method;
+  double train_acc = 0.0;
+  double valid_acc = 0.0;
+  synth::VerifyStatus verified = synth::VerifyStatus::kNotRequested;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  /// Handles one request line; never throws. The returned response line
+  /// carries no trailing newline. `received_at` stamps the deadline clock;
+  /// the overload without it uses "now" (stdio mode, tests).
+  [[nodiscard]] std::string handle_line(
+      const std::string& line, std::chrono::steady_clock::time_point
+                                   received_at);
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// NDJSON loop over streams — the `lsml serve --stdio` transport and the
+  /// easiest test harness. Empty lines are skipped; lines longer than
+  /// `max_request_bytes` are answered with an error (and not parsed).
+  /// Returns the number of requests answered.
+  std::uint64_t serve_stream(std::istream& in, std::ostream& out,
+                             std::size_t max_request_bytes);
+
+  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+  /// The pipeline snapshot taken at construction (what learn requests run
+  /// under and what model ids fingerprint).
+  [[nodiscard]] const synth::Pipeline& pipeline() const { return pipeline_; }
+
+  /// In-memory model count (tests assert LRU eviction through this).
+  [[nodiscard]] std::size_t models_cached() const;
+
+ private:
+  Json dispatch(const Json& request, const Deadline& deadline);
+  Json handle_learn(const Json& request, const Deadline& deadline);
+  Json handle_eval(const Json& request);
+  Json handle_synth(const Json& request, const Deadline& deadline);
+  Json handle_cec(const Json& request, const Deadline& deadline);
+  Json handle_ping(const Json& request, const Deadline& deadline);
+  Json handle_stats();
+
+  /// LRU lookup (bumps recency); nullptr on miss.
+  std::shared_ptr<const StoredModel> store_get(const std::string& id);
+  void store_put(const std::string& id, std::shared_ptr<const StoredModel> m);
+  /// Second-level lookup in the on-disk ResultCache; fills the LRU on hit.
+  std::shared_ptr<const StoredModel> disk_get(const std::string& id,
+                                              std::uint64_t content_hash);
+  void disk_put(const std::string& id, std::uint64_t content_hash,
+                const StoredModel& model,
+                const std::vector<synth::PassStats>& trace);
+
+  ServiceOptions options_;
+  synth::Pipeline pipeline_;
+  suite::ResultCache disk_cache_;
+  ServiceStats stats_;
+
+  /// Single-flight table: model ids whose first learn is still running.
+  /// Concurrent identical learns wait on the leader's future instead of
+  /// refitting (the store alone cannot prevent N cold-start duplicates).
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const StoredModel>>>
+      inflight_;
+
+  mutable std::mutex store_mutex_;
+  std::list<std::string> lru_order_;  ///< front = most recent
+  std::unordered_map<std::string,
+                     std::pair<std::list<std::string>::iterator,
+                               std::shared_ptr<const StoredModel>>>
+      models_;
+};
+
+/// "m-<hex16>" spelling of a model content hash (and its inverse; false
+/// when `id` is not a well-formed model id).
+std::string model_id_from_hash(std::uint64_t hash);
+bool model_hash_from_id(const std::string& id, std::uint64_t* hash);
+
+}  // namespace lsml::server

@@ -55,15 +55,24 @@ bool next_field(std::istream& is, const std::string& key, std::string* value) {
 
 std::uint64_t task_content_hash(const oracle::Benchmark& bench,
                                 std::uint64_t seed) {
+  return task_content_hash(bench.id, seed, bench.train.content_hash(),
+                           bench.valid.content_hash(),
+                           bench.test.content_hash());
+}
+
+std::uint64_t task_content_hash(int benchmark_id, std::uint64_t seed,
+                                std::uint64_t train_hash,
+                                std::uint64_t valid_hash,
+                                std::uint64_t test_hash) {
   // Combine the independent digests; any single-bit change in any
   // dataset, the id, the seed, or the schema version flips the key and
   // forces a recompute.
   std::uint64_t h = 0x9e3779b97f4a7c15ULL * (kResultCacheSchemaVersion + 1);
-  h = core::hash_combine(h, static_cast<std::uint64_t>(bench.id));
+  h = core::hash_combine(h, static_cast<std::uint64_t>(benchmark_id));
   h = core::hash_combine(h, seed);
-  h = core::hash_combine(h, bench.train.content_hash());
-  h = core::hash_combine(h, bench.valid.content_hash());
-  return core::hash_combine(h, bench.test.content_hash());
+  h = core::hash_combine(h, train_hash);
+  h = core::hash_combine(h, valid_hash);
+  return core::hash_combine(h, test_hash);
 }
 
 std::string ResultCache::entry_path(const std::string& team_key,

@@ -44,6 +44,15 @@ struct CachedTask {
 std::uint64_t task_content_hash(const oracle::Benchmark& bench,
                                 std::uint64_t seed);
 
+/// The same digest from precomputed dataset content hashes — for callers
+/// (the serve daemon's model ids) that hold datasets outside a Benchmark
+/// and must not copy them just to hash. Kept in one implementation with
+/// the overload above; any change to the recipe is a schema bump.
+std::uint64_t task_content_hash(int benchmark_id, std::uint64_t seed,
+                                std::uint64_t train_hash,
+                                std::uint64_t valid_hash,
+                                std::uint64_t test_hash);
+
 class ResultCache {
  public:
   /// An empty `dir` disables the store: loads miss, stores are dropped.

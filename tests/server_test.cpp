@@ -1,0 +1,836 @@
+// Tests for src/server: the JSON layer, the Service protocol core, and the
+// TCP daemon + client. The headline properties pinned here are the ones
+// the serving layer sells: protocol errors never kill the daemon, deadlines
+// degrade instead of stalling, repeated requests hit the model caches, and
+// N concurrent clients get byte-identical responses to a serial replay
+// (this file runs under TSan in CI, so the identity check doubles as the
+// data-race probe).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "aig/aig_io.hpp"
+#include "aig/aig_random.hpp"
+#include "core/rng.hpp"
+#include "sat/cec.hpp"
+#include "server/client.hpp"
+#include "server/json.hpp"
+#include "server/server.hpp"
+#include "server/service.hpp"
+#include "synth/script.hpp"
+
+namespace lsml {
+namespace {
+
+using server::Client;
+using server::Deadline;
+using server::Json;
+using server::Server;
+using server::ServerOptions;
+using server::Service;
+using server::ServiceOptions;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "lsml_server_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// PLA text for a full truth table of `fn` over `num_inputs` variables.
+std::string pla_for(std::size_t num_inputs,
+                    const std::function<bool(std::uint32_t)>& fn) {
+  std::ostringstream os;
+  os << ".i " << num_inputs << "\n.o 1\n";
+  for (std::uint32_t row = 0; row < (1u << num_inputs); ++row) {
+    for (std::size_t bit = 0; bit < num_inputs; ++bit) {
+      os << (((row >> bit) & 1u) != 0 ? '1' : '0');
+    }
+    os << ' ' << (fn(row) ? '1' : '0') << '\n';
+  }
+  os << ".e\n";
+  return os.str();
+}
+
+std::string aag_text(const aig::Aig& g) {
+  std::ostringstream os;
+  aig::write_aag(g, os);
+  return os.str();
+}
+
+aig::Aig or2_circuit() {
+  aig::Aig g(2);
+  g.add_output(g.or2(g.pi(0), g.pi(1)));
+  return g;
+}
+
+aig::Aig and2_circuit() {
+  aig::Aig g(2);
+  g.add_output(g.and2(g.pi(0), g.pi(1)));
+  return g;
+}
+
+Json handle(Service& service, const Json& request) {
+  return Json::parse(service.handle_line(request.dump()));
+}
+
+Json make_request(const char* type) {
+  Json r = Json::object();
+  r.set("type", type);
+  return r;
+}
+
+Json learn_request(const std::string& pla, const std::string& learner = "dt") {
+  Json r = make_request("learn");
+  r.set("learner", learner);
+  r.set("pla", pla);
+  return r;
+}
+
+/// A deadline whose clock started `elapsed_ms` ago — how tests make expiry
+/// deterministic without sleeping.
+std::chrono::steady_clock::time_point received_ago(std::int64_t elapsed_ms) {
+  return std::chrono::steady_clock::now() -
+         std::chrono::milliseconds(elapsed_ms);
+}
+
+// ===================================================================== JSON
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  Json obj = Json::object();
+  obj.set("s", "line1\nline2\t\"quoted\"\\");
+  obj.set("i", std::int64_t{-42});
+  obj.set("d", 0.25);
+  obj.set("b", true);
+  obj.set("n", Json());
+  Json arr = Json::array();
+  arr.push_back(Json("x"));
+  arr.push_back(Json(std::int64_t{7}));
+  obj.set("a", std::move(arr));
+
+  const std::string text = obj.dump();
+  const Json back = Json::parse(text);
+  EXPECT_EQ(back.at("s").as_string(), "line1\nline2\t\"quoted\"\\");
+  EXPECT_EQ(back.at("i").as_int(), -42);
+  EXPECT_DOUBLE_EQ(back.at("d").as_double(), 0.25);
+  EXPECT_TRUE(back.at("b").as_bool());
+  EXPECT_TRUE(back.at("n").is_null());
+  EXPECT_EQ(back.at("a").size(), 2u);
+  EXPECT_EQ(back.at("a").at(0).as_string(), "x");
+  // Canonical: dump(parse(dump(x))) == dump(x).
+  EXPECT_EQ(back.dump(), text);
+}
+
+TEST(JsonTest, PreservesMemberOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2}");
+}
+
+TEST(JsonTest, ParsesEscapesAndUnicode) {
+  const Json v = Json::parse(R"({"k":"aA\né 😀"})");
+  EXPECT_EQ(v.at("k").as_string(), "aA\n\xc3\xa9 \xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), server::JsonError);
+  EXPECT_THROW(Json::parse("{"), server::JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), server::JsonError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), server::JsonError);
+  EXPECT_THROW(Json::parse("[1,2"), server::JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), server::JsonError);
+  EXPECT_THROW(Json::parse("truth"), server::JsonError);
+  EXPECT_THROW(Json::parse("{} trailing"), server::JsonError);
+  EXPECT_THROW(Json::parse("\"bad \\q escape\""), server::JsonError);
+  EXPECT_THROW(Json::parse("\"ctrl \x01\""), server::JsonError);
+  EXPECT_THROW(Json::parse("01"), server::JsonError);
+}
+
+TEST(JsonTest, NumbersKeepIntegerness) {
+  EXPECT_EQ(Json::parse("9007199254740993").as_int(), 9007199254740993LL);
+  EXPECT_DOUBLE_EQ(Json::parse("1.5e3").as_double(), 1500.0);
+  // Shortest-round-trip doubles re-parse bit-exactly.
+  const double x = 0.1234567890123456789;
+  EXPECT_EQ(Json(x).dump(), Json::parse(Json(x).dump()).dump());
+}
+
+TEST(JsonTest, ModelIdRoundTrip) {
+  const std::string id = server::model_id_from_hash(0x0123456789abcdefULL);
+  EXPECT_EQ(id, "m-0123456789abcdef");
+  std::uint64_t hash = 0;
+  EXPECT_TRUE(server::model_hash_from_id(id, &hash));
+  EXPECT_EQ(hash, 0x0123456789abcdefULL);
+  EXPECT_FALSE(server::model_hash_from_id("m-123", &hash));
+  EXPECT_FALSE(server::model_hash_from_id("x-0123456789abcdef", &hash));
+  EXPECT_FALSE(server::model_hash_from_id("m-0123456789abcdeg", &hash));
+}
+
+// ================================================== Service: protocol errors
+
+TEST(ServiceTest, MalformedRequestsAreErrorsNotCrashes) {
+  Service service;
+  for (const char* line : {
+           "not json at all",
+           "{\"type\":\"learn\"",   // truncated JSON
+           "[1,2,3]",               // not an object
+           "{}",                    // no type
+           "{\"type\":42}",         // type not a string
+           "{\"type\":\"nope\"}",   // unknown type
+           "{\"type\":\"learn\"}",  // missing fields
+           "{\"type\":\"eval\",\"model\":\"bogus\"}",
+           "{\"type\":\"synth\",\"aag\":\"not an aiger file\"}",
+           "{\"type\":\"cec\",\"a\":\"x\",\"b\":\"y\"}",
+       }) {
+    const Json response = Json::parse(service.handle_line(line));
+    EXPECT_FALSE(response.at("ok").as_bool()) << line;
+    EXPECT_FALSE(response.at("error").as_string().empty()) << line;
+  }
+  EXPECT_EQ(service.stats().errors.load(), 10u);
+  // The service still works afterwards.
+  EXPECT_TRUE(handle(service, make_request("ping")).at("ok").as_bool());
+}
+
+TEST(ServiceTest, DeeplyNestedJsonIsAnErrorNotAStackOverflow) {
+  Service service;
+  // 100k open brackets would overflow the stack in an unbounded
+  // recursive-descent parser; the depth cap turns it into one failed
+  // request.
+  const Json response =
+      Json::parse(service.handle_line(std::string(100000, '[')));
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_NE(response.at("error").as_string().find("nesting"),
+            std::string::npos);
+  EXPECT_TRUE(handle(service, make_request("ping")).at("ok").as_bool());
+}
+
+TEST(ServiceTest, ConcurrentIdenticalLearnsFitOnce) {
+  // Single-flight: on a cold service, N threads asking for the same model
+  // elect one leader; everyone gets the same bytes and exactly one refit
+  // happens no matter how the threads interleave.
+  Service service;
+  const std::string line =
+      learn_request(pla_for(4, [](std::uint32_t r) { return r % 6 == 1; }))
+          .dump();
+  constexpr int kThreads = 16;
+  std::vector<std::string> responses(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { responses[t] = service.handle_line(line); });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(responses[t], responses[0]);
+    EXPECT_TRUE(Json::parse(responses[t]).at("ok").as_bool());
+  }
+  EXPECT_EQ(service.stats().learns.load(), 1u);
+}
+
+TEST(ServiceTest, EchoesRequestId) {
+  Service service;
+  Json request = make_request("ping");
+  request.set("id", std::int64_t{17});
+  Json response = handle(service, request);
+  EXPECT_EQ(response.at("id").as_int(), 17);
+  // Ids are echoed on errors too, and may be strings.
+  Json bad = make_request("nope");
+  bad.set("id", "abc");
+  response = handle(service, bad);
+  EXPECT_EQ(response.at("id").as_string(), "abc");
+  EXPECT_FALSE(response.at("ok").as_bool());
+}
+
+TEST(ServiceTest, LearnValidation) {
+  Service service;
+  const std::string pla = pla_for(2, [](std::uint32_t r) { return r != 0; });
+
+  Json request = learn_request(pla, "no-such-learner");
+  EXPECT_NE(handle(service, request).at("error").as_string().find(
+                "no learner named"),
+            std::string::npos);
+
+  request = learn_request(".i 2\n.o 1\ngarbage\n.e\n");
+  EXPECT_NE(handle(service, request).at("error").as_string().find("bad PLA"),
+            std::string::npos);
+
+  request = learn_request(pla);
+  request.set("valid_pla",
+              pla_for(3, [](std::uint32_t r) { return r != 0; }));
+  EXPECT_NE(handle(service, request).at("error").as_string().find(
+                "input count differs"),
+            std::string::npos);
+
+  request = learn_request(pla);
+  request.set("seed", std::int64_t{-1});
+  EXPECT_FALSE(handle(service, request).at("ok").as_bool());
+}
+
+TEST(ServiceTest, EvalValidation) {
+  Service service;
+  const Json learned = handle(
+      service,
+      learn_request(pla_for(2, [](std::uint32_t r) { return r != 0; })));
+  ASSERT_TRUE(learned.at("ok").as_bool());
+  const std::string id = learned.at("model").as_string();
+
+  Json request = make_request("eval");
+  request.set("model", id);
+  EXPECT_NE(handle(service, request).at("error").as_string().find("inputs"),
+            std::string::npos);
+
+  request.set("inputs", Json::array());
+  EXPECT_FALSE(handle(service, request).at("ok").as_bool());
+
+  Json wrong_len = Json::array();
+  wrong_len.push_back(Json("101"));
+  request.set("inputs", std::move(wrong_len));
+  EXPECT_FALSE(handle(service, request).at("ok").as_bool());
+
+  Json bad_char = Json::array();
+  bad_char.push_back(Json("1x"));
+  request.set("inputs", std::move(bad_char));
+  EXPECT_FALSE(handle(service, request).at("ok").as_bool());
+
+  Json unknown = make_request("eval");
+  unknown.set("model", "m-00000000000000ff");
+  Json inputs = Json::array();
+  inputs.push_back(Json("11"));
+  unknown.set("inputs", std::move(inputs));
+  EXPECT_NE(handle(service, unknown).at("error").as_string().find(
+                "unknown model"),
+            std::string::npos);
+}
+
+TEST(ServiceTest, EvalRowCapIsEnforced) {
+  ServiceOptions options;
+  options.max_eval_rows = 3;
+  Service service(options);
+  const Json learned = handle(
+      service,
+      learn_request(pla_for(2, [](std::uint32_t r) { return r == 3; })));
+  Json request = make_request("eval");
+  request.set("model", learned.at("model").as_string());
+  Json inputs = Json::array();
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(Json("11"));
+  }
+  request.set("inputs", std::move(inputs));
+  EXPECT_NE(handle(service, request).at("error").as_string().find("row cap"),
+            std::string::npos);
+}
+
+// ====================================================== Service: happy path
+
+TEST(ServiceTest, LearnThenEvalMatchesTheFunction) {
+  Service service;
+  // OR over 2 inputs: every learner nails this, so eval must reproduce it.
+  const Json learned = handle(
+      service,
+      learn_request(pla_for(2, [](std::uint32_t r) { return r != 0; })));
+  ASSERT_TRUE(learned.at("ok").as_bool());
+  EXPECT_DOUBLE_EQ(learned.at("train_acc").as_double(), 1.0);
+  EXPECT_EQ(learned.at("inputs").as_int(), 2);
+  EXPECT_EQ(learned.at("verified").as_string(), "-");
+
+  Json request = make_request("eval");
+  request.set("model", learned.at("model").as_string());
+  Json inputs = Json::array();
+  for (const char* row : {"00", "10", "01", "11"}) {
+    inputs.push_back(Json(row));
+  }
+  request.set("inputs", std::move(inputs));
+  const Json evaled = handle(service, request);
+  ASSERT_TRUE(evaled.at("ok").as_bool());
+  EXPECT_EQ(evaled.at("rows").as_int(), 4);
+  EXPECT_EQ(evaled.at("outputs").at(0).as_string(), "0111");
+}
+
+TEST(ServiceTest, SynthOptimizesAndStaysEquivalent) {
+  Service service;
+  core::Rng rng(7);
+  aig::ConeOptions cone;
+  cone.num_inputs = 12;
+  cone.num_ands = 150;
+  const aig::Aig in = aig::random_cone(cone, rng);
+
+  Json request = make_request("synth");
+  request.set("aag", aag_text(in));
+  request.set("script", "resyn2");
+  const Json response = handle(service, request);
+  ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+  EXPECT_EQ(response.at("script").as_string(),
+            synth::Script::preset("resyn2").str());
+  EXPECT_GT(response.at("trace").size(), 0u);
+  EXPECT_LE(response.at("ands").as_int(), response.at("ands_in").as_int());
+
+  std::istringstream optimized_text(response.at("aag").as_string());
+  const aig::Aig optimized = aig::read_aag(optimized_text);
+  const sat::CecResult cec = sat::cec(in, optimized);
+  EXPECT_EQ(cec.status, sat::CecStatus::kEquivalent);
+}
+
+TEST(ServiceTest, SynthRejectsBadScript) {
+  Service service;
+  Json request = make_request("synth");
+  request.set("aag", aag_text(or2_circuit()));
+  request.set("script", "zz;yy");
+  EXPECT_NE(handle(service, request).at("error").as_string().find(
+                "bad 'script'"),
+            std::string::npos);
+}
+
+TEST(ServiceTest, CecVerdicts) {
+  Service service;
+  Json request = make_request("cec");
+  request.set("a", aag_text(or2_circuit()));
+  request.set("b", aag_text(or2_circuit()));
+  EXPECT_EQ(handle(service, request).at("verdict").as_string(), "equivalent");
+
+  request.set("b", aag_text(and2_circuit()));
+  const Json response = handle(service, request);
+  EXPECT_EQ(response.at("verdict").as_string(), "not_equivalent");
+  const std::string cube = response.at("counterexample").as_string();
+  ASSERT_EQ(cube.size(), 2u);
+  std::vector<std::uint8_t> row{static_cast<std::uint8_t>(cube[0] == '1'),
+                                static_cast<std::uint8_t>(cube[1] == '1')};
+  EXPECT_NE(or2_circuit().eval_row(row)[0], and2_circuit().eval_row(row)[0]);
+
+  // Shape mismatch is a usage error, not a verdict.
+  Json mismatched = make_request("cec");
+  mismatched.set("a", aag_text(or2_circuit()));
+  aig::Aig three(3);
+  three.add_output(three.pi(2));
+  mismatched.set("b", aag_text(three));
+  EXPECT_FALSE(handle(service, mismatched).at("ok").as_bool());
+}
+
+// =========================================================== Service: caches
+
+TEST(ServiceTest, RepeatedLearnIsAMemoryCacheHit) {
+  Service service;
+  const std::string pla =
+      pla_for(4, [](std::uint32_t r) { return (r & 3) == 2; });
+  const std::string first = service.handle_line(learn_request(pla).dump());
+  const std::string second = service.handle_line(learn_request(pla).dump());
+  EXPECT_EQ(first, second);  // bit-identical, no cached-ness marker
+  EXPECT_EQ(service.stats().learns.load(), 1u);
+  EXPECT_GE(service.stats().model_memory_hits.load(), 1u);
+}
+
+TEST(ServiceTest, ModelIdDependsOnContent) {
+  Service service;
+  const std::string pla =
+      pla_for(3, [](std::uint32_t r) { return r % 3 == 0; });
+  const Json a = handle(service, learn_request(pla));
+  Json with_seed = learn_request(pla);
+  with_seed.set("seed", std::int64_t{1});
+  const Json b = handle(service, with_seed);
+  const Json c = handle(service, learn_request(pla, "rf"));
+  EXPECT_NE(a.at("model").as_string(), b.at("model").as_string());
+  EXPECT_NE(a.at("model").as_string(), c.at("model").as_string());
+  EXPECT_EQ(service.stats().learns.load(), 3u);
+}
+
+TEST(ServiceTest, LruEvictsOldestModel) {
+  ServiceOptions options;
+  options.model_capacity = 2;
+  Service service(options);
+  std::vector<std::string> ids;
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    const Json learned = handle(
+        service, learn_request(pla_for(
+                     3, [k](std::uint32_t r) { return (r & 3) == k; })));
+    ASSERT_TRUE(learned.at("ok").as_bool());
+    ids.push_back(learned.at("model").as_string());
+  }
+  EXPECT_EQ(service.models_cached(), 2u);
+  // No disk level configured, so the evicted model is gone...
+  Json request = make_request("eval");
+  request.set("model", ids[0]);
+  Json inputs = Json::array();
+  inputs.push_back(Json("000"));
+  request.set("inputs", std::move(inputs));
+  EXPECT_FALSE(handle(service, request).at("ok").as_bool());
+  // ...while the two recent ones still serve.
+  request.set("model", ids[2]);
+  EXPECT_TRUE(handle(service, request).at("ok").as_bool());
+}
+
+TEST(ServiceTest, DiskCacheServesAcrossServiceInstances) {
+  const std::string dir = temp_dir("disk_cache");
+  ServiceOptions options;
+  options.cache_dir = dir;
+  const std::string pla =
+      pla_for(4, [](std::uint32_t r) { return (r >> 1) % 2 == 1; });
+
+  std::string first_line;
+  std::string model_id;
+  {
+    Service service(options);
+    first_line = service.handle_line(learn_request(pla).dump());
+    model_id = Json::parse(first_line).at("model").as_string();
+    EXPECT_EQ(service.stats().learns.load(), 1u);
+  }
+  {
+    // A "restarted server": same cache dir, fresh memory.
+    Service service(options);
+    const std::string replay = service.handle_line(learn_request(pla).dump());
+    EXPECT_EQ(replay, first_line);
+    EXPECT_EQ(service.stats().learns.load(), 0u);  // no refit
+    EXPECT_EQ(service.stats().model_disk_hits.load(), 1u);
+
+    // eval by model id alone also restores from disk.
+    Service fresh(options);
+    Json request = make_request("eval");
+    request.set("model", model_id);
+    Json inputs = Json::array();
+    inputs.push_back(Json("0100"));
+    request.set("inputs", std::move(inputs));
+    EXPECT_TRUE(handle(fresh, request).at("ok").as_bool());
+    EXPECT_EQ(fresh.stats().model_disk_hits.load(), 1u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ========================================================= Service: deadlines
+
+TEST(ServiceTest, ExpiredDeadlineGatesHeavyWork) {
+  Service service;
+  Json request = learn_request(
+      pla_for(3, [](std::uint32_t r) { return r % 5 == 0; }));
+  request.set("deadline_ms", std::int64_t{10});
+  const Json response =
+      Json::parse(service.handle_line(request.dump(), received_ago(100)));
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_TRUE(response.at("expired").as_bool());
+  EXPECT_EQ(service.stats().deadline_expired.load(), 1u);
+  EXPECT_EQ(service.stats().learns.load(), 0u);
+
+  // The same request with a live deadline succeeds.
+  const Json live =
+      Json::parse(service.handle_line(request.dump(), received_ago(0)));
+  EXPECT_TRUE(live.at("ok").as_bool());
+}
+
+TEST(ServiceTest, ExpiredDeadlineStillServesCacheHits) {
+  Service service;
+  const std::string pla =
+      pla_for(3, [](std::uint32_t r) { return r % 5 == 1; });
+  ASSERT_TRUE(handle(service, learn_request(pla)).at("ok").as_bool());
+  Json request = learn_request(pla);
+  request.set("deadline_ms", std::int64_t{10});
+  const Json response =
+      Json::parse(service.handle_line(request.dump(), received_ago(100)));
+  EXPECT_TRUE(response.at("ok").as_bool());  // cache hits beat deadlines
+}
+
+TEST(ServiceTest, CecDeadlineDegradesToUndecided) {
+  Service service;
+  Json request = make_request("cec");
+  request.set("a", aag_text(or2_circuit()));
+  request.set("b", aag_text(and2_circuit()));
+  request.set("deadline_ms", std::int64_t{5});
+  const Json response =
+      Json::parse(service.handle_line(request.dump(), received_ago(50)));
+  EXPECT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("verdict").as_string(), "undecided");
+  EXPECT_TRUE(response.at("expired").as_bool());
+  EXPECT_EQ(service.stats().deadline_expired.load(), 1u);
+}
+
+TEST(ServiceTest, SynthDeadlineExpiryIsAnError) {
+  Service service;
+  Json request = make_request("synth");
+  request.set("aag", aag_text(or2_circuit()));
+  request.set("deadline_ms", std::int64_t{5});
+  const Json response =
+      Json::parse(service.handle_line(request.dump(), received_ago(50)));
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_TRUE(response.at("expired").as_bool());
+}
+
+// ============================================================ Service: stdio
+
+TEST(ServiceTest, ServeStreamAnswersLineByLine) {
+  Service service;
+  std::istringstream in(
+      "{\"id\":1,\"type\":\"ping\"}\n"
+      "\n"  // blank lines are skipped
+      "this is not json\n"
+      "{\"id\":2,\"type\":\"ping\"}\n");
+  std::ostringstream out;
+  const std::uint64_t answered = service.serve_stream(in, out, 1 << 20);
+  EXPECT_EQ(answered, 3u);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(Json::parse(line).at("id").as_int(), 1);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_FALSE(Json::parse(line).at("ok").as_bool());
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(Json::parse(line).at("id").as_int(), 2);
+}
+
+TEST(ServiceTest, ServeStreamEnforcesRequestCap) {
+  Service service;
+  const std::string big(512, 'x');
+  std::istringstream in("{\"type\":\"ping\"}\n" + big + "\n");
+  std::ostringstream out;
+  service.serve_stream(in, out, 256);
+  EXPECT_NE(out.str().find("max-request-bytes"), std::string::npos);
+}
+
+// ================================================================ TCP daemon
+
+ServerOptions test_server_options() {
+  ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.num_threads = 4;
+  return options;
+}
+
+TEST(ServerTest, StartServeStop) {
+  Server server(test_server_options());
+  server.start();
+  ASSERT_GT(server.port(), 0);
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  const Json pong = client.request(make_request("ping"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  EXPECT_EQ(server.stats().connections.load(), 1u);
+  server.stop();
+  // stop() is idempotent and re-entrant with the destructor.
+  server.stop();
+}
+
+TEST(ServerTest, ProtocolErrorKeepsTheConnectionOpen) {
+  Server server(test_server_options());
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  const std::string error_line = client.roundtrip("definitely not json");
+  EXPECT_FALSE(Json::parse(error_line).at("ok").as_bool());
+  // Same connection, next request fine.
+  EXPECT_TRUE(client.request(make_request("ping")).at("ok").as_bool());
+}
+
+TEST(ServerTest, OversizedRequestIsRejectedAndConnectionClosed) {
+  ServerOptions options = test_server_options();
+  options.max_request_bytes = 256;
+  Server server(options);
+  server.start();
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  const std::string big(4096, 'a');
+  const std::string response = client.roundtrip(big);
+  EXPECT_NE(response.find("max-request-bytes"), std::string::npos);
+  std::string next;
+  EXPECT_FALSE(client.recv_line(&next));  // server hung up
+
+  // Also when the oversized line trickles in without a newline.
+  Client slow;
+  slow.connect("127.0.0.1", server.port());
+  slow.send_raw(std::string(8192, 'b'));  // no terminator
+  std::string reject;
+  ASSERT_TRUE(slow.recv_line(&reject));
+  EXPECT_NE(reject.find("max-request-bytes"), std::string::npos);
+  EXPECT_GE(server.stats().oversized_rejects.load(), 2u);
+
+  // The daemon itself survives.
+  Client again;
+  again.connect("127.0.0.1", server.port());
+  EXPECT_TRUE(again.request(make_request("ping")).at("ok").as_bool());
+}
+
+TEST(ServerTest, ClientDisconnectsDoNotKillTheDaemon) {
+  Server server(test_server_options());
+  server.start();
+
+  {  // mid-request: partial line, then gone
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    client.send_raw("{\"type\":\"pi");
+    client.close();
+  }
+  {  // half-close mid-request
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    client.send_raw("{\"type\":\"ping\"");
+    client.shutdown_write();
+    std::string line;
+    EXPECT_FALSE(client.recv_line(&line));  // dropped, never answered
+  }
+  {  // full request, then gone before the response is read
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    client.send_line(make_request("ping").dump());
+    client.close();
+  }
+  // Daemon still healthy.
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.request(make_request("ping")).at("ok").as_bool());
+}
+
+TEST(ServerTest, DeadlineExpiresWhileQueuedBehindABusyWorker) {
+  ServerOptions options = test_server_options();
+  options.num_threads = 1;  // one worker: the sleeper blocks the queue
+  Server server(options);
+  server.start();
+
+  Client sleeper;
+  sleeper.connect("127.0.0.1", server.port());
+  Json sleep_request = make_request("ping");
+  sleep_request.set("sleep_ms", std::int64_t{400});
+  sleeper.send_line(sleep_request.dump());
+  // Give the worker time to claim the sleeping ping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  Client hurried;
+  hurried.connect("127.0.0.1", server.port());
+  Json learn = learn_request(
+      pla_for(4, [](std::uint32_t r) { return r % 7 == 0; }));
+  learn.set("deadline_ms", std::int64_t{50});
+  const Json response = Json::parse(hurried.roundtrip(learn.dump()));
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_TRUE(response.at("expired").as_bool());
+
+  std::string pong;
+  ASSERT_TRUE(sleeper.recv_line(&pong));
+  EXPECT_TRUE(Json::parse(pong).at("ok").as_bool());
+}
+
+TEST(ServerTest, PipelinedRequestsAreStampedWhenFramedNotWhenServed) {
+  // Two requests written in one batch on one connection: a slow ping and
+  // a tightly-deadlined learn. The learn's deadline clock must start when
+  // its line arrived — i.e. the time it spends waiting behind the ping
+  // counts — not when the ping finished.
+  ServerOptions options = test_server_options();
+  options.num_threads = 1;
+  Server server(options);
+  server.start();
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  Json slow = make_request("ping");
+  slow.set("sleep_ms", std::int64_t{300});
+  Json hurried = learn_request(
+      pla_for(4, [](std::uint32_t r) { return r % 9 == 2; }));
+  hurried.set("deadline_ms", std::int64_t{50});
+  client.send_raw(slow.dump() + "\n" + hurried.dump() + "\n");
+
+  std::string first;
+  std::string second;
+  ASSERT_TRUE(client.recv_line(&first));
+  ASSERT_TRUE(client.recv_line(&second));
+  EXPECT_TRUE(Json::parse(first).at("ok").as_bool());
+  const Json response = Json::parse(second);
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_TRUE(response.at("expired").as_bool());
+  EXPECT_EQ(server.service().stats().learns.load(), 0u);
+}
+
+// The acceptance-criteria test: many concurrent clients replaying a fixed
+// request set get byte-identical responses to a serial replay. Runs under
+// TSan in CI, so it is also the concurrency torture test.
+TEST(ServerTest, ConcurrentClientsAreBitIdenticalToSerial) {
+  // A request mix that exercises every stateful path: learns (shared model
+  // store), evals (reads), synth (process-wide memo), cec (SAT).
+  std::vector<std::string> request_set;
+  for (int k = 0; k < 4; ++k) {
+    request_set.push_back(
+        learn_request(pla_for(4, [k](std::uint32_t r) {
+          return ((r >> (k % 3)) & 1u) == (k % 2 ? 1u : 0u) && r % 3 != 2;
+        })).dump());
+  }
+  core::Rng rng(11);
+  aig::ConeOptions cone;
+  cone.num_inputs = 10;
+  cone.num_ands = 80;
+  const aig::Aig circuit = aig::random_cone(cone, rng);
+  {
+    Json synth = make_request("synth");
+    synth.set("aag", aag_text(circuit));
+    synth.set("script", "fast");
+    request_set.push_back(synth.dump());
+    Json cec = make_request("cec");
+    cec.set("a", aag_text(or2_circuit()));
+    cec.set("b", aag_text(and2_circuit()));
+    request_set.push_back(cec.dump());
+  }
+
+  ServerOptions options = test_server_options();
+  options.num_threads = 0;  // hardware width
+  Server server(options);
+  server.start();
+  const int port = server.port();
+
+  // Serial baseline, including the eval that depends on a learned id.
+  std::vector<std::string> baseline;
+  {
+    Client client;
+    client.connect("127.0.0.1", port);
+    for (const std::string& line : request_set) {
+      baseline.push_back(client.roundtrip(line));
+    }
+    const Json learned = Json::parse(baseline[0]);
+    Json eval = make_request("eval");
+    eval.set("model", learned.at("model").as_string());
+    Json inputs = Json::array();
+    for (const char* row : {"0000", "1010", "1111"}) {
+      inputs.push_back(Json(row));
+    }
+    eval.set("inputs", std::move(inputs));
+    request_set.push_back(eval.dump());
+    baseline.push_back(client.roundtrip(request_set.back()));
+  }
+
+  constexpr int kClients = 64;
+  std::vector<std::vector<std::string>> responses(kClients);
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        Client client;
+        client.connect("127.0.0.1", port);
+        for (const std::string& line : request_set) {
+          responses[c].push_back(client.roundtrip(line));
+        }
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (auto& thread : clients) {
+    thread.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+    ASSERT_EQ(responses[c].size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(responses[c][i], baseline[i])
+          << "client " << c << ", request " << i;
+    }
+  }
+  // All that load refit each model exactly once.
+  EXPECT_EQ(server.service().stats().learns.load(), 4u);
+}
+
+}  // namespace
+}  // namespace lsml
