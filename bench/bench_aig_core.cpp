@@ -1,0 +1,284 @@
+// AIG core microbench: construction rate through the arena/chained unique
+// table (cold build, strash-hit lookups, two-level fold savings) and
+// packed-simulation throughput — the seed path (one heap BitVec per node,
+// as shipped before the SimEngine refactor) vs aig::SimEngine's reusable
+// word arena — in minterm-evals/s over a deterministic random-cone pool.
+//
+//   bench_aig_core [--json out.json] [--check baseline.json]
+//                  [--max-regress 0.25]
+//
+// --json writes the machine-readable snapshot (BENCH_aig_core.json is the
+// committed baseline). --check re-reads such a snapshot and exits 1 when
+// the current engine simulation throughput or construction rate regressed
+// more than --max-regress (fraction) below it — the nightly perf gate.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/aig_random.hpp"
+#include "aig/sim_engine.hpp"
+#include "core/bits.hpp"
+#include "core/config.hpp"
+#include "core/rng.hpp"
+#include "server/json.hpp"
+
+namespace {
+
+using namespace lsml;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// The seed simulate_nodes path, kept verbatim as the comparison baseline:
+// a freshly allocated BitVec per node on every call.
+std::vector<core::BitVec> seed_simulate_nodes(
+    const aig::Aig& g, const std::vector<const core::BitVec*>& pi_values) {
+  const std::size_t rows = g.num_pis() == 0 ? 0 : pi_values[0]->size();
+  std::vector<core::BitVec> sim(g.num_nodes(), core::BitVec(rows));
+  for (std::uint32_t i = 0; i < g.num_pis(); ++i) {
+    sim[i + 1] = *pi_values[i];
+  }
+  const std::size_t nw = sim[0].num_words();
+  for (std::uint32_t v = g.num_pis() + 1; v < g.num_nodes(); ++v) {
+    const aig::Node n = g.node(v);
+    const std::uint64_t* a = sim[aig::lit_var(n.fanin0)].words();
+    const std::uint64_t* b = sim[aig::lit_var(n.fanin1)].words();
+    std::uint64_t* dst = sim[v].words();
+    const std::uint64_t ca = aig::lit_compl(n.fanin0) ? ~0ULL : 0ULL;
+    const std::uint64_t cb = aig::lit_compl(n.fanin1) ? ~0ULL : 0ULL;
+    for (std::size_t w = 0; w < nw; ++w) {
+      dst[w] = (a[w] ^ ca) & (b[w] ^ cb);
+    }
+  }
+  return sim;
+}
+
+// Runs `body` repeatedly until ~0.2s of wall time accumulates; returns
+// (reps, seconds).
+template <typename Body>
+std::pair<std::size_t, double> timed_reps(Body&& body) {
+  std::size_t reps = 0;
+  const Clock::time_point t0 = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < 0.2 || reps < 3) {
+    body();
+    ++reps;
+    elapsed = seconds_since(t0);
+    if (reps >= 100000) {
+      break;
+    }
+  }
+  return {reps, elapsed};
+}
+
+std::vector<core::BitVec> make_patterns(std::uint32_t num_pis,
+                                        std::size_t rows, std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<core::BitVec> patterns(num_pis, core::BitVec(rows));
+  for (auto& p : patterns) {
+    p.randomize(rng);
+  }
+  return patterns;
+}
+
+volatile std::uint64_t g_sink = 0;  // defeats dead-code elimination
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string check_path;
+  double max_regress = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (arg == "--max-regress" && i + 1 < argc) {
+      max_regress = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_aig_core [--json out.json] "
+                   "[--check baseline.json] [--max-regress frac]\n");
+      return 2;
+    }
+  }
+
+  const core::ScaleConfig cfg = core::scale_from_env();
+  std::printf("== aig core: construction + packed simulation ==\n");
+  std::printf("scale=%s (LSML_SCALE=smoke|fast|full)\n\n", cfg.name().c_str());
+
+  // Deterministic pool: sizes chosen so smoke stays CI-cheap.
+  const bool smoke = cfg.scale == core::Scale::kSmoke;
+  const std::vector<std::uint32_t> pool_ands =
+      smoke ? std::vector<std::uint32_t>{300, 1000}
+            : std::vector<std::uint32_t>{300, 1000, 3000};
+  const std::vector<std::size_t> row_counts =
+      smoke ? std::vector<std::size_t>{256} : std::vector<std::size_t>{64,
+                                                                       256,
+                                                                       1024};
+  std::vector<aig::Aig> pool;
+  {
+    core::Rng rng(2026);
+    for (const std::uint32_t ands : pool_ands) {
+      aig::ConeOptions cone;
+      cone.num_inputs = 20;
+      cone.num_ands = ands;
+      cone.max_tries = 2;
+      pool.push_back(aig::random_cone(cone, rng));
+    }
+  }
+
+  // ------------------------------------------------------- construction
+  double build_nodes = 0.0;
+  double build_s = 0.0;
+  double lookup_nodes = 0.0;
+  double lookup_s = 0.0;
+  std::uint64_t one_level_ands = 0;
+  std::uint64_t two_level_ands = 0;
+  for (const aig::Aig& g : pool) {
+    const auto [build_reps, bs] = timed_reps([&] {
+      aig::Aig fresh(g.num_pis());
+      fresh.reserve(g.num_ands());
+      g_sink = g_sink + aig::append_aig(fresh, g);
+    });
+    build_nodes += static_cast<double>(build_reps) * g.num_ands();
+    build_s += bs;
+    // Hot lookups: re-appending into a populated table allocates nothing;
+    // every and2 is a unique-table hit.
+    aig::Aig warm(g.num_pis());
+    aig::append_aig(warm, g);
+    const auto [hit_reps, hs] = timed_reps([&] {
+      g_sink = g_sink + aig::append_aig(warm, g);
+    });
+    lookup_nodes += static_cast<double>(hit_reps) * g.num_ands();
+    lookup_s += hs;
+    aig::Aig folded(g.num_pis(), aig::Aig::StrashMode::kTwoLevel);
+    aig::append_aig(folded, g);
+    one_level_ands += g.num_ands();
+    two_level_ands += folded.num_ands();
+  }
+  const double build_rate = build_nodes / build_s;
+  const double lookup_rate = lookup_nodes / lookup_s;
+  const double fold_saved =
+      1.0 - static_cast<double>(two_level_ands) /
+                static_cast<double>(one_level_ands);
+  std::printf("construction: %.2fM nodes/s cold, %.2fM lookups/s hot, "
+              "two-level folds save %.1f%% of ANDs\n\n",
+              build_rate / 1e6, lookup_rate / 1e6, 100.0 * fold_saved);
+  std::printf("aig-core-bench: construction nodes_per_s=%.0f "
+              "lookups_per_s=%.0f two_level_saved=%.4f\n\n",
+              build_rate, lookup_rate, fold_saved);
+
+  // --------------------------------------------------------- simulation
+  std::printf("%8s %6s | %12s %12s | %7s\n", "ands", "rows", "seed Mme/s",
+              "engine Mme/s", "speedup");
+  server::Json cases = server::Json::array();
+  double seed_minterms = 0.0;
+  double seed_s = 0.0;
+  double engine_minterms = 0.0;
+  double engine_s = 0.0;
+  for (const aig::Aig& g : pool) {
+    for (const std::size_t rows : row_counts) {
+      const auto patterns = make_patterns(g.num_pis(), rows, 77);
+      std::vector<const core::BitVec*> ptrs;
+      for (const auto& p : patterns) {
+        ptrs.push_back(&p);
+      }
+      const auto [seed_reps, ss] = timed_reps([&] {
+        const auto sim = seed_simulate_nodes(g, ptrs);
+        g_sink = g_sink + sim.back().word(0);
+      });
+      aig::SimEngine engine(g);
+      const auto [engine_reps, es] = timed_reps([&] {
+        engine.run(ptrs);
+        g_sink = g_sink + engine.row(g.num_nodes() - 1)[0];
+      });
+      const double minterms = static_cast<double>(g.num_ands()) * rows;
+      const double seed_rate = minterms * seed_reps / ss;
+      const double engine_rate = minterms * engine_reps / es;
+      seed_minterms += minterms * seed_reps;
+      seed_s += ss;
+      engine_minterms += minterms * engine_reps;
+      engine_s += es;
+      std::printf("%8u %6zu | %12.1f %12.1f | %6.2fx\n", g.num_ands(), rows,
+                  seed_rate / 1e6, engine_rate / 1e6,
+                  engine_rate / seed_rate);
+      server::Json c = server::Json::object();
+      c.set("ands", g.num_ands());
+      c.set("rows", static_cast<std::int64_t>(rows));
+      c.set("seed_minterm_evals_per_s", seed_rate);
+      c.set("engine_minterm_evals_per_s", engine_rate);
+      cases.push_back(std::move(c));
+    }
+  }
+  const double seed_agg = seed_minterms / seed_s;
+  const double engine_agg = engine_minterms / engine_s;
+  const double speedup = engine_agg / seed_agg;
+  std::printf("\naig-core-bench: simulation seed=%.0f engine=%.0f "
+              "speedup=%.2f\n",
+              seed_agg, engine_agg, speedup);
+
+  server::Json out = server::Json::object();
+  out.set("schema", "lsml-bench-aig-core-v1");
+  out.set("scale", cfg.name());
+  server::Json construction = server::Json::object();
+  construction.set("nodes_per_s", build_rate);
+  construction.set("lookups_per_s", lookup_rate);
+  construction.set("two_level_saved_frac", fold_saved);
+  out.set("construction", std::move(construction));
+  server::Json simulation = server::Json::object();
+  simulation.set("cases", std::move(cases));
+  simulation.set("seed_minterm_evals_per_s", seed_agg);
+  simulation.set("engine_minterm_evals_per_s", engine_agg);
+  simulation.set("speedup", speedup);
+  out.set("simulation", std::move(simulation));
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << out.dump() << "\n";
+    if (!os) {
+      std::fprintf(stderr, "bench_aig_core: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!check_path.empty()) {
+    std::ifstream is(check_path);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    if (!is) {
+      std::fprintf(stderr, "bench_aig_core: cannot read %s\n",
+                   check_path.c_str());
+      return 1;
+    }
+    const server::Json baseline = server::Json::parse(buffer.str());
+    const double base_engine =
+        baseline.at("simulation").at("engine_minterm_evals_per_s").as_double();
+    const double base_build =
+        baseline.at("construction").at("nodes_per_s").as_double();
+    const double floor_engine = base_engine * (1.0 - max_regress);
+    const double floor_build = base_build * (1.0 - max_regress);
+    std::printf("check vs %s (max regression %.0f%%):\n", check_path.c_str(),
+                100.0 * max_regress);
+    std::printf("  engine sim:    %.0f vs floor %.0f  %s\n", engine_agg,
+                floor_engine, engine_agg >= floor_engine ? "ok" : "REGRESSED");
+    std::printf("  construction:  %.0f vs floor %.0f  %s\n", build_rate,
+                floor_build, build_rate >= floor_build ? "ok" : "REGRESSED");
+    if (engine_agg < floor_engine || build_rate < floor_build) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,8 +1,9 @@
 #include "aig/aig_approx.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <vector>
+
+#include "aig/sim_engine.hpp"
 
 namespace lsml::aig {
 
@@ -52,6 +53,7 @@ std::vector<std::uint32_t> output_distance(const Aig& g) {
 Aig approximate_to_budget(const Aig& in, const ApproxOptions& options,
                           core::Rng& rng) {
   Aig current = in.cleanup();
+  SimEngine engine(current);
   while (current.num_ands() > options.node_budget) {
     // Fresh random patterns each round, as in the original flow.
     std::vector<core::BitVec> patterns(current.num_pis(),
@@ -62,7 +64,8 @@ Aig approximate_to_budget(const Aig& in, const ApproxOptions& options,
       p.randomize(rng);
       pi_values.push_back(&p);
     }
-    const auto sim = current.simulate_nodes(pi_values);
+    engine.bind(current);
+    engine.run(pi_values);
     const auto dist = output_distance(current);
 
     std::uint32_t best_var = 0;
@@ -73,17 +76,9 @@ Aig approximate_to_budget(const Aig& in, const ApproxOptions& options,
       if (dist[v] < options.protect_depth) {
         continue;
       }
-      // Word-wise popcount; the tail of the last word can hold garbage from
-      // complemented-edge simulation, so mask it explicitly.
-      std::size_t ones = 0;
-      const std::size_t nw = sim[v].num_words();
-      for (std::size_t w = 0; w + 1 < nw; ++w) {
-        ones += static_cast<std::size_t>(std::popcount(sim[v].word(w)));
-      }
-      const std::size_t rem = options.num_patterns & 63;
-      const std::uint64_t tail_mask = rem == 0 ? ~0ULL : ((1ULL << rem) - 1);
-      ones += static_cast<std::size_t>(
-          std::popcount(sim[v].word(nw - 1) & tail_mask));
+      // Engine rows honor the tail-zero invariant, so the popcount needs
+      // no masking (this used to re-mask the last word by hand).
+      const std::size_t ones = engine.count_ones(v);
       const std::size_t zeros = options.num_patterns - ones;
       if (zeros >= ones && zeros > best_score) {
         best_score = zeros;

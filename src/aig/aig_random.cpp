@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "aig/aig_build.hpp"
+#include "aig/sim_engine.hpp"
 
 namespace lsml::aig {
 
@@ -16,8 +17,15 @@ double onset_fraction(const Aig& g, std::size_t n, core::Rng& rng) {
     p.randomize(rng);
     pi_values.push_back(&p);
   }
-  const auto out = g.simulate(pi_values);
-  return static_cast<double>(out[0].count()) / static_cast<double>(n);
+  SimEngine engine(g);
+  engine.run(pi_values);
+  const Lit out = g.output(0);
+  std::size_t ones = engine.count_ones(lit_var(out));
+  if (lit_compl(out)) {
+    // engine.rows() (not n): a PI-less graph simulates zero rows.
+    ones = engine.rows() - ones;
+  }
+  return static_cast<double>(ones) / static_cast<double>(n);
 }
 
 namespace {

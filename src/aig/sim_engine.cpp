@@ -1,0 +1,129 @@
+#include "aig/sim_engine.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "aig/aig.hpp"
+
+namespace lsml::aig {
+
+void SimEngine::run(const std::vector<const core::BitVec*>& pi_values) {
+  const Aig& g = *g_;
+  const std::uint32_t num_pis = g.num_pis();
+  if (pi_values.size() < num_pis) {
+    throw std::invalid_argument("SimEngine::run: not enough PI value vectors");
+  }
+  rows_ = num_pis == 0 ? 0 : pi_values[0]->size();
+  wpr_ = (rows_ + 63) / 64;
+  const std::size_t num_nodes = g.num_nodes();
+  arena_.resize(num_nodes * wpr_);
+  if (wpr_ == 0) {
+    return;
+  }
+  std::uint64_t* const base = arena_.data();
+  // Constant-false row.
+  std::memset(base, 0, wpr_ * sizeof(std::uint64_t));
+  for (std::uint32_t i = 0; i < num_pis; ++i) {
+    const core::BitVec& column = *pi_values[i];
+    if (column.size() != rows_) {
+      throw std::invalid_argument("SimEngine::run: ragged PI value vectors");
+    }
+    std::memcpy(base + (static_cast<std::size_t>(i) + 1) * wpr_,
+                column.words(), wpr_ * sizeof(std::uint64_t));
+  }
+  const std::size_t wpr = wpr_;
+  const std::size_t rem = rows_ & 63;
+  const std::uint64_t tail_mask = rem == 0 ? ~0ULL : ((1ULL << rem) - 1);
+  for (std::uint32_t v = num_pis + 1; v < num_nodes; ++v) {
+    const Lit f0 = g.fanin0(v);
+    const Lit f1 = g.fanin1(v);
+    const std::uint64_t* __restrict a =
+        base + static_cast<std::size_t>(lit_var(f0)) * wpr;
+    const std::uint64_t* __restrict b =
+        base + static_cast<std::size_t>(lit_var(f1)) * wpr;
+    std::uint64_t* __restrict dst = base + static_cast<std::size_t>(v) * wpr;
+    const std::uint64_t ca = lit_compl(f0) ? ~0ULL : 0ULL;
+    const std::uint64_t cb = lit_compl(f1) ? ~0ULL : 0ULL;
+    std::size_t w = 0;
+    for (; w + 4 <= wpr; w += 4) {
+      dst[w + 0] = (a[w + 0] ^ ca) & (b[w + 0] ^ cb);
+      dst[w + 1] = (a[w + 1] ^ ca) & (b[w + 1] ^ cb);
+      dst[w + 2] = (a[w + 2] ^ ca) & (b[w + 2] ^ cb);
+      dst[w + 3] = (a[w + 3] ^ ca) & (b[w + 3] ^ cb);
+    }
+    for (; w < wpr; ++w) {
+      dst[w] = (a[w] ^ ca) & (b[w] ^ cb);
+    }
+    // Complemented edges set bits past rows() in the last word; re-mask so
+    // every row keeps the BitVec tail-zero invariant.
+    dst[wpr - 1] &= tail_mask;
+  }
+}
+
+core::BitVec SimEngine::extract(Lit l) const {
+  core::BitVec out(rows_);
+  if (wpr_ == 0) {
+    return out;
+  }
+  const std::uint64_t* src = row(lit_var(l));
+  if (lit_compl(l)) {
+    for (std::size_t w = 0; w < wpr_; ++w) {
+      out.words()[w] = ~src[w];
+    }
+    out.mask_tail();
+  } else {
+    std::memcpy(out.words(), src, wpr_ * sizeof(std::uint64_t));
+  }
+  return out;
+}
+
+std::vector<core::BitVec> SimEngine::outputs() const {
+  const std::vector<Lit>& outs = g_->outputs();
+  std::vector<core::BitVec> result;
+  result.reserve(outs.size());
+  for (Lit l : outs) {
+    result.push_back(extract(l));
+  }
+  return result;
+}
+
+std::vector<core::BitVec> SimEngine::node_values() const {
+  const std::uint32_t num_nodes = g_->num_nodes();
+  std::vector<core::BitVec> result;
+  result.reserve(num_nodes);
+  for (std::uint32_t v = 0; v < num_nodes; ++v) {
+    result.push_back(extract(make_lit(v, false)));
+  }
+  return result;
+}
+
+std::size_t SimEngine::count_ones(std::uint32_t var) const {
+  const std::uint64_t* src = row(var);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < wpr_; ++w) {
+    total += static_cast<std::size_t>(std::popcount(src[w]));
+  }
+  return total;
+}
+
+std::size_t SimEngine::count_equal(Lit l, const core::BitVec& ref) const {
+  if (ref.size() != rows_) {
+    throw std::invalid_argument("SimEngine::count_equal: row count mismatch");
+  }
+  const std::uint64_t* src = row(lit_var(l));
+  const std::uint64_t flip = lit_compl(l) ? ~0ULL : 0ULL;
+  std::size_t diff = 0;
+  for (std::size_t w = 0; w < wpr_; ++w) {
+    diff += static_cast<std::size_t>(
+        std::popcount((src[w] ^ flip) ^ ref.word(w)));
+  }
+  // The flip sets the tail bits of the last word; those positions do not
+  // exist, so discount them instead of re-masking the stream.
+  if (lit_compl(l) && (rows_ & 63) != 0) {
+    diff -= 64 - (rows_ & 63);
+  }
+  return rows_ - diff;
+}
+
+}  // namespace lsml::aig

@@ -1,0 +1,80 @@
+#pragma once
+// Shared packed-simulation engine for AIGs.
+//
+// Every hot loop in the library — learner accuracy scoring, fraig
+// signatures, serve eval, approximation scoring, oracle labeling —
+// bottoms out in "simulate this AIG over N rows, 64 rows per word".
+// SimEngine owns that loop once: one flat word arena of
+// num_nodes x words_per_row 64-bit words, swept in topological order
+// with no per-call allocation (the arena is reused across run() calls),
+// and an inner loop processed in unrolled 4-wide word blocks the
+// compiler auto-vectorizes to AVX2/NEON.
+//
+// Invariant: after run(), every node row honors the BitVec tail-zero
+// contract (bits past rows() in the last word are zero), so popcount
+// reductions and word-wise compares over rows never need masking.
+//
+// Determinism: results are a pure function of (graph, input rows) —
+// bit-identical to Aig::eval_row per row and to the historical
+// Aig::simulate output extraction, which is now a thin wrapper here.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bits.hpp"
+
+namespace lsml::aig {
+
+class Aig;
+using Lit = std::uint32_t;
+
+class SimEngine {
+ public:
+  /// Binds to `g`; the graph must outlive the engine (or be rebound).
+  explicit SimEngine(const Aig& g) : g_(&g) {}
+
+  /// Rebinds to a graph (e.g. after the caller rebuilt it); keeps the
+  /// arena allocation when the new size fits.
+  void bind(const Aig& g) { g_ = &g; }
+  [[nodiscard]] const Aig& graph() const { return *g_; }
+
+  /// Sweeps the whole graph over the rows in `pi_values` (one BitVec per
+  /// PI, all the same size). Extra trailing entries are ignored, matching
+  /// the historical Aig::simulate contract.
+  void run(const std::vector<const core::BitVec*>& pi_values);
+
+  /// Rows in the last run() batch.
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  /// 64-bit words per node row.
+  [[nodiscard]] std::size_t words_per_row() const { return wpr_; }
+
+  /// Word row of node `var` (valid until the next run/bind).
+  [[nodiscard]] const std::uint64_t* row(std::uint32_t var) const {
+    return arena_.data() + static_cast<std::size_t>(var) * wpr_;
+  }
+
+  /// Values of literal `l` as a tail-masked BitVec (complement applied).
+  [[nodiscard]] core::BitVec extract(Lit l) const;
+
+  /// One BitVec per graph output — exactly Aig::simulate's result.
+  [[nodiscard]] std::vector<core::BitVec> outputs() const;
+
+  /// Per-node values indexed by var — Aig::simulate_nodes's result, with
+  /// every row tail-masked.
+  [[nodiscard]] std::vector<core::BitVec> node_values() const;
+
+  /// popcount of node `var`'s row (tail already masked; no correction).
+  [[nodiscard]] std::size_t count_ones(std::uint32_t var) const;
+
+  /// Rows where literal `l` agrees with `ref` (ref.size() must equal
+  /// rows()). The accuracy kernel: no output BitVec is materialized.
+  [[nodiscard]] std::size_t count_equal(Lit l, const core::BitVec& ref) const;
+
+ private:
+  const Aig* g_;
+  std::size_t rows_ = 0;
+  std::size_t wpr_ = 0;
+  std::vector<std::uint64_t> arena_;
+};
+
+}  // namespace lsml::aig

@@ -91,8 +91,13 @@ class BitVec {
   /// FNV-1a hash of the payload (used to deduplicate sampled rows).
   [[nodiscard]] std::uint64_t hash() const;
 
- private:
+  /// Re-establishes the tail-zero invariant: clears bits past size() in
+  /// the last word. The one supported way for word-level writers (code
+  /// using the mutable words() pointer) to restore the contract after a
+  /// raw write; every BitVec operation above maintains it internally.
   void mask_tail();
+
+ private:
   std::size_t size_ = 0;
   std::vector<std::uint64_t> words_;
 };

@@ -2,11 +2,23 @@
 
 #include <utility>
 
+#include "aig/sim_engine.hpp"
+
 namespace lsml::learn {
 
+double circuit_accuracy(aig::SimEngine& engine, const data::Dataset& ds) {
+  if (ds.num_rows() == 0 || engine.graph().num_outputs() == 0) {
+    return 0.0;
+  }
+  engine.run(ds.column_ptrs());
+  return static_cast<double>(
+             engine.count_equal(engine.graph().output(0), ds.labels())) /
+         static_cast<double>(ds.num_rows());
+}
+
 double circuit_accuracy(const aig::Aig& circuit, const data::Dataset& ds) {
-  const auto out = circuit.simulate(ds.column_ptrs());
-  return data::accuracy(out[0], ds.labels());
+  aig::SimEngine engine(circuit);
+  return circuit_accuracy(engine, ds);
 }
 
 TrainedModel finish_model(aig::Aig circuit, std::string method,
@@ -20,8 +32,11 @@ TrainedModel finish_model(aig::Aig circuit, std::string method,
   m.synth_trace = std::move(optimized.trace);
   m.verified = optimized.verify;
   m.method = std::move(method);
-  m.train_acc = circuit_accuracy(m.circuit, train);
-  m.valid_acc = circuit_accuracy(m.circuit, valid);
+  // One engine, one arena: the train sweep's allocation is reused for the
+  // valid sweep (the Table III accuracy pair).
+  aig::SimEngine engine(m.circuit);
+  m.train_acc = circuit_accuracy(engine, train);
+  m.valid_acc = circuit_accuracy(engine, valid);
   return m;
 }
 

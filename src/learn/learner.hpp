@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "aig/sim_engine.hpp"
 #include "core/rng.hpp"
 #include "data/dataset.hpp"
 #include "synth/pass_manager.hpp"
@@ -49,6 +50,10 @@ class Learner {
 
 /// Accuracy of a single-output AIG on a dataset (packed simulation).
 double circuit_accuracy(const aig::Aig& circuit, const data::Dataset& ds);
+
+/// Same, through a caller-held SimEngine bound to the circuit — the word
+/// arena is reused across datasets (train/valid scoring shares one).
+double circuit_accuracy(aig::SimEngine& engine, const data::Dataset& ds);
 
 /// Runs the process-default synth::Pipeline over the raw circuit (memoized
 /// on circuit structure, so identical circuits across teams optimize once

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "aig/sim_engine.hpp"
+
 namespace lsml::oracle {
 
 bool AigOracle::eval(const core::BitVec& row) const {
@@ -13,8 +15,11 @@ bool AigOracle::eval(const core::BitVec& row) const {
 }
 
 core::BitVec AigOracle::label_rows(const data::Dataset& inputs) const {
-  const auto out = aig_.simulate(inputs.column_ptrs());
-  return out[0];
+  // Dataset generation sweeps once per split; extract only the labeled
+  // output instead of materializing every output column.
+  aig::SimEngine engine(aig_);
+  engine.run(inputs.column_ptrs());
+  return engine.extract(aig_.output(0));
 }
 
 SymmetricOracle::SymmetricOracle(std::size_t num_inputs,

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "aig/sim_engine.hpp"
 #include "core/bits.hpp"
 #include "sat/cnf.hpp"
 #include "sat/solver.hpp"
@@ -14,11 +15,14 @@ namespace {
 /// Candidate-class bookkeeping over the *old* circuit's simulation
 /// signatures. Signatures are compared up to complement: the phase bit
 /// says whether the stored signature must be flipped to match the class
-/// key, so x and ~x land in the same class.
+/// key, so x and ~x land in the same class. Signatures live in the
+/// SimEngine's word arena and are read in place — refinement re-sweeps
+/// into the same storage instead of materializing per-node BitVecs.
+/// rows_ is kept a multiple of 64, so word-wise compares see no tail.
 class SignatureIndex {
  public:
   SignatureIndex(const aig::Aig& g, std::size_t rows, core::Rng& rng)
-      : g_(g), rows_(rows) {
+      : engine_(g), rows_(rows) {
     patterns_.reserve(g.num_pis());
     for (std::uint32_t i = 0; i < g.num_pis(); ++i) {
       patterns_.emplace_back(rows_);
@@ -30,26 +34,26 @@ class SignatureIndex {
   /// Phase of `v`: whether its signature is complemented relative to the
   /// class-canonical form (first bit zero).
   [[nodiscard]] bool phase(std::uint32_t v) const {
-    return rows_ > 0 && signatures_[v].get(0);
+    return rows_ > 0 && (engine_.row(v)[0] & 1ULL) != 0;
   }
 
   [[nodiscard]] std::uint64_t key(std::uint32_t v) const {
-    const core::BitVec& s = signatures_[v];
+    const std::uint64_t* s = engine_.row(v);
     const std::uint64_t flip = phase(v) ? ~0ULL : 0ULL;
     std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (std::size_t w = 0; w < s.num_words(); ++w) {
-      h = core::hash_combine(h, s.word(w) ^ flip);
+    for (std::size_t w = 0; w < engine_.words_per_row(); ++w) {
+      h = core::hash_combine(h, s[w] ^ flip);
     }
     return h;
   }
 
   /// Exact signature equality up to complement (guards hash collisions).
   [[nodiscard]] bool equal(std::uint32_t a, std::uint32_t b) const {
-    const core::BitVec& sa = signatures_[a];
-    const core::BitVec& sb = signatures_[b];
+    const std::uint64_t* sa = engine_.row(a);
+    const std::uint64_t* sb = engine_.row(b);
     const std::uint64_t flip = phase(a) == phase(b) ? 0ULL : ~0ULL;
-    for (std::size_t w = 0; w < sa.num_words(); ++w) {
-      if (sa.word(w) != (sb.word(w) ^ flip)) {
+    for (std::size_t w = 0; w < engine_.words_per_row(); ++w) {
+      if (sa[w] != (sb[w] ^ flip)) {
         return false;
       }
     }
@@ -98,13 +102,12 @@ class SignatureIndex {
     for (const auto& p : patterns_) {
       ptrs.push_back(&p);
     }
-    signatures_ = g_.simulate_nodes(ptrs);
+    engine_.run(ptrs);
   }
 
-  const aig::Aig& g_;
+  aig::SimEngine engine_;
   std::size_t rows_;
   std::vector<core::BitVec> patterns_;
-  std::vector<core::BitVec> signatures_;
   std::vector<std::vector<std::uint8_t>> pending_;
 };
 
@@ -130,7 +133,10 @@ aig::Aig fraig(const aig::Aig& in, const FraigOptions& options,
       (options.sim_patterns < 64 ? 64 : (options.sim_patterns + 63) / 64 * 64);
   SignatureIndex index(in, rows, rng);
 
-  aig::Aig out(in.num_pis());
+  // Two-level strash: redundant AND nodes (contradiction / subsumption /
+  // resemblance across grandchildren) fold structurally instead of
+  // costing a signature class and a SAT probe.
+  aig::Aig out(in.num_pis(), aig::Aig::StrashMode::kTwoLevel);
   Solver solver;
   CnfBuilder cnf(solver, out);
   Budget budget;

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "aig/aig_io.hpp"
+#include "aig/sim_engine.hpp"
 #include "core/bits.hpp"
 #include "core/rng.hpp"
 #include "learn/factory.hpp"
@@ -397,8 +398,11 @@ Json Service::handle_eval(const Json& request) {
   for (std::size_t col = 0; col < num_pis; ++col) {
     column_ptrs[col] = &columns[col];
   }
-  const std::vector<core::BitVec> outputs =
-      model->circuit.simulate(column_ptrs);
+  // One arena-backed sweep over the whole minterm batch; byte-identical
+  // to the historical Aig::simulate outputs.
+  aig::SimEngine engine(model->circuit);
+  engine.run(column_ptrs);
+  const std::vector<core::BitVec> outputs = engine.outputs();
 
   stats_.evals.fetch_add(1, std::memory_order_relaxed);
   Json r = response_base(request, "eval", true);

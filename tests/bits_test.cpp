@@ -63,6 +63,66 @@ TEST(BitVec, CountHelpers) {
   EXPECT_EQ(a.count_equal(b), 257u - (a ^ b).count());
 }
 
+// The tail-zero invariant is the contract word-level code (SimEngine,
+// fraig signatures, popcount reductions) relies on: no operation may
+// leave a set bit past size() in the last word.
+TEST(BitVec, WordLevelOpsNeverLeakPastSize) {
+  Rng rng(31);
+  const auto tail_clean = [](const BitVec& v) {
+    const std::size_t rem = v.size() & 63;
+    if (rem == 0 || v.num_words() == 0) {
+      return true;
+    }
+    return (v.word(v.num_words() - 1) & ~((1ULL << rem) - 1)) == 0;
+  };
+  for (int round = 0; round < 200; ++round) {
+    const auto n = static_cast<std::size_t>(1 + rng.below(300));
+    BitVec a(n);
+    BitVec b(n);
+    a.randomize(rng);
+    b.randomize(rng, 0.3);
+    EXPECT_TRUE(tail_clean(a));
+    EXPECT_TRUE(tail_clean(b));
+    switch (rng.below(8)) {
+      case 0: a &= b; break;
+      case 1: a |= b; break;
+      case 2: a ^= b; break;
+      case 3: a.flip(); break;
+      case 4: a.fill(true); break;
+      case 5: a = ~b; break;
+      case 6: a.set(rng.below(n), true); break;
+      default: a = a | (b ^ a); break;
+    }
+    EXPECT_TRUE(tail_clean(a)) << "op leaked past size() at n=" << n;
+    // popcount reductions agree with a bit-by-bit count, i.e. no
+    // phantom bits participate.
+    std::size_t expect = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      expect += a.get(i) ? 1 : 0;
+    }
+    EXPECT_EQ(a.count(), expect);
+  }
+}
+
+// mask_tail() is the public repair step for raw words() writers.
+TEST(BitVec, MaskTailRestoresInvariantAfterRawWrite) {
+  BitVec v(70);
+  v.words()[1] = ~0ULL;  // a word-level writer scribbled past size()
+  EXPECT_NE(v.count(), 6u);
+  v.mask_tail();
+  EXPECT_EQ(v.count(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(v.get(64 + i));
+  }
+  // No-ops on word-aligned sizes and empty vectors.
+  BitVec aligned(128, true);
+  aligned.mask_tail();
+  EXPECT_EQ(aligned.count(), 128u);
+  BitVec empty;
+  empty.mask_tail();
+  EXPECT_EQ(empty.size(), 0u);
+}
+
 TEST(BitVec, HashDistinguishes) {
   BitVec a(64);
   BitVec b(64);
