@@ -1,9 +1,12 @@
 // Closed-loop load generator for `lsml serve`.
 //
 // Measures request/response throughput and latency percentiles of the
-// serving daemon at 1..64 concurrent connections. By default it starts an
-// in-process server (ephemeral port, hardware-width worker pool) and
-// drives it over real TCP sockets; `--connect HOST:PORT` aims it at an
+// serving daemon from 1 up to 1024+ concurrent connections. The load side
+// reuses core::EventLoop: ONE client thread multiplexes every connection
+// over nonblocking sockets, so a 1024-connection point costs 1024 fds, not
+// 1024 threads — the same trick the server itself pulls. By default the
+// bench starts an in-process server (ephemeral port, hardware-width worker
+// pool) and drives it over real TCP; `--connect HOST:PORT` aims it at an
 // externally started `lsml serve` instead (the nightly soak does this).
 //
 // Modes:
@@ -15,26 +18,43 @@
 //          sleep) — isolates transport overhead from synthesis work.
 //
 // Output: one table row per connection count with req/s and p50/p95/p99
-// latency, a greppable `serve-bench:` summary line per row, and the
-// 1->8 connection scaling factor.
+// latency under saturation, a greppable `serve-bench:` summary line per
+// row, and the 1->8 connection scaling factor. `--json FILE` snapshots the
+// table; `--check FILE` compares the run against such a snapshot and fails
+// (exit 1) when req/s drops or p99 grows by more than `--max-regress`
+// (default 0.25) at any connection count — the nightly perf gate against
+// the committed BENCH_serve.json.
 //
 //   bench_serve [--connect H:P] [--threads N] [--duration-s D]
-//               [--conns 1,2,4,...] [--rows R] [--mode eval|ping]
-//               [--sleep-ms S]
+//               [--conns 1,8,64,...] [--rows R] [--mode eval|ping]
+//               [--sleep-ms S] [--json FILE] [--check FILE]
+//               [--max-regress R]
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
-#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/event_loop.hpp"
 #include "core/rng.hpp"
 #include "server/client.hpp"
 #include "server/json.hpp"
@@ -50,19 +70,23 @@ struct Options {
   int connect_port = 0;
   int threads = 0;  ///< in-process server pool width (0 = hardware)
   double duration_s = 3.0;
-  std::vector<int> conns = {1, 2, 4, 8, 16, 32, 64};
-  std::size_t rows = 256;   ///< minterms per eval request
+  std::vector<int> conns = {1, 8, 64, 256, 1024};
+  std::size_t rows = 256;  ///< minterms per eval request
   std::string mode = "eval";
-  std::int64_t sleep_ms = 0;  ///< ping mode: server-side sleep
+  std::int64_t sleep_ms = 0;    ///< ping mode: server-side sleep
+  std::string json_path;        ///< write a snapshot here
+  std::string check_path;       ///< compare against this snapshot
+  double max_regress = 0.25;    ///< allowed relative regression
 };
 
 [[noreturn]] void usage(const char* message) {
   std::fprintf(stderr,
                "bench_serve: %s\n"
                "usage: bench_serve [--connect H:P] [--threads N]\n"
-               "                   [--duration-s D] [--conns 1,2,4,...]\n"
+               "                   [--duration-s D] [--conns 1,8,64,...]\n"
                "                   [--rows R] [--mode eval|ping]\n"
-               "                   [--sleep-ms S]\n",
+               "                   [--sleep-ms S] [--json FILE]\n"
+               "                   [--check FILE] [--max-regress R]\n",
                message);
   std::exit(2);
 }
@@ -122,11 +146,35 @@ Options parse_options(int argc, char** argv) {
       }
     } else if (arg == "--sleep-ms") {
       options.sleep_ms = std::atoll(value().c_str());
+    } else if (arg == "--json") {
+      options.json_path = value();
+    } else if (arg == "--check") {
+      options.check_path = value();
+    } else if (arg == "--max-regress") {
+      options.max_regress = std::atof(value().c_str());
+      if (options.max_regress <= 0) {
+        usage("--max-regress must be positive");
+      }
     } else {
       usage(("unknown option " + arg).c_str());
     }
   }
   return options;
+}
+
+/// Lifts RLIMIT_NOFILE far enough for `conns` sockets plus slack; the
+/// 1024-connection point does not fit the common 1024 default soft limit.
+void raise_fd_limit(int conns) {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) {
+    return;
+  }
+  const rlim_t needed = static_cast<rlim_t>(conns) + 128;
+  if (limit.rlim_cur >= needed) {
+    return;
+  }
+  limit.rlim_cur = needed > limit.rlim_max ? limit.rlim_max : needed;
+  ::setrlimit(RLIMIT_NOFILE, &limit);
 }
 
 /// Random 10-input training PLA (learned once to seed the eval workload).
@@ -180,61 +228,216 @@ struct RoundResult {
   Percentiles latency;
 };
 
+/// One multiplexed closed-loop connection: exactly one request in flight;
+/// the first response is untimed warmup.
+struct LoadConn {
+  int fd = -1;
+  std::string rx;          ///< bytes not yet framed into a response line
+  std::size_t tx_off = 0;  ///< progress into the shared request line
+  bool sending = false;
+  bool warmed = false;
+  bool active = true;
+  Clock::time_point sent_at{};
+  std::vector<double> latencies_ms;
+};
+
+/// Drives `conns` connections off one EventLoop thread (this thread).
 RoundResult run_round(const std::string& host, int port,
                       const std::string& request_line, int conns,
                       double duration_s) {
-  std::vector<std::vector<double>> latencies(conns);
-  std::vector<std::string> errors(conns);
-  std::atomic<bool> go{false};
-  std::vector<std::thread> threads;
-  threads.reserve(conns);
-  for (int c = 0; c < conns; ++c) {
-    threads.emplace_back([&, c] {
-      try {
-        server::Client client;
-        client.connect(host, port);
-        client.roundtrip(request_line);  // connection + cache warmup
-        while (!go.load(std::memory_order_acquire)) {
-          std::this_thread::yield();
-        }
-        const auto end_at =
-            Clock::now() + std::chrono::duration<double>(duration_s);
-        while (Clock::now() < end_at) {
-          const auto t0 = Clock::now();
-          const std::string response = client.roundtrip(request_line);
-          const auto t1 = Clock::now();
-          if (response.find("\"ok\":true") == std::string::npos) {
-            errors[c] = "request failed: " + response;
-            return;
-          }
-          latencies[c].push_back(
-              std::chrono::duration<double, std::milli>(t1 - t0).count());
-        }
-      } catch (const std::exception& e) {
-        errors[c] = e.what();
+  const std::string wire = request_line + "\n";
+  in_addr addr{};
+  const std::string spelled = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, spelled.c_str(), &addr) != 1) {
+    std::fprintf(stderr, "bench_serve: cannot parse host '%s'\n",
+                 host.c_str());
+    std::exit(1);
+  }
+
+  core::EventLoop loop;
+  std::vector<std::unique_ptr<LoadConn>> state;
+  state.reserve(static_cast<std::size_t>(conns));
+  int live = 0;
+  std::string failure;
+  Clock::time_point end_at{};  // set once every connection is up
+
+  const auto fail = [&](const std::string& what) {
+    if (failure.empty()) {
+      failure = what + ": " + std::strerror(errno);
+    }
+    loop.stop();
+  };
+
+  const auto update_interest = [&](LoadConn& conn) {
+    std::uint32_t interest = core::EventLoop::kRead;
+    if (conn.sending) {
+      interest |= core::EventLoop::kWrite;
+    }
+    loop.set_interest(conn.fd, interest);
+  };
+
+  const auto finish_conn = [&](LoadConn& conn) {
+    conn.active = false;
+    loop.remove(conn.fd);
+    ::close(conn.fd);
+    conn.fd = -1;
+    if (--live == 0) {
+      loop.stop();
+    }
+  };
+
+  // Forward declaration dance: try_send is used from both the readiness
+  // callback and send_next.
+  std::function<void(LoadConn&)> try_send = [&](LoadConn& conn) {
+    while (conn.tx_off < wire.size()) {
+      const ssize_t n = ::send(conn.fd, wire.data() + conn.tx_off,
+                               wire.size() - conn.tx_off, MSG_NOSIGNAL);
+      if (n >= 0) {
+        conn.tx_off += static_cast<std::size_t>(n);
+        continue;
       }
-    });
-  }
-  const auto wall_start = Clock::now();
-  go.store(true, std::memory_order_release);
-  for (auto& thread : threads) {
-    thread.join();
-  }
-  const double wall_s =
-      std::chrono::duration<double>(Clock::now() - wall_start).count();
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        conn.sending = true;
+        update_interest(conn);
+        return;
+      }
+      fail("send");
+      return;
+    }
+    conn.sending = false;
+    update_interest(conn);
+  };
+
+  const auto send_next = [&](LoadConn& conn) {
+    conn.tx_off = 0;
+    conn.sent_at = Clock::now();
+    try_send(conn);
+  };
+
+  const auto on_response = [&](LoadConn& conn) {
+    const auto now = Clock::now();
+    if (conn.warmed) {
+      conn.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(now - conn.sent_at)
+              .count());
+    } else {
+      conn.warmed = true;
+    }
+    if (now < end_at) {
+      send_next(conn);
+    } else {
+      finish_conn(conn);
+    }
+  };
+
+  const auto on_ready = [&](LoadConn& conn, std::uint32_t ready) {
+    if (!conn.active) {
+      return;
+    }
+    if ((ready & core::EventLoop::kError) != 0) {
+      errno = ECONNRESET;
+      fail("connection");
+      return;
+    }
+    if ((ready & core::EventLoop::kWrite) != 0 && conn.sending) {
+      try_send(conn);
+      if (!failure.empty()) {
+        return;
+      }
+    }
+    if ((ready & core::EventLoop::kRead) == 0) {
+      return;
+    }
+    char chunk[64 * 1024];
+    while (conn.active) {
+      const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        conn.rx.append(chunk, static_cast<std::size_t>(n));
+        std::size_t newline;
+        while (conn.active &&
+               (newline = conn.rx.find('\n')) != std::string::npos) {
+          const std::string line = conn.rx.substr(0, newline);
+          conn.rx.erase(0, newline + 1);
+          if (line.find("\"ok\":true") == std::string::npos) {
+            std::fprintf(stderr, "bench_serve: request failed: %s\n",
+                         line.c_str());
+            std::exit(1);
+          }
+          on_response(conn);
+        }
+        continue;
+      }
+      if (n == 0) {
+        errno = ECONNRESET;
+        fail("server closed the connection");
+        return;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      fail("recv");
+      return;
+    }
+  };
+
+  // Connect everything up front (blocking connects, sequential: loopback
+  // SYNs are cheap), then flip to nonblocking for the loop.
   for (int c = 0; c < conns; ++c) {
-    if (!errors[c].empty()) {
-      std::fprintf(stderr, "bench_serve: connection %d: %s\n", c,
-                   errors[c].c_str());
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      std::fprintf(stderr, "bench_serve: socket: %s\n", std::strerror(errno));
       std::exit(1);
     }
+    sockaddr_in peer{};
+    peer.sin_family = AF_INET;
+    peer.sin_addr = addr;
+    peer.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&peer), sizeof peer) != 0) {
+      std::fprintf(stderr, "bench_serve: connect (conn %d): %s\n", c,
+                   std::strerror(errno));
+      std::exit(1);
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    auto conn = std::make_unique<LoadConn>();
+    conn->fd = fd;
+    LoadConn& ref = *conn;
+    state.push_back(std::move(conn));
+    ++live;
+    loop.add(fd, core::EventLoop::kRead,
+             [&on_ready, conn = &ref](std::uint32_t ready) {
+               on_ready(*conn, ready);
+             });
   }
+
+  const auto wall_start = Clock::now();
+  end_at = wall_start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(duration_s));
+  for (auto& conn : state) {
+    send_next(*conn);  // the warmup request
+  }
+  loop.run();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+  if (!failure.empty()) {
+    std::fprintf(stderr, "bench_serve: %s\n", failure.c_str());
+    std::exit(1);
+  }
+
   RoundResult result;
   result.conns = conns;
   std::vector<double> all;
-  for (auto& per_conn : latencies) {
-    result.requests += per_conn.size();
-    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  for (const auto& conn : state) {
+    result.requests += conn->latencies_ms.size();
+    all.insert(all.end(), conn->latencies_ms.begin(),
+               conn->latencies_ms.end());
   }
   result.reqs_per_s =
       wall_s > 0 ? static_cast<double>(result.requests) / wall_s : 0.0;
@@ -242,10 +445,100 @@ RoundResult run_round(const std::string& host, int port,
   return result;
 }
 
+// ------------------------------------------------------------- snapshots
+
+void write_snapshot(const std::string& path, const Options& options,
+                    const std::vector<RoundResult>& results) {
+  server::Json root = server::Json::object();
+  root.set("bench", "serve");
+  root.set("mode", options.mode);
+  root.set("rows", static_cast<std::int64_t>(options.rows));
+  root.set("duration_s", options.duration_s);
+  server::Json rows = server::Json::array();
+  for (const RoundResult& r : results) {
+    server::Json row = server::Json::object();
+    row.set("conns", static_cast<std::int64_t>(r.conns));
+    row.set("requests", static_cast<std::int64_t>(r.requests));
+    row.set("reqs_per_s", r.reqs_per_s);
+    row.set("p50_ms", r.latency.p50);
+    row.set("p95_ms", r.latency.p95);
+    row.set("p99_ms", r.latency.p99);
+    rows.push_back(std::move(row));
+  }
+  root.set("results", std::move(rows));
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << root.dump() << "\n";
+  std::printf("snapshot written to %s\n", path.c_str());
+}
+
+/// Gates this run against a committed snapshot: req/s may not drop, and
+/// p99 may not grow, by more than `max_regress` at any shared connection
+/// count. Returns the number of violations.
+int check_snapshot(const std::string& path, double max_regress,
+                   const std::vector<RoundResult>& results) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_serve: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  server::Json baseline;
+  try {
+    baseline = server::Json::parse(buffer.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_serve: bad snapshot %s: %s\n", path.c_str(),
+                 e.what());
+    std::exit(1);
+  }
+  int violations = 0;
+  const server::Json& rows = baseline.at("results");
+  std::printf("\nchecking against %s (max regression %.0f%%)\n", path.c_str(),
+              max_regress * 100.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const server::Json& row = rows.at(i);
+    const int conns = static_cast<int>(row.at("conns").as_int());
+    const RoundResult* current = nullptr;
+    for (const RoundResult& r : results) {
+      if (r.conns == conns) {
+        current = &r;
+      }
+    }
+    if (current == nullptr) {
+      continue;  // this run did not measure that point
+    }
+    const double base_rps = row.at("reqs_per_s").as_double();
+    const double base_p99 = row.at("p99_ms").as_double();
+    const double min_rps = base_rps * (1.0 - max_regress);
+    // Sub-50us p99 baselines are below timer noise; hold those to the
+    // floor instead of a ratio.
+    const double max_p99 =
+        std::max(base_p99 * (1.0 + max_regress), 0.05);
+    const bool rps_ok = current->reqs_per_s >= min_rps;
+    const bool p99_ok = current->latency.p99 <= max_p99;
+    std::printf(
+        "  conns=%d req/s %.0f vs >=%.0f %s | p99 %.3f ms vs <=%.3f %s\n",
+        conns, current->reqs_per_s, min_rps, rps_ok ? "ok" : "REGRESSED",
+        current->latency.p99, max_p99, p99_ok ? "ok" : "REGRESSED");
+    violations += rps_ok ? 0 : 1;
+    violations += p99_ok ? 0 : 1;
+  }
+  return violations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options options = parse_options(argc, argv);
+  int max_conns = 0;
+  for (const int c : options.conns) {
+    max_conns = std::max(max_conns, c);
+  }
+  raise_fd_limit(max_conns);
 
   // The target server: external (--connect) or in-process.
   std::unique_ptr<server::Server> local;
@@ -320,7 +613,8 @@ int main(int argc, char** argv) {
                     : "");
   }
 
-  std::printf("%.1f s per point, closed loop\n\n", options.duration_s);
+  std::printf("%.1f s per point, closed loop, one multiplexed client\n\n",
+              options.duration_s);
   std::printf("%6s %10s %10s %9s %9s %9s\n", "conns", "requests", "req/s",
               "p50 ms", "p95 ms", "p99 ms");
   std::vector<RoundResult> results;
@@ -354,8 +648,22 @@ int main(int argc, char** argv) {
     std::printf("\nscaling 1->8 connections: %.2fx req/s\n",
                 eight->reqs_per_s / one->reqs_per_s);
   }
+
+  if (!options.json_path.empty()) {
+    write_snapshot(options.json_path, options, results);
+  }
+  int violations = 0;
+  if (!options.check_path.empty()) {
+    violations = check_snapshot(options.check_path, options.max_regress,
+                                results);
+    if (violations == 0) {
+      std::printf("perf check passed\n");
+    } else {
+      std::printf("perf check FAILED (%d violations)\n", violations);
+    }
+  }
   if (local != nullptr) {
     local->stop();
   }
-  return 0;
+  return violations == 0 ? 0 : 1;
 }

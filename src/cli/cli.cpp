@@ -110,7 +110,10 @@ constexpr const char* kUsage =
     "      --stdio              serve stdin/stdout instead of TCP\n"
     "      --threads N          worker pool (0 = hardware) [0]\n"
     "      --max-request-bytes N  per-request line cap    [8388608]\n"
+    "      --max-connections N  concurrent-connection cap (0 = off) [0]\n"
     "      --models N           in-memory LRU model slots [64]\n"
+    "      --shards N           model-store shard count   [8]\n"
+    "      --model-store-bytes N  in-memory store byte budget (0 = off)\n"
     "      --cache DIR          on-disk model store       [.lsml-serve-cache]\n"
     "      --no-cache           disable the on-disk model store\n"
     "      --opt-script S --max-gates N --opt-rounds N --verify\n"
@@ -693,11 +696,31 @@ int cmd_serve(const std::vector<std::string>& args) {
         return usage_error("--max-request-bytes must be a positive integer");
       }
       options.max_request_bytes = u;
+    } else if (args[i] == "--max-connections") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
+        return usage_error(
+            "--max-connections must be a non-negative integer (0 = "
+            "unlimited)");
+      }
+      options.max_connections = u;
     } else if (args[i] == "--models") {
       if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
         return usage_error("--models must be a non-negative integer");
       }
       options.service.model_capacity = u;
+    } else if (args[i] == "--shards") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &u) || u == 0 ||
+          u > 4096) {
+        return usage_error("--shards must be in [1, 4096]");
+      }
+      options.service.store_shards = static_cast<std::size_t>(u);
+    } else if (args[i] == "--model-store-bytes") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
+        return usage_error(
+            "--model-store-bytes must be a non-negative integer (0 = "
+            "uncapped)");
+      }
+      options.service.model_store_bytes = u;
     } else if (args[i] == "--cache") {
       if (!flag_value(args, &i, &options.service.cache_dir)) {
         return kExitUsage;

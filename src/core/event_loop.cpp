@@ -1,0 +1,205 @@
+#include "core/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace lsml::core {
+
+namespace {
+
+[[noreturn]] void fail_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    fail_errno("epoll_create1");
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    const int saved = errno;
+    ::close(epoll_fd_);
+    errno = saved;
+    fail_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    const int saved = errno;
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    errno = saved;
+    fail_errno("epoll_ctl(wakeup)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+std::uint32_t EventLoop::to_epoll(std::uint32_t interest) {
+  std::uint32_t events = 0;
+  if ((interest & kRead) != 0) {
+    events |= EPOLLIN;
+  }
+  if ((interest & kWrite) != 0) {
+    events |= EPOLLOUT;
+  }
+  return events;
+}
+
+void EventLoop::add(int fd, std::uint32_t interest, Callback callback) {
+  auto entry = std::make_shared<Entry>();
+  entry->interest = interest;
+  entry->callback = std::move(callback);
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    fail_errno("epoll_ctl(add)");
+  }
+  entries_[fd] = std::move(entry);
+}
+
+void EventLoop::set_interest(int fd, std::uint32_t interest) {
+  const auto it = entries_.find(fd);
+  if (it == entries_.end()) {
+    return;
+  }
+  if (it->second->interest == interest) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    fail_errno("epoll_ctl(mod)");
+  }
+  it->second->interest = interest;
+}
+
+void EventLoop::remove(int fd) {
+  const auto it = entries_.find(fd);
+  if (it == entries_.end()) {
+    return;
+  }
+  // The fd is still open here (the loop never closes fds), so DEL cannot
+  // legitimately fail; ignore a racing close by the owner anyway.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  entries_.erase(it);
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::drain_wakeups() {
+  std::uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof count) > 0) {
+  }
+}
+
+void EventLoop::post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  // One eventfd write per epoll cycle is enough: wake_armed_ stays set
+  // until the loop is about to drain the queue, so a burst of posts (one
+  // worker completion per response at high request rates) costs one
+  // syscall, not one each. Posts from the loop thread itself skip even
+  // that — run_posted_tasks() runs at the end of the current cycle.
+  if (!in_loop_thread() && !wake_armed_.exchange(true)) {
+    wake();
+  }
+}
+
+void EventLoop::run_posted_tasks() {
+  // Disarm before swapping: a cross-thread post that lands after the swap
+  // must trigger a fresh wakeup (an extra eventfd write for one that lands
+  // between the two lines is harmless).
+  wake_armed_.store(false);
+  // Drain until empty: a task posted from the loop thread mid-batch (which
+  // skips the eventfd) still runs this cycle instead of stranding until
+  // the next readiness event.
+  while (true) {
+    std::vector<Task> batch;
+    {
+      std::lock_guard<std::mutex> lock(tasks_mutex_);
+      if (tasks_.empty()) {
+        return;
+      }
+      batch.swap(tasks_);
+    }
+    for (Task& task : batch) {
+      task();
+    }
+  }
+}
+
+void EventLoop::run() {
+  loop_thread_.store(std::this_thread::get_id());
+  epoll_event events[128];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events,
+                               static_cast<int>(std::size(events)), -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      fail_errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        drain_wakeups();
+        continue;
+      }
+      // Look the entry up per event: an earlier callback in this batch may
+      // have removed this fd. Holding the shared_ptr keeps the callback
+      // alive even if it removes itself.
+      const auto it = entries_.find(fd);
+      if (it == entries_.end()) {
+        continue;
+      }
+      const std::shared_ptr<Entry> entry = it->second;
+      std::uint32_t ready = 0;
+      if ((events[i].events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+        ready |= kRead;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        ready |= kWrite;
+      }
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        ready |= kError;
+      }
+      if (ready != 0) {
+        entry->callback(ready);
+      }
+    }
+    run_posted_tasks();
+  }
+  // One final drain so a task posted together with stop() still runs.
+  run_posted_tasks();
+  loop_thread_.store(std::thread::id());
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+}  // namespace lsml::core

@@ -1,0 +1,100 @@
+#pragma once
+// A small epoll reactor — the nonblocking I/O front end under
+// `server::Server` and the multiplexed client in bench_serve.
+//
+// One EventLoop owns one epoll instance and runs on one thread (the one
+// that calls run()). File descriptors are registered level-triggered with
+// an interest mask (kRead/kWrite) and a callback; the loop invokes the
+// callback with the ready mask (kError is reported whether or not it was
+// asked for). All add/set_interest/remove calls must happen on the loop
+// thread — cross-thread work enters through post(), which enqueues a task
+// and wakes the loop via an eventfd. That one primitive is enough to build
+// everything above: worker threads post "response ready" continuations,
+// stop() posts the shutdown.
+//
+// The loop never closes registered fds — ownership stays with the caller.
+// Removing an fd (or stopping the loop) from inside a callback is safe:
+// dispatch looks entries up by fd per event and holds a reference on the
+// entry it is invoking, so self-removal cannot free a running callback.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace lsml::core {
+
+class EventLoop {
+ public:
+  /// Ready/interest bits. kError (EPOLLERR/EPOLLHUP) is always delivered.
+  static constexpr std::uint32_t kRead = 1u;
+  static constexpr std::uint32_t kWrite = 2u;
+  static constexpr std::uint32_t kError = 4u;
+
+  using Callback = std::function<void(std::uint32_t ready)>;
+  using Task = std::function<void()>;
+
+  /// Creates the epoll instance and wakeup eventfd; throws
+  /// std::runtime_error with errno context on failure.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` (loop thread only; `fd` must not already be present).
+  void add(int fd, std::uint32_t interest, Callback callback);
+  /// Replaces the interest mask of a registered fd (loop thread only).
+  void set_interest(int fd, std::uint32_t interest);
+  /// Unregisters `fd` without closing it (loop thread only; safe from
+  /// inside its own callback). Unknown fds are ignored.
+  void remove(int fd);
+  [[nodiscard]] std::size_t num_fds() const { return entries_.size(); }
+
+  /// Enqueues `task` to run on the loop thread and wakes the loop. Safe
+  /// from any thread, including the loop thread itself and after stop()
+  /// (tasks enqueued after the loop exits are discarded, never run).
+  void post(Task task);
+
+  /// Dispatches events and posted tasks until stop(). Returns after the
+  /// stop flag is observed and the current batch finishes.
+  void run();
+  /// Requests run() to return; safe from any thread. Idempotent.
+  void stop();
+  [[nodiscard]] bool stopped() const { return stop_requested_.load(); }
+
+  /// True on the thread currently inside run() (false when not running).
+  [[nodiscard]] bool in_loop_thread() const {
+    return loop_thread_.load() == std::this_thread::get_id();
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t interest = 0;
+    Callback callback;
+  };
+
+  void wake();
+  void drain_wakeups();
+  void run_posted_tasks();
+  static std::uint32_t to_epoll(std::uint32_t interest);
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::unordered_map<int, std::shared_ptr<Entry>> entries_;
+
+  std::mutex tasks_mutex_;
+  std::vector<Task> tasks_;
+
+  std::atomic<bool> stop_requested_{false};
+  /// True while a wakeup eventfd write is already pending (post() fires at
+  /// most one per epoll cycle).
+  std::atomic<bool> wake_armed_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+};
+
+}  // namespace lsml::core

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -17,6 +18,25 @@ namespace {
 
 [[noreturn]] void fail_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Blocks until `fd` is ready for `events` (POLLIN/POLLOUT), retrying
+/// EINTR. The sockets here are blocking, but a socket can still report
+/// EAGAIN (receive timeouts, nonblocking fds handed in by callers), and a
+/// short-write loop must wait for POLLOUT rather than spin.
+void wait_ready(int fd, short events, const char* what) {
+  while (true) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int n = ::poll(&p, 1, -1);
+    if (n > 0) {
+      return;
+    }
+    if (n < 0 && errno != EINTR) {
+      fail_errno(std::string("poll (") + what + ")");
+    }
+  }
 }
 
 }  // namespace
@@ -35,7 +55,8 @@ Client& Client::operator=(Client&& other) noexcept {
   return *this;
 }
 
-void Client::connect(const std::string& host, int port) {
+void Client::connect(const std::string& host, int port,
+                     int recv_buffer_bytes) {
   close();
   const std::string spelled = host == "localhost" ? "127.0.0.1" : host;
   sockaddr_in addr{};
@@ -48,6 +69,12 @@ void Client::connect(const std::string& host, int port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     fail_errno("socket");
+  }
+  if (recv_buffer_bytes > 0) {
+    // Must happen before connect(): the window scale is negotiated in the
+    // handshake from the buffer size at that moment.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &recv_buffer_bytes,
+                 sizeof recv_buffer_bytes);
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     const int saved = errno;
@@ -86,9 +113,13 @@ void Client::send_raw(const std::string& bytes) {
       if (errno == EINTR) {
         continue;
       }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_ready(fd_, POLLOUT, "send");
+        continue;
+      }
       fail_errno("send");
     }
-    sent += static_cast<std::size_t>(n);
+    sent += static_cast<std::size_t>(n);  // a short write just loops
   }
 }
 
@@ -115,6 +146,10 @@ bool Client::recv_line(std::string* line) {
     }
     if (n < 0) {
       if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_ready(fd_, POLLIN, "recv");
         continue;
       }
       fail_errno("recv");

@@ -27,8 +27,12 @@ class Client {
   Client& operator=(Client&& other) noexcept;
 
   /// Connects to host:port (numeric IPv4 or "localhost"); throws
-  /// std::runtime_error with errno context on failure.
-  void connect(const std::string& host, int port);
+  /// std::runtime_error with errno context on failure. A nonzero
+  /// `recv_buffer_bytes` clamps SO_RCVBUF before connecting, capping the
+  /// TCP window — how tests model a slow reader that cannot absorb the
+  /// server's responses (the backpressure path).
+  void connect(const std::string& host, int port,
+               int recv_buffer_bytes = 0);
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
   void close();
 

@@ -44,6 +44,24 @@ void Json::push_back(Json v) {
   array_.push_back(std::move(v));
 }
 
+void Json::reserve(std::size_t n) {
+  if (type_ == Type::kArray) {
+    array_.reserve(n);
+  }
+}
+
+Json& Json::emplace_back() {
+  type_check(type_ == Type::kArray, "an array");
+  return array_.emplace_back();
+}
+
+void Json::assign_string(const char* data, std::size_t n) {
+  array_.clear();
+  object_.clear();
+  type_ = Type::kString;
+  string_.assign(data, n);
+}
+
 std::size_t Json::size() const {
   if (type_ == Type::kArray) {
     return array_.size();
@@ -62,7 +80,7 @@ const Json& Json::at(std::size_t i) const {
   return array_[i];
 }
 
-void Json::set(const std::string& key, Json value) {
+void Json::set(std::string key, Json value) {
   type_check(type_ == Type::kObject, "an object");
   for (auto& member : object_) {
     if (member.first == key) {
@@ -70,7 +88,7 @@ void Json::set(const std::string& key, Json value) {
       return;
     }
   }
-  object_.emplace_back(key, std::move(value));
+  object_.emplace_back(std::move(key), std::move(value));
 }
 
 bool Json::has(const std::string& key) const { return find(key) != nullptr; }
@@ -106,7 +124,25 @@ namespace {
 
 void dump_string(const std::string& s, std::string* out) {
   out->push_back('"');
-  for (const char c : s) {
+  // Bulk-append runs that need no escaping; payload strings (minterm rows,
+  // output bit strings, PLA text between newlines) are almost entirely
+  // clean runs.
+  std::size_t i = 0;
+  while (i < s.size()) {
+    std::size_t run = i;
+    while (run < s.size()) {
+      const auto u = static_cast<unsigned char>(s[run]);
+      if (u < 0x20 || u == '"' || u == '\\') {
+        break;
+      }
+      ++run;
+    }
+    out->append(s, i, run - i);
+    if (run >= s.size()) {
+      break;
+    }
+    i = run;
+    const char c = s[i++];
     const auto u = static_cast<unsigned char>(c);
     switch (c) {
       case '"':
@@ -317,7 +353,7 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
-      obj.set(key, parse_value());
+      obj.set(std::move(key), parse_value());
       skip_ws();
       const char c = peek();
       ++pos_;
@@ -330,6 +366,39 @@ class Parser {
     }
   }
 
+  /// Counts the elements of the array starting at pos_ (first element, '['
+  /// already consumed) by scanning ahead to the matching ']'. One linear
+  /// rescan buys an exact vector reserve — for the hot eval payloads
+  /// (hundreds of row strings) that removes every reallocation move of the
+  /// ~100-byte Json elements, which costs more than the scan.
+  std::size_t count_array_elements() const {
+    std::size_t count = 1;
+    std::size_t depth = 0;
+    bool in_string = false;
+    for (std::size_t i = pos_; i < text_.size(); ++i) {
+      const char c = text_[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ']' || c == '}') {
+        if (depth == 0) {
+          break;
+        }
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
   Json parse_array() {
     expect('[');
     Json arr = Json::array();
@@ -338,8 +407,17 @@ class Parser {
       ++pos_;
       return arr;
     }
+    arr.reserve(count_array_elements());
     while (true) {
-      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == '"') {
+        // Dominant payload shape (arrays of minterm-row strings): build
+        // the string directly inside the array slot instead of moving a
+        // ~100-byte Json through return values and push_back.
+        parse_string_into(arr.emplace_back());
+      } else {
+        arr.push_back(parse_value());
+      }
       skip_ws();
       const char c = peek();
       ++pos_;
@@ -391,10 +469,56 @@ class Parser {
     }
   }
 
+  /// Index of the next byte that ends a plain run: a quote, a backslash,
+  /// or a control byte. Scanning a whole span and bulk-appending it beats
+  /// byte-at-a-time push_back — request lines are dominated by long clean
+  /// strings (minterm rows, PLA payloads).
+  std::size_t scan_plain_run() const {
+    const char* data = text_.data();
+    std::size_t i = pos_;
+    const std::size_t n = text_.size();
+    while (i < n) {
+      const unsigned char c = static_cast<unsigned char>(data[i]);
+      if (c == '"' || c == '\\' || c < 0x20) {
+        break;
+      }
+      ++i;
+    }
+    return i;
+  }
+
   std::string parse_string() {
     expect('"');
+    // Fast path: the whole string is one clean run (no escapes).
+    const std::size_t run = scan_plain_run();
+    if (run < text_.size() && text_[run] == '"') {
+      std::string out(text_, pos_, run - pos_);
+      pos_ = run + 1;
+      return out;
+    }
+    return parse_string_tail();
+  }
+
+  /// Parses a string element straight into `out` — the fast path assigns
+  /// the bytes in place, with no intermediate std::string or Json moves.
+  void parse_string_into(Json& out) {
+    expect('"');
+    const std::size_t run = scan_plain_run();
+    if (run < text_.size() && text_[run] == '"') {
+      out.assign_string(text_.data() + pos_, run - pos_);
+      pos_ = run + 1;
+      return;
+    }
+    out = Json(parse_string_tail());
+  }
+
+  /// Escape-handling slow path; pos_ sits just past the opening quote.
+  std::string parse_string_tail() {
     std::string out;
     while (true) {
+      const std::size_t run = scan_plain_run();
+      out.append(text_, pos_, run - pos_);
+      pos_ = run;
       if (pos_ >= text_.size()) {
         fail_at("unterminated string");
       }
@@ -404,10 +528,6 @@ class Parser {
       }
       if (static_cast<unsigned char>(c) < 0x20) {
         fail_at("raw control character in string");
-      }
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
       }
       if (pos_ >= text_.size()) {
         fail_at("truncated escape");
@@ -488,16 +608,19 @@ class Parser {
         break;
       }
     }
-    const std::string token = text_.substr(start, pos_ - start);
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
     if (integral) {
       std::int64_t v = 0;
-      const auto res =
-          std::from_chars(token.data(), token.data() + token.size(), v);
-      if (res.ec == std::errc() && res.ptr == token.data() + token.size()) {
+      const auto res = std::from_chars(first, last, v);
+      if (res.ec == std::errc() && res.ptr == last) {
         return Json(v);
       }
       // Out-of-range integer literal: fall through to double.
     }
+    // strtod needs a terminated buffer; numbers are rare enough in the
+    // protocol that the copy does not matter.
+    const std::string token(first, last);
     char* end = nullptr;
     const double d = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) {

@@ -79,12 +79,19 @@ class Json {
 
   // ------------------------------------------------------------- arrays
   void push_back(Json v);
+  /// Pre-sizes an array's backing storage (no-op on other types).
+  void reserve(std::size_t n);
+  /// Appends a null element to an array and returns it (the parser's
+  /// in-place construction path).
+  Json& emplace_back();
+  /// Retypes this value as a string holding the given bytes.
+  void assign_string(const char* data, std::size_t n);
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] const Json& at(std::size_t i) const;
 
   // ------------------------------------------------------------ objects
   /// Appends (or replaces) a member; insertion order is dump() order.
-  void set(const std::string& key, Json value);
+  void set(std::string key, Json value);
   [[nodiscard]] bool has(const std::string& key) const;
   /// Member lookup; throws JsonError when absent.
   [[nodiscard]] const Json& at(const std::string& key) const;

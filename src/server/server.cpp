@@ -10,9 +10,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <deque>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace lsml::server {
 
@@ -34,21 +34,12 @@ in_addr_t resolve_host(const std::string& host) {
   return addr.s_addr;
 }
 
-/// write() the whole buffer; MSG_NOSIGNAL so a vanished client yields an
-/// error return instead of SIGPIPE killing the daemon.
-bool send_all(int fd, const char* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+std::string oversized_error_line(std::size_t max_bytes) {
+  Json r = Json::object();
+  r.set("ok", false);
+  r.set("error", "request exceeds --max-request-bytes (" +
+                     std::to_string(max_bytes) + "); closing connection");
+  return r.dump() + "\n";
 }
 
 }  // namespace
@@ -62,7 +53,8 @@ void Server::start() {
   if (running_.load()) {
     return;
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
   if (listen_fd_ < 0) {
     fail_errno("socket");
   }
@@ -81,7 +73,7 @@ void Server::start() {
     errno = saved;
     fail_errno("bind " + options_.host + ":" + std::to_string(options_.port));
   }
-  if (::listen(listen_fd_, 128) != 0) {
+  if (::listen(listen_fd_, 1024) != 0) {
     const int saved = errno;
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -97,179 +89,438 @@ void Server::start() {
   pool_ = std::make_unique<core::ThreadPool>(
       options_.num_threads > 0 ? static_cast<std::size_t>(options_.num_threads)
                                : 0);
+  loop_ = std::make_unique<core::EventLoop>();
+  draining_ = false;
+  drained_ = false;
   running_.store(true);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  loop_thread_ = std::thread([this] { loop_main(); });
+}
+
+void Server::loop_main() {
+  loop_->add(listen_fd_, core::EventLoop::kRead,
+             [this](std::uint32_t) { on_listen_ready(); });
+  loop_->run();
+  // Anything still registered when the loop exits (force-closed drain
+  // path) is torn down here, on the loop thread, after run() returned.
+  for (auto& [id, conn] : conns_) {
+    ::close(conn->fd);
+  }
+  conns_.clear();
 }
 
 void Server::stop() {
   if (!running_.exchange(false)) {
     return;
   }
-  // Unblock accept(): shutdown makes a blocked accept return on Linux;
-  // close() finishes the job.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
-  }
-  listen_fd_ = -1;
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (auto& conn : connections_) {
-      ::shutdown(conn->fd, SHUT_RDWR);  // unblocks the I/O thread's recv
+  // Phase 1 — drain: stop accepting, stop reading, let in-flight requests
+  // finish and their responses flush.
+  loop_->post([this] {
+    draining_ = true;
+    if (listen_fd_ >= 0) {
+      loop_->remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
     }
-  }
-  // Join outside the lock: connection threads take it on exit.
-  std::vector<std::unique_ptr<Connection>> drained;
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    drained.swap(connections_);
-  }
-  for (auto& conn : drained) {
-    if (conn->thread.joinable()) {
-      conn->thread.join();
+    for (auto& [id, conn] : conns_) {
+      conn->read_open = false;
+      conn->read_buf.clear();  // partial lines are dropped, as before
+      update_read_interest(*conn);
     }
-    ::close(conn->fd);
-  }
-  pool_.reset();  // drains in-flight work
-}
-
-void Server::reap_finished_locked() {
-  for (std::size_t i = 0; i < connections_.size();) {
-    if (connections_[i]->done.load()) {
-      if (connections_[i]->thread.joinable()) {
-        connections_[i]->thread.join();
+    // Close everything already idle; what stays is busy or flushing.
+    std::vector<std::uint64_t> idle;
+    for (auto& [id, conn] : conns_) {
+      if (finished(*conn)) {
+        idle.push_back(id);
       }
-      ::close(connections_[i]->fd);
-      connections_[i] = std::move(connections_.back());
-      connections_.pop_back();
-    } else {
-      ++i;
     }
+    for (const std::uint64_t id : idle) {
+      close_conn(id);
+    }
+    maybe_finish_drain();
+  });
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(options_.drain_ms),
+                       [this] { return drained_; });
+  }
+  // Phase 2 — whatever outlived the drain window (stalled reader, runaway
+  // request) is cut off; its worker's late response is dropped harmlessly.
+  loop_->post([this] {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (auto& [id, conn] : conns_) {
+      ids.push_back(id);
+    }
+    for (const std::uint64_t id : ids) {
+      close_conn(id);
+    }
+    loop_->stop();
+  });
+  loop_->stop();
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+  pool_.reset();  // drains in-flight work; late posts land in a dead loop
+  loop_.reset();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
 }
 
-void Server::accept_loop() {
-  while (running_.load()) {
+// ---------------------------------------------------------------- accept
+
+void Server::on_listen_ready() {
+  while (true) {
     sockaddr_in peer{};
     socklen_t len = sizeof peer;
     const int fd =
-        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+        ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) {
         continue;
       }
-      if (!running_.load()) {
-        return;  // stop() closed the listener
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
       }
-      stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
-      continue;
+      return;
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (options_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                   sizeof options_.send_buffer_bytes);
+    }
+    if (options_.max_connections > 0 &&
+        conns_.size() >= options_.max_connections) {
+      stats_.over_connection_cap.fetch_add(1, std::memory_order_relaxed);
+      Json r = Json::object();
+      r.set("ok", false);
+      r.set("error", "connection limit (" +
+                         std::to_string(options_.max_connections) +
+                         ") reached; closing connection");
+      const std::string line = r.dump() + "\n";
+      // Best effort: the kernel buffer of a fresh socket always holds one
+      // short line, and a peer that vanished first does not matter.
+      (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
     stats_.connections.fetch_add(1, std::memory_order_relaxed);
     if (options_.verbosity >= 1) {
       std::fprintf(stderr, "lsml serve: connection from %s:%d\n",
                    inet_ntoa(peer.sin_addr), ntohs(peer.sin_port));
     }
-    auto conn = std::make_unique<Connection>();
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
     conn->fd = fd;
-    Connection* raw = conn.get();
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    reap_finished_locked();
-    conn->thread = std::thread([this, raw] { connection_loop(raw); });
-    connections_.push_back(std::move(conn));
+    const std::uint64_t id = conn->id;
+    conns_.emplace(id, std::move(conn));
+    loop_->add(fd, core::EventLoop::kRead,
+               [this, id](std::uint32_t ready) { on_conn_event(id, ready); });
   }
 }
 
-void Server::connection_loop(Connection* conn) {
-  const int fd = conn->fd;
-  const std::size_t max_bytes = options_.max_request_bytes;
-  std::string buffer;
-  char chunk[64 * 1024];
-  // Requests framed but not yet answered, each stamped with the time its
-  // line became available. Pipelined requests (several lines in one write)
-  // are all stamped before the first one is processed, so a later
-  // request's deadline clock covers the time it spends waiting behind its
-  // predecessors — the documented "queueing counts" semantics.
-  std::deque<std::pair<std::string, std::chrono::steady_clock::time_point>>
-      pending;
-  bool open = true;
-  while (open) {
-    // Frame every complete line already buffered before processing any.
-    std::size_t newline;
-    while (open && (newline = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') {
-        line.pop_back();
-      }
-      if (line.empty()) {
-        continue;
-      }
-      if (max_bytes > 0 && line.size() > max_bytes) {
-        // A complete-but-oversized line (it fit in the read buffer before
-        // the cap check below could trip): same reject-and-close policy.
-        stats_.oversized_rejects.fetch_add(1, std::memory_order_relaxed);
-        Json r = Json::object();
-        r.set("ok", false);
-        r.set("error", "request exceeds --max-request-bytes (" +
-                           std::to_string(max_bytes) +
-                           "); closing connection");
-        const std::string response = r.dump() + "\n";
-        send_all(fd, response.data(), response.size());
-        open = false;
-        break;
-      }
-      pending.emplace_back(std::move(line), std::chrono::steady_clock::now());
-    }
-    while (open && !pending.empty()) {
-      const std::string& line = pending.front().first;
-      const auto received_at = pending.front().second;
-      std::string response =
-          pool_->submit([this, &line, received_at] {
-                 return service_.handle_line(line, received_at);
-               })
-              .get();
-      pending.pop_front();
-      response.push_back('\n');
-      if (!send_all(fd, response.data(), response.size())) {
-        stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
-        open = false;
-      }
-    }
-    if (!open) {
-      break;
-    }
-    if (max_bytes > 0 && buffer.size() > max_bytes) {
-      // An unterminated request past the cap: answer, then hang up — the
-      // only way to bound memory is to stop reading this stream.
-      stats_.oversized_rejects.fetch_add(1, std::memory_order_relaxed);
-      Json r = Json::object();
-      r.set("ok", false);
-      r.set("error", "request exceeds --max-request-bytes (" +
-                         std::to_string(max_bytes) + "); closing connection");
-      const std::string response = r.dump() + "\n";
-      send_all(fd, response.data(), response.size());
-      break;
-    }
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n == 0) {
-      break;  // orderly client close (any partial line is dropped)
-    }
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      break;  // reset mid-request: this connection only
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
+// ------------------------------------------------------------ connection
+
+void Server::on_conn_event(std::uint64_t id, std::uint32_t ready) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
   }
-  // Signal EOF to the peer now; the fd itself is closed when the accept
-  // loop (or stop()) reaps this connection, so stop()'s own shutdown call
-  // never races a reused descriptor number.
-  ::shutdown(fd, SHUT_RDWR);
-  conn->done.store(true);
+  Conn& conn = *it->second;
+  if ((ready & core::EventLoop::kError) != 0) {
+    // EPOLLERR/EPOLLHUP: the peer is gone in both directions — nothing we
+    // still hold can be delivered. A busy worker's response is dropped
+    // when its post() fails to find the id.
+    close_conn(id);
+    return;
+  }
+  if ((ready & core::EventLoop::kWrite) != 0) {
+    handle_writable(conn);
+    if (conns_.find(id) == conns_.end()) {
+      return;  // fatal write error closed it
+    }
+  }
+  if ((ready & core::EventLoop::kRead) != 0 && conn.read_open &&
+      !conn.read_paused) {
+    handle_readable(conn);
+    if (conns_.find(id) == conns_.end()) {
+      return;
+    }
+  }
+  if (finished(conn)) {
+    close_conn(id);
+  }
+}
+
+void Server::handle_readable(Conn& conn) {
+  // One chunk per readiness event: level-triggered epoll re-arms while
+  // data remains, which keeps one firehose client from starving the rest.
+  char chunk[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      const std::uint64_t id = conn.id;
+      frame_data(conn, chunk, static_cast<std::size_t>(n));
+      // The oversized-reject path inside frame_data may flush and close
+      // the connection synchronously; only touch it again if it is still
+      // here.
+      const auto it = conns_.find(id);
+      if (it != conns_.end()) {
+        dispatch_next(*it->second);
+      }
+      return;
+    }
+    if (n == 0) {
+      conn.read_open = false;  // orderly EOF; partial line is dropped
+      conn.read_buf.clear();
+      update_read_interest(conn);
+      return;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return;
+    }
+    stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+    conn.read_open = false;
+    conn.read_buf.clear();
+    update_read_interest(conn);
+    return;
+  }
+}
+
+bool Server::take_line(Conn& conn, std::string line) {
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+  }
+  if (line.empty()) {
+    return true;
+  }
+  if (options_.max_request_bytes > 0 &&
+      line.size() > options_.max_request_bytes) {
+    reject_oversized(conn);
+    return false;
+  }
+  conn.pending.emplace_back(std::move(line), std::chrono::steady_clock::now());
+  return true;
+}
+
+void Server::frame_data(Conn& conn, const char* data, std::size_t len) {
+  // Frame straight out of the recv chunk: complete lines are copied once
+  // (into pending), and read_buf only ever holds a trailing partial line —
+  // the common whole-request-per-chunk case never round-trips through it.
+  const std::size_t max_bytes = options_.max_request_bytes;
+  std::size_t start = 0;
+  if (!conn.read_buf.empty()) {
+    // Finish the partial line carried over from earlier chunks.
+    const auto* nl = static_cast<const char*>(::memchr(data, '\n', len));
+    if (nl == nullptr) {
+      conn.read_buf.append(data, len);
+      if (max_bytes > 0 && conn.read_buf.size() > max_bytes) {
+        // An unterminated line already past the cap mid-frame: same policy
+        // as a framed oversized line — answer once, then hang up; reading
+        // on would be unbounded memory.
+        reject_oversized(conn);
+      }
+      return;
+    }
+    const auto idx = static_cast<std::size_t>(nl - data);
+    std::string line = std::move(conn.read_buf);
+    conn.read_buf.clear();
+    line.append(data, idx);
+    if (!take_line(conn, std::move(line))) {
+      return;  // rejected: conn may already be gone
+    }
+    start = idx + 1;
+  }
+  while (start < len) {
+    const auto* nl =
+        static_cast<const char*>(::memchr(data + start, '\n', len - start));
+    if (nl == nullptr) {
+      conn.read_buf.assign(data + start, len - start);
+      if (max_bytes > 0 && conn.read_buf.size() > max_bytes) {
+        reject_oversized(conn);
+      }
+      return;
+    }
+    const auto idx = static_cast<std::size_t>(nl - data);
+    if (!take_line(conn, std::string(data + start, idx - start))) {
+      return;
+    }
+    start = idx + 1;
+  }
+}
+
+void Server::reject_oversized(Conn& conn) {
+  stats_.oversized_rejects.fetch_add(1, std::memory_order_relaxed);
+  conn.read_open = false;
+  conn.read_buf.clear();  // nothing past the poison line is trusted
+  conn.oversized = true;
+  update_read_interest(conn);
+  // Requests framed before the poison line still get their responses (the
+  // historical serial behavior); the error line goes out after them.
+  maybe_send_reject(conn);
+}
+
+void Server::maybe_send_reject(Conn& conn) {
+  if (!conn.oversized || conn.close_after_flush || conn.busy ||
+      !conn.pending.empty()) {
+    return;
+  }
+  conn.close_after_flush = true;
+  queue_response_bytes(conn, oversized_error_line(options_.max_request_bytes));
+}
+
+void Server::dispatch_next(Conn& conn) {
+  if (conn.busy || conn.pending.empty()) {
+    return;
+  }
+  conn.busy = true;
+  std::string line = std::move(conn.pending.front().first);
+  const auto received_at = conn.pending.front().second;
+  conn.pending.pop_front();
+  const std::uint64_t id = conn.id;
+  // The worker computes off-loop; only the post() hop touches loop state.
+  // Dropping the future is safe: handle_line never throws.
+  (void)pool_->submit([this, id, line = std::move(line), received_at] {
+    std::string response = service_.handle_line(line, received_at);
+    loop_->post([this, id, response = std::move(response)]() mutable {
+      finish_request(id, std::move(response));
+    });
+  });
+}
+
+void Server::finish_request(std::uint64_t id, std::string response) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;  // connection died while the worker computed
+  }
+  Conn& conn = *it->second;
+  conn.busy = false;
+  response.push_back('\n');
+  queue_response_bytes(conn, std::move(response));
+  if (conns_.find(id) == conns_.end()) {
+    return;  // fatal write error
+  }
+  dispatch_next(conn);
+  maybe_send_reject(conn);
+  if (conns_.find(id) == conns_.end()) {
+    return;  // reject flushed instantly and closed the connection
+  }
+  if (finished(conn)) {
+    close_conn(id);
+    return;
+  }
+  if (draining_) {
+    maybe_finish_drain();
+  }
+}
+
+void Server::queue_response_bytes(Conn& conn, std::string bytes) {
+  if (conn.write_buf.empty()) {
+    conn.write_buf = std::move(bytes);
+    conn.write_off = 0;
+  } else {
+    conn.write_buf.append(bytes);
+  }
+  flush(conn);
+}
+
+void Server::handle_writable(Conn& conn) { flush(conn); }
+
+void Server::flush(Conn& conn) {
+  bool fatal = false;
+  while (conn.write_off < conn.write_buf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.write_buf.data() + conn.write_off,
+               conn.write_buf.size() - conn.write_off, MSG_NOSIGNAL);
+    if (n >= 0) {
+      conn.write_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+    fatal = true;
+    break;
+  }
+  if (fatal) {
+    close_conn(conn.id);
+    return;
+  }
+  if (conn.write_off >= conn.write_buf.size()) {
+    conn.write_buf.clear();
+    conn.write_off = 0;
+  } else if (conn.write_off > (conn.write_buf.size() >> 1)) {
+    // Compact once the sent prefix dominates, keeping the buffer O(unsent).
+    conn.write_buf.erase(0, conn.write_off);
+    conn.write_off = 0;
+  }
+  const std::size_t unsent = conn.write_buf.size() - conn.write_off;
+  if (!conn.read_paused && unsent > options_.write_high_water_bytes) {
+    // Backpressure: a reader this far behind stops driving new requests
+    // until it catches up.
+    conn.read_paused = true;
+    stats_.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+  } else if (conn.read_paused &&
+             unsent <= options_.write_high_water_bytes / 2) {
+    conn.read_paused = false;
+  }
+  update_read_interest(conn);
+  if (unsent == 0 && conn.close_after_flush) {
+    close_conn(conn.id);
+  }
+}
+
+void Server::update_read_interest(Conn& conn) {
+  std::uint32_t interest = 0;
+  if (conn.read_open && !conn.read_paused && !conn.close_after_flush) {
+    interest |= core::EventLoop::kRead;
+  }
+  if (conn.write_off < conn.write_buf.size()) {
+    interest |= core::EventLoop::kWrite;
+  }
+  loop_->set_interest(conn.fd, interest);
+}
+
+bool Server::finished(const Conn& conn) {
+  const bool write_done = conn.write_off >= conn.write_buf.size();
+  if (conn.close_after_flush) {
+    return write_done && !conn.busy;
+  }
+  return !conn.read_open && !conn.busy && conn.pending.empty() && write_done;
+}
+
+void Server::close_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
+  }
+  loop_->remove(it->second->fd);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  if (draining_) {
+    maybe_finish_drain();
+  }
+}
+
+void Server::maybe_finish_drain() {
+  if (!conns_.empty()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drained_ = true;
+  }
+  drain_cv_.notify_all();
 }
 
 }  // namespace lsml::server

@@ -3,36 +3,53 @@
 //
 // One daemon, three moving parts:
 //
-//   accept loop   one background thread; hands each connection to an I/O
-//                 thread and reaps finished ones.
-//   I/O threads   one per live connection; they only frame bytes into
-//                 newline-delimited request lines and write response lines
-//                 back (TCP_NODELAY, partial-write safe). They never run
-//                 learner/SAT/synth work themselves.
-//   worker pool   the existing core::ThreadPool. Every request line is
-//                 submitted as one task; the I/O thread blocks on the
-//                 future, which keeps requests on one connection FIFO
-//                 while CPU-bound work across connections is capped at the
-//                 pool width no matter how many clients connect.
+//   event loop    one core::EventLoop thread owns every socket: it accepts
+//                 connections, reads nonblocking, frames bytes into
+//                 newline-delimited request lines, and flushes response
+//                 bytes back. No thread is ever parked on one connection,
+//                 so thousands of idle or slow clients cost four kilobytes
+//                 of buffer each, not a stack.
+//   worker pool   the existing core::ThreadPool. Every framed request line
+//                 is submitted as one task; its completion is posted back
+//                 to the loop, which serializes the response onto the
+//                 connection. One request per connection is in flight at a
+//                 time, so requests on one connection stay FIFO (and keep
+//                 the historical serial semantics) while CPU-bound work
+//                 across connections is capped at the pool width.
+//   service       server::Service — the transport-agnostic request
+//                 handler, with its own batching and sharded model store
+//                 (see service.hpp).
+//
+// Backpressure: a connection whose write buffer climbs past
+// `write_high_water_bytes` (a slow or stalled reader) stops being read
+// until the buffer drains below the mark again — the daemon's memory per
+// connection stays bounded by high-water + max_request_bytes no matter
+// what the peer does.
 //
 // Robustness contract (pinned by tests/server_test.cpp): a malformed line
 // gets an error response and the connection lives on; a line that grows
 // past `max_request_bytes` gets an error response and the connection is
 // closed (the only way to bound memory without trusting the client); a
-// client that disconnects mid-request or mid-response affects nothing but
-// its own connection. The daemon itself only stops via stop().
+// client that disconnects or half-closes mid-request affects nothing but
+// its own connection (a half-closed peer still receives every response it
+// was owed). stop() drains: it stops accepting, lets in-flight requests
+// finish and their responses flush for up to `drain_ms`, then force-closes
+// whatever is left.
 //
 // Binding port 0 picks an ephemeral port, readable via port() — how tests
 // and the bench run many servers without colliding.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
+#include <unordered_map>
 
+#include "core/event_loop.hpp"
 #include "core/thread_pool.hpp"
 #include "server/service.hpp"
 
@@ -46,6 +63,18 @@ struct ServerOptions {
   /// Hard cap on one request line; longer requests are rejected and the
   /// connection closed. 0 disables the cap (tests only).
   std::size_t max_request_bytes = 8u << 20;
+  /// Concurrent-connection cap; a connection past it is answered with one
+  /// error line and closed. 0 = unlimited.
+  std::size_t max_connections = 0;
+  /// Stop reading a connection whose unsent response bytes exceed this.
+  std::size_t write_high_water_bytes = 1u << 20;
+  /// Fixed SO_SNDBUF for accepted sockets; 0 keeps kernel autotuning.
+  /// Setting it bounds kernel-side memory per connection and makes the
+  /// write high-water mark bite at a predictable depth.
+  int send_buffer_bytes = 0;
+  /// How long stop() waits for in-flight requests to finish and responses
+  /// to flush before force-closing connections.
+  std::int64_t drain_ms = 5000;
   ServiceOptions service;
   int verbosity = 0;  ///< 1 = connection lifecycle lines on stderr
 };
@@ -53,8 +82,12 @@ struct ServerOptions {
 /// Transport-level counters (request-level ones live in ServiceStats).
 struct ServerStats {
   std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> over_connection_cap{0};
   std::atomic<std::uint64_t> oversized_rejects{0};
   std::atomic<std::uint64_t> io_errors{0};
+  /// Times a connection crossed the write high-water mark and had its
+  /// read side paused (the backpressure path).
+  std::atomic<std::uint64_t> backpressure_pauses{0};
 };
 
 class Server {
@@ -65,12 +98,14 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the accept loop. Throws std::runtime_error
-  /// (with errno context) when the address cannot be bound.
+  /// Binds, listens, and spawns the event-loop thread. Throws
+  /// std::runtime_error (with errno context) when the address cannot be
+  /// bound.
   void start();
 
-  /// Stops accepting, shuts every live connection down, joins all
-  /// threads. Idempotent; called by the destructor.
+  /// Stops accepting, drains in-flight requests (up to drain_ms), closes
+  /// every connection, joins the loop and the pool. Idempotent; called by
+  /// the destructor.
   void stop();
 
   [[nodiscard]] bool running() const { return running_.load(); }
@@ -81,27 +116,71 @@ class Server {
   [[nodiscard]] const ServerOptions& options() const { return options_; }
 
  private:
-  struct Connection {
+  /// Everything the loop knows about one connection. Touched only on the
+  /// loop thread; workers reach it exclusively through posted tasks that
+  /// re-look it up by id (the connection may be gone by then).
+  struct Conn {
+    std::uint64_t id = 0;
     int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
+    std::string read_buf;   ///< trailing partial line awaiting more bytes
+    std::string write_buf;  ///< response bytes not yet accepted by send()
+    std::size_t write_off = 0;
+    /// Framed-but-undispatched request lines, stamped at frame time (the
+    /// documented "queueing counts against the deadline" semantics).
+    std::deque<std::pair<std::string, std::chrono::steady_clock::time_point>>
+        pending;
+    bool busy = false;         ///< one request is out on the pool
+    bool read_open = true;     ///< peer has not EOF'd / errored
+    bool read_paused = false;  ///< backpressure: EPOLLIN disabled
+    bool oversized = false;    ///< reject owed once pending drains
+    bool close_after_flush = false;  ///< oversized reject or drain
   };
 
-  void accept_loop();
-  void connection_loop(Connection* conn);
-  void reap_finished_locked();
+  void loop_main();
+  void on_listen_ready();
+  void on_conn_event(std::uint64_t id, std::uint32_t ready);
+  void handle_readable(Conn& conn);
+  void handle_writable(Conn& conn);
+  /// Frames request lines straight out of a recv chunk (read_buf carries
+  /// only a trailing partial line between chunks). Stops — and must not
+  /// touch `conn` again — once a line is rejected as oversized.
+  void frame_data(Conn& conn, const char* data, std::size_t len);
+  /// Admits one framed line into conn.pending; false = rejected oversized.
+  bool take_line(Conn& conn, std::string line);
+  void dispatch_next(Conn& conn);
+  void finish_request(std::uint64_t id, std::string response);
+  void queue_response_bytes(Conn& conn, std::string bytes);
+  void flush(Conn& conn);
+  void update_read_interest(Conn& conn);
+  void reject_oversized(Conn& conn);
+  /// Emits the owed oversized-reject error line once earlier framed
+  /// requests have been answered, then arms close-after-flush.
+  void maybe_send_reject(Conn& conn);
+  /// True once nothing will ever happen on the connection again.
+  [[nodiscard]] static bool finished(const Conn& conn);
+  void close_conn(std::uint64_t id);
+  void maybe_finish_drain();
 
   ServerOptions options_;
   Service service_;
   ServerStats stats_;
   std::unique_ptr<core::ThreadPool> pool_;
+  std::unique_ptr<core::EventLoop> loop_;
 
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
-  std::thread accept_thread_;
-  std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::thread loop_thread_;
+
+  // Loop-thread state.
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  bool draining_ = false;
+
+  // stop() rendezvous: the loop signals when the last connection is gone.
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  bool drained_ = false;
 };
 
 }  // namespace lsml::server

@@ -160,7 +160,18 @@ bool model_hash_from_id(const std::string& id, std::uint64_t* hash) {
 Service::Service(ServiceOptions options)
     : options_(std::move(options)),
       pipeline_(synth::default_pipeline()),
-      disk_cache_(options_.cache_dir) {}
+      disk_cache_(options_.cache_dir) {
+  std::size_t shards = options_.store_shards == 0 ? 1 : options_.store_shards;
+  std::size_t pow2 = 1;
+  while (pow2 < shards) {
+    pow2 <<= 1;
+  }
+  shards_.reserve(pow2);
+  for (std::size_t i = 0; i < pow2; ++i) {
+    shards_.push_back(std::make_unique<StoreShard>());
+  }
+  shard_mask_ = pow2 - 1;
+}
 
 std::string Service::handle_line(const std::string& line) {
   return handle_line(line, std::chrono::steady_clock::now());
@@ -349,6 +360,164 @@ Json Service::handle_learn(const Json& request, const Deadline& deadline) {
 
 // ------------------------------------------------------------------ eval
 
+namespace {
+
+/// Parses one array of minterm strings into per-PI columns appended at
+/// `offset` of `columns` (each already sized for the request's total rows).
+/// `where` names the array in error messages ("inputs", "batches[2]").
+void parse_rows_into_columns(const Json& rows_json, std::size_t num_pis,
+                             std::size_t offset,
+                             std::vector<core::BitVec>* columns,
+                             const std::string& where) {
+  const std::size_t rows = rows_json.size();
+  for (std::size_t row = 0; row < rows; ++row) {
+    const Json& line = rows_json.at(row);
+    if (!line.is_string() || line.as_string().size() != num_pis) {
+      throw RequestError(where + "[" + std::to_string(row) + "] must be a " +
+                         std::to_string(num_pis) + "-character 0/1 string");
+    }
+    const std::string& bits = line.as_string();
+    for (std::size_t col = 0; col < num_pis; ++col) {
+      if (bits[col] == '1') {
+        (*columns)[col].set(offset + row, true);
+      } else if (bits[col] != '0') {
+        throw RequestError(where + "[" + std::to_string(row) +
+                           "] holds a character other than 0/1");
+      }
+    }
+  }
+}
+
+/// Copies `n` bits from src[src_off..] to dst[dst_off..]. Word-blasts when
+/// both offsets are word-aligned (the common case: coalesced batches whose
+/// row counts are multiples of 64).
+void copy_bits(core::BitVec* dst, std::size_t dst_off, const core::BitVec& src,
+               std::size_t src_off, std::size_t n) {
+  if (dst_off % 64 == 0 && src_off % 64 == 0) {
+    const std::size_t words = n / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+      dst->words()[dst_off / 64 + w] = src.words()[src_off / 64 + w];
+    }
+    dst_off += words * 64;
+    src_off += words * 64;
+    n -= words * 64;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    dst->set(dst_off + i, src.get(src_off + i));
+  }
+}
+
+std::string bits_to_string(const core::BitVec& bits, std::size_t offset,
+                           std::size_t rows) {
+  std::string text(rows, '0');
+  for (std::size_t row = 0; row < rows; ++row) {
+    if (bits.get(offset + row)) {
+      text[row] = '1';
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+void Service::sweep_jobs(const StoredModel& model,
+                         const std::vector<std::shared_ptr<EvalJob>>& batch) {
+  const std::size_t num_pis = model.circuit.num_pis();
+  stats_.eval_sweeps.fetch_add(1, std::memory_order_relaxed);
+  if (batch.size() == 1) {
+    // One job: sweep its columns in place, no concatenation.
+    EvalJob& job = *batch.front();
+    std::vector<const core::BitVec*> ptrs(num_pis);
+    for (std::size_t col = 0; col < num_pis; ++col) {
+      ptrs[col] = &job.columns[col];
+    }
+    aig::SimEngine engine(model.circuit);
+    engine.run(ptrs);
+    job.outputs = engine.outputs();
+    return;
+  }
+  // Concatenate every job's rows into combined columns, sweep once, then
+  // scatter each job's slice of the combined outputs back. Outputs are a
+  // pure per-row function of the inputs, so slices are byte-identical to
+  // what a solo sweep of that job would produce.
+  std::size_t total = 0;
+  for (const auto& job : batch) {
+    total += job->rows;
+  }
+  std::vector<core::BitVec> combined(num_pis, core::BitVec(total));
+  std::size_t offset = 0;
+  for (const auto& job : batch) {
+    for (std::size_t col = 0; col < num_pis; ++col) {
+      copy_bits(&combined[col], offset, job->columns[col], 0, job->rows);
+    }
+    offset += job->rows;
+  }
+  std::vector<const core::BitVec*> ptrs(num_pis);
+  for (std::size_t col = 0; col < num_pis; ++col) {
+    ptrs[col] = &combined[col];
+  }
+  aig::SimEngine engine(model.circuit);
+  engine.run(ptrs);
+  const std::vector<core::BitVec> outputs = engine.outputs();
+  offset = 0;
+  for (const auto& job : batch) {
+    job->outputs.assign(outputs.size(), core::BitVec(job->rows));
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      copy_bits(&job->outputs[o], 0, outputs[o], offset, job->rows);
+    }
+    offset += job->rows;
+  }
+}
+
+void Service::run_eval_job(const std::string& id, const StoredModel& model,
+                           const std::shared_ptr<EvalJob>& job) {
+  if (!options_.coalesce_evals) {
+    sweep_jobs(model, {job});
+    return;
+  }
+  std::unique_lock<std::mutex> lock(eval_mutex_);
+  std::shared_ptr<EvalFlight>& slot = eval_flights_[id];
+  if (slot == nullptr) {
+    slot = std::make_shared<EvalFlight>();
+  }
+  // Keep the flight alive past a possible table erase by the leader.
+  const std::shared_ptr<EvalFlight> flight = slot;
+  if (flight->running) {
+    // Follower: enqueue and ride the leader's next combined sweep.
+    flight->waiting.push_back(job);
+    stats_.eval_coalesced.fetch_add(1, std::memory_order_relaxed);
+    flight->cv.wait(lock, [&] { return job->done; });
+    return;
+  }
+  flight->running = true;
+  lock.unlock();
+  // Leader: sweep own rows immediately (coalescing never adds latency to
+  // an uncontended eval), then serve rounds of followers that piled up.
+  sweep_jobs(model, {job});
+  while (true) {
+    lock.lock();
+    job->done = true;
+    if (flight->waiting.empty()) {
+      flight->running = false;
+      const auto it = eval_flights_.find(id);
+      if (it != eval_flights_.end() && it->second == flight) {
+        eval_flights_.erase(it);  // keep the table to in-flight ids only
+      }
+      return;
+    }
+    std::vector<std::shared_ptr<EvalJob>> round;
+    round.swap(flight->waiting);
+    lock.unlock();
+    sweep_jobs(model, round);
+    lock.lock();
+    for (const auto& j : round) {
+      j->done = true;
+    }
+    flight->cv.notify_all();
+    lock.unlock();
+  }
+}
+
 Json Service::handle_eval(const Json& request) {
   const std::string id = required_string(request, "model");
   std::uint64_t hash = 0;
@@ -364,61 +533,86 @@ Json Service::handle_eval(const Json& request) {
     throw RequestError("unknown model '" + id + "' (learn it first)");
   }
 
+  // Rows arrive either as one flat "inputs" array or as a "batches" array
+  // of row arrays; either way every row rides ONE SimEngine sweep.
   const Json* inputs = optional_member(request, "inputs");
-  if (inputs == nullptr || !inputs->is_array()) {
-    throw RequestError("request needs an 'inputs' array of minterm strings");
+  const Json* batches = optional_member(request, "batches");
+  if ((inputs == nullptr) == (batches == nullptr)) {
+    throw RequestError(
+        "request needs exactly one of 'inputs' (an array of minterm "
+        "strings) or 'batches' (an array of such arrays)");
   }
-  const std::size_t rows = inputs->size();
-  if (rows == 0) {
-    throw RequestError("'inputs' is empty");
-  }
-  if (rows > options_.max_eval_rows) {
-    throw RequestError("'inputs' exceeds the per-request row cap (" +
-                       std::to_string(options_.max_eval_rows) + ")");
-  }
-  const std::size_t num_pis = model->circuit.num_pis();
-  std::vector<core::BitVec> columns(num_pis, core::BitVec(rows));
-  for (std::size_t row = 0; row < rows; ++row) {
-    const Json& line = inputs->at(row);
-    if (!line.is_string() || line.as_string().size() != num_pis) {
-      throw RequestError("inputs[" + std::to_string(row) + "] must be a " +
-                         std::to_string(num_pis) + "-character 0/1 string");
+  std::vector<const Json*> groups;
+  if (inputs != nullptr) {
+    if (!inputs->is_array() || inputs->size() == 0) {
+      throw RequestError("'inputs' must be a non-empty array");
     }
-    const std::string& bits = line.as_string();
-    for (std::size_t col = 0; col < num_pis; ++col) {
-      if (bits[col] == '1') {
-        columns[col].set(row, true);
-      } else if (bits[col] != '0') {
-        throw RequestError("inputs[" + std::to_string(row) +
-                           "] holds a character other than 0/1");
+    groups.push_back(inputs);
+  } else {
+    if (!batches->is_array() || batches->size() == 0) {
+      throw RequestError("'batches' must be a non-empty array");
+    }
+    for (std::size_t b = 0; b < batches->size(); ++b) {
+      const Json& group = batches->at(b);
+      if (!group.is_array() || group.size() == 0) {
+        throw RequestError("batches[" + std::to_string(b) +
+                           "] must be a non-empty array of minterm strings");
       }
+      groups.push_back(&group);
     }
   }
-  std::vector<const core::BitVec*> column_ptrs(num_pis);
-  for (std::size_t col = 0; col < num_pis; ++col) {
-    column_ptrs[col] = &columns[col];
+  std::size_t total_rows = 0;
+  for (const Json* group : groups) {
+    total_rows += group->size();
   }
-  // One arena-backed sweep over the whole minterm batch; byte-identical
-  // to the historical Aig::simulate outputs.
-  aig::SimEngine engine(model->circuit);
-  engine.run(column_ptrs);
-  const std::vector<core::BitVec> outputs = engine.outputs();
+  if (total_rows > options_.max_eval_rows) {
+    throw RequestError("request exceeds the per-request row cap (" +
+                       std::to_string(options_.max_eval_rows) +
+                       " rows summed over batches)");
+  }
 
+  const std::size_t num_pis = model->circuit.num_pis();
+  auto job = std::make_shared<EvalJob>();
+  job->rows = total_rows;
+  job->columns.assign(num_pis, core::BitVec(total_rows));
+  std::size_t offset = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const std::string where =
+        inputs != nullptr ? "inputs" : "batches[" + std::to_string(g) + "]";
+    parse_rows_into_columns(*groups[g], num_pis, offset, &job->columns, where);
+    offset += groups[g]->size();
+  }
+
+  run_eval_job(id, *model, job);
   stats_.evals.fetch_add(1, std::memory_order_relaxed);
+  stats_.eval_rows.fetch_add(total_rows, std::memory_order_relaxed);
+
   Json r = response_base(request, "eval", true);
   r.set("model", id);
-  r.set("rows", static_cast<std::int64_t>(rows));
-  Json out = Json::array();
-  for (const core::BitVec& bits : outputs) {
-    std::string text(rows, '0');
-    for (std::size_t row = 0; row < rows; ++row) {
-      if (bits.get(row)) {
-        text[row] = '1';
-      }
+  r.set("rows", static_cast<std::int64_t>(total_rows));
+  if (inputs != nullptr) {
+    Json out = Json::array();
+    for (const core::BitVec& bits : job->outputs) {
+      out.push_back(Json(bits_to_string(bits, 0, total_rows)));
     }
-    out.push_back(Json(std::move(text)));
+    r.set("outputs", std::move(out));
+  } else {
+    Json out_batches = Json::array();
+    offset = 0;
+    for (const Json* group : groups) {
+      const std::size_t rows = group->size();
+      Json entry = Json::object();
+      entry.set("rows", static_cast<std::int64_t>(rows));
+      Json out = Json::array();
+      for (const core::BitVec& bits : job->outputs) {
+        out.push_back(Json(bits_to_string(bits, offset, rows)));
+      }
+      entry.set("outputs", std::move(out));
+      out_batches.push_back(std::move(entry));
+      offset += rows;
+    }
+    r.set("batches", std::move(out_batches));
   }
-  r.set("outputs", std::move(out));
   return r;
 }
 
@@ -569,12 +763,19 @@ Json Service::handle_stats() {
   r.set("model_memory_hits", get(stats_.model_memory_hits));
   r.set("model_disk_hits", get(stats_.model_disk_hits));
   r.set("model_inflight_joins", get(stats_.model_inflight_joins));
+  r.set("model_evictions", get(stats_.model_evictions));
   r.set("evals", get(stats_.evals));
+  r.set("eval_sweeps", get(stats_.eval_sweeps));
+  r.set("eval_coalesced", get(stats_.eval_coalesced));
+  r.set("eval_rows", get(stats_.eval_rows));
   r.set("synths", get(stats_.synths));
   r.set("cecs", get(stats_.cecs));
   r.set("pings", get(stats_.pings));
   r.set("deadline_expired", get(stats_.deadline_expired));
   r.set("models_cached", static_cast<std::int64_t>(models_cached()));
+  r.set("models_cached_bytes",
+        static_cast<std::int64_t>(models_cached_bytes()));
+  r.set("store_shards", static_cast<std::int64_t>(shards_.size()));
   r.set("synth_memo_hits",
         static_cast<std::int64_t>(synth::PassManager::memo_hits()));
   r.set("pipeline", pipeline_.script.str());
@@ -583,15 +784,33 @@ Json Service::handle_stats() {
 
 // ------------------------------------------------------------ model store
 
+namespace {
+
+/// Approximate resident size of a stored model (byte-budget accounting;
+/// exactness does not matter, monotonicity in circuit size does).
+std::size_t model_bytes(const StoredModel& m) {
+  return sizeof(StoredModel) + m.learner.size() + m.method.size() +
+         static_cast<std::size_t>(m.circuit.num_nodes()) * 16 + 64;
+}
+
+}  // namespace
+
+Service::StoreShard& Service::shard_for(const std::string& id) {
+  return *shards_[core::fnv1a(id.data(), id.size()) & shard_mask_];
+}
+
 std::shared_ptr<const StoredModel> Service::store_get(const std::string& id) {
-  std::lock_guard<std::mutex> lock(store_mutex_);
-  const auto it = models_.find(id);
-  if (it == models_.end()) {
+  StoreShard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(id);
+  if (it == shard.map.end()) {
     return nullptr;
   }
-  lru_order_.splice(lru_order_.begin(), lru_order_, it->second.first);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  it->second.stamp =
+      store_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   stats_.model_memory_hits.fetch_add(1, std::memory_order_relaxed);
-  return it->second.second;
+  return it->second.model;
 }
 
 void Service::store_put(const std::string& id,
@@ -599,24 +818,87 @@ void Service::store_put(const std::string& id,
   if (options_.model_capacity == 0) {
     return;
   }
-  std::lock_guard<std::mutex> lock(store_mutex_);
-  const auto it = models_.find(id);
-  if (it != models_.end()) {
-    lru_order_.splice(lru_order_.begin(), lru_order_, it->second.first);
-    it->second.second = std::move(m);
-    return;
+  const std::size_t bytes = model_bytes(*m);
+  StoreShard& shard = shard_for(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(id);
+    const std::uint64_t stamp =
+        store_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      store_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+      store_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      it->second.model = std::move(m);
+      it->second.bytes = bytes;
+      it->second.stamp = stamp;
+    } else {
+      shard.lru.push_front(id);
+      StoreShard::Entry entry;
+      entry.lru_it = shard.lru.begin();
+      entry.model = std::move(m);
+      entry.bytes = bytes;
+      entry.stamp = stamp;
+      shard.map.emplace(id, std::move(entry));
+      store_entries_.fetch_add(1, std::memory_order_relaxed);
+      store_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    }
   }
-  lru_order_.push_front(id);
-  models_.emplace(id, std::make_pair(lru_order_.begin(), std::move(m)));
-  while (models_.size() > options_.model_capacity) {
-    models_.erase(lru_order_.back());
-    lru_order_.pop_back();
+  store_evict_to_budget();
+}
+
+void Service::store_evict_to_budget() {
+  while (true) {
+    const bool over_entries =
+        store_entries_.load(std::memory_order_relaxed) >
+        options_.model_capacity;
+    const bool over_bytes =
+        options_.model_store_bytes > 0 &&
+        store_bytes_.load(std::memory_order_relaxed) >
+            options_.model_store_bytes;
+    if (!over_entries && !over_bytes) {
+      return;
+    }
+    // Global LRU across shards: every shard's tail is its least-recent
+    // entry, so the globally oldest stamp among tails is the LRU victim.
+    // Shards are inspected one lock at a time; concurrent bumps make this
+    // approximate, never unsafe.
+    StoreShard* victim = nullptr;
+    std::uint64_t oldest = UINT64_MAX;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      if (shard->lru.empty()) {
+        continue;
+      }
+      const std::uint64_t stamp = shard->map.at(shard->lru.back()).stamp;
+      if (stamp < oldest) {
+        oldest = stamp;
+        victim = shard.get();
+      }
+    }
+    if (victim == nullptr) {
+      return;  // nothing left to evict
+    }
+    std::lock_guard<std::mutex> lock(victim->mutex);
+    if (victim->lru.empty()) {
+      continue;
+    }
+    const auto it = victim->map.find(victim->lru.back());
+    store_entries_.fetch_sub(1, std::memory_order_relaxed);
+    store_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    victim->map.erase(it);
+    victim->lru.pop_back();
+    stats_.model_evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 std::size_t Service::models_cached() const {
-  std::lock_guard<std::mutex> lock(store_mutex_);
-  return models_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->map.size();
+  }
+  return total;
 }
 
 std::shared_ptr<const StoredModel> Service::disk_get(

@@ -8,18 +8,34 @@
 //   learn  PLA payload -> learn::LearnerFactory -> TrainedModel, optimized
 //          through the installed synth::Pipeline (and SAT-verified when the
 //          pipeline's SynthOptions say so)
-//   eval   model id + minterm batch -> packed-simulation outputs
+//   eval   model id + minterm rows -> packed-simulation outputs. One
+//          request may carry many row batches ("batches"); they all ride
+//          one SimEngine sweep. Concurrent evals against the same model
+//          coalesce into shared sweeps (see "Batching" below).
 //   synth  AIGER text + script string -> optimized AIGER + pass trace
 //   cec    two AIGER payloads -> verdict + counterexample cube
 //   ping   liveness (optional server-side sleep, for load/deadline tests)
 //   stats  service counters (the one intentionally non-deterministic reply)
 //
-// Learned models live in a bounded LRU store keyed by a content hash over
-// (datasets, learner, seed, pipeline fingerprint) — the same
+// Batching: every eval bottoms out in one aig::SimEngine sweep no matter
+// how many row batches the request carries, and when several requests for
+// the same model id are in flight at once, one of them (the leader) sweeps
+// while the rest enqueue; the leader then serves each round of enqueued
+// requests with one combined sweep, scattering per-request outputs back.
+// Outputs are computed from each request's own rows, so coalescing never
+// changes a single response byte — it only changes how many sweeps ran,
+// observable as `eval_sweeps` / `eval_coalesced` in `stats`.
+//
+// Model store: learned circuits live in a sharded LRU keyed by a content
+// hash over (datasets, learner, seed, pipeline fingerprint) — the same
 // Dataset::content_hash / task_content_hash machinery that keys the
-// contest's on-disk suite::ResultCache, which doubles as this store's
-// second level when `cache_dir` is set: a restarted server serves `learn`
-// and `eval` requests for already-learned models without refitting.
+// contest's on-disk suite::ResultCache. Shards are selected by model-id
+// hash, each with its own mutex + recency list, so concurrent learns and
+// evals on different models never contend on one lock; eviction follows a
+// global LRU order (a logical access clock) under a global entry capacity
+// and optional byte budget. The ResultCache doubles as the store's second
+// level when `cache_dir` is set: a restarted server serves `learn` and
+// `eval` requests for already-learned models without refitting.
 //
 // Determinism contract: every response except `stats` is a pure function
 // of the request (given a fixed installed pipeline), with no wall times or
@@ -28,14 +44,15 @@
 // observable through `stats` instead.
 //
 // Thread safety: handle_line is safe to call from any number of threads
-// (the model store and counters are internally synchronized; the synth
-// memo and learner stack are already thread-safe). Install the process
-// synth::Pipeline (synth::set_default_pipeline) BEFORE constructing a
-// Service: the constructor snapshots it for model-id fingerprints, and
-// learners read it concurrently afterwards.
+// (the store shards, the eval coalescer, and the counters are internally
+// synchronized; the synth memo and learner stack are already thread-safe).
+// Install the process synth::Pipeline (synth::set_default_pipeline) BEFORE
+// constructing a Service: the constructor snapshots it for model-id
+// fingerprints, and learners read it concurrently afterwards.
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <iosfwd>
@@ -47,6 +64,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "core/bits.hpp"
 #include "server/json.hpp"
 #include "suite/result_cache.hpp"
 #include "synth/pass_manager.hpp"
@@ -54,15 +72,21 @@
 namespace lsml::server {
 
 struct ServiceOptions {
-  /// LRU capacity of the in-memory model store (entries, not bytes).
+  /// Global entry capacity of the in-memory model store (0 disables it).
   std::size_t model_capacity = 64;
+  /// Global byte budget of the in-memory model store (0 = entries only).
+  std::size_t model_store_bytes = 0;
+  /// Store shard count (rounded up to a power of two).
+  std::size_t store_shards = 8;
+  /// Coalesce concurrent same-model evals into shared sweeps.
+  bool coalesce_evals = true;
   /// On-disk second level (a suite::ResultCache); empty disables it.
   std::string cache_dir;
   /// Contest seed used when a learn request does not send one.
   std::uint64_t default_seed = 2020;
   /// Default SAT conflict budget of a cec request (0 = unlimited).
   std::int64_t cec_conflict_budget = 100000;
-  /// Row cap of one eval batch (guards against absurd payloads).
+  /// Row cap of one eval request, summed over its batches.
   std::size_t max_eval_rows = 1u << 20;
   /// Cap on ping's optional server-side sleep.
   std::int64_t max_ping_sleep_ms = 60000;
@@ -93,7 +117,14 @@ struct ServiceStats {
   /// Requests that waited on a concurrent identical learn instead of
   /// refitting (single-flight).
   std::atomic<std::uint64_t> model_inflight_joins{0};
+  std::atomic<std::uint64_t> model_evictions{0};
   std::atomic<std::uint64_t> evals{0};
+  /// SimEngine sweeps actually run for eval requests; under a same-model
+  /// storm this stays well below `evals` (the coalescing headline).
+  std::atomic<std::uint64_t> eval_sweeps{0};
+  /// Eval requests whose rows rode another request's sweep.
+  std::atomic<std::uint64_t> eval_coalesced{0};
+  std::atomic<std::uint64_t> eval_rows{0};
   std::atomic<std::uint64_t> synths{0};
   std::atomic<std::uint64_t> cecs{0};
   std::atomic<std::uint64_t> pings{0};
@@ -135,10 +166,44 @@ class Service {
   /// under and what model ids fingerprint).
   [[nodiscard]] const synth::Pipeline& pipeline() const { return pipeline_; }
 
-  /// In-memory model count (tests assert LRU eviction through this).
+  /// In-memory model count across all shards (tests assert LRU eviction
+  /// through this).
   [[nodiscard]] std::size_t models_cached() const;
+  /// Approximate resident bytes of the in-memory store.
+  [[nodiscard]] std::size_t models_cached_bytes() const {
+    return store_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One independently locked slice of the model store.
+  struct StoreShard {
+    struct Entry {
+      std::list<std::string>::iterator lru_it;
+      std::shared_ptr<const StoredModel> model;
+      std::size_t bytes = 0;
+      std::uint64_t stamp = 0;  ///< global logical access clock
+    };
+    mutable std::mutex mutex;
+    std::list<std::string> lru;  ///< front = most recent within the shard
+    std::unordered_map<std::string, Entry> map;
+  };
+
+  /// One eval request's rows, parsed into PI columns; the coalescer fills
+  /// `outputs` (one BitVec per circuit output over this job's rows).
+  struct EvalJob {
+    std::size_t rows = 0;
+    std::vector<core::BitVec> columns;
+    std::vector<core::BitVec> outputs;
+    bool done = false;
+  };
+
+  /// Single-flight state for one model id's in-flight eval sweeps.
+  struct EvalFlight {
+    bool running = false;
+    std::vector<std::shared_ptr<EvalJob>> waiting;
+    std::condition_variable cv;
+  };
+
   Json dispatch(const Json& request, const Deadline& deadline);
   Json handle_learn(const Json& request, const Deadline& deadline);
   Json handle_eval(const Json& request);
@@ -147,9 +212,20 @@ class Service {
   Json handle_ping(const Json& request, const Deadline& deadline);
   Json handle_stats();
 
+  /// Runs `job` through the per-model coalescer (or directly when
+  /// coalescing is off); on return job->outputs is filled.
+  void run_eval_job(const std::string& id, const StoredModel& model,
+                    const std::shared_ptr<EvalJob>& job);
+  /// One combined SimEngine sweep over every job in `batch`.
+  void sweep_jobs(const StoredModel& model,
+                  const std::vector<std::shared_ptr<EvalJob>>& batch);
+
+  [[nodiscard]] StoreShard& shard_for(const std::string& id);
   /// LRU lookup (bumps recency); nullptr on miss.
   std::shared_ptr<const StoredModel> store_get(const std::string& id);
   void store_put(const std::string& id, std::shared_ptr<const StoredModel> m);
+  /// Evicts globally-least-recent entries until capacity/byte budget hold.
+  void store_evict_to_budget();
   /// Second-level lookup in the on-disk ResultCache; fills the LRU on hit.
   std::shared_ptr<const StoredModel> disk_get(const std::string& id,
                                               std::uint64_t content_hash);
@@ -170,12 +246,16 @@ class Service {
                      std::shared_future<std::shared_ptr<const StoredModel>>>
       inflight_;
 
-  mutable std::mutex store_mutex_;
-  std::list<std::string> lru_order_;  ///< front = most recent
-  std::unordered_map<std::string,
-                     std::pair<std::list<std::string>::iterator,
-                               std::shared_ptr<const StoredModel>>>
-      models_;
+  /// Eval coalescer: guards the flight table and every flight's state.
+  /// Critical sections are O(1) pointer shuffling; sweeps run outside.
+  std::mutex eval_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<EvalFlight>> eval_flights_;
+
+  std::vector<std::unique_ptr<StoreShard>> shards_;
+  std::size_t shard_mask_ = 0;
+  std::atomic<std::uint64_t> store_clock_{0};
+  std::atomic<std::size_t> store_entries_{0};
+  std::atomic<std::size_t> store_bytes_{0};
 };
 
 /// "m-<hex16>" spelling of a model content hash (and its inverse; false

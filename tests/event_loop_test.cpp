@@ -1,0 +1,145 @@
+// core::EventLoop tests: readiness dispatch on a pipe, interest changes,
+// cross-thread post(), self-removal from a callback, and stop semantics.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/event_loop.hpp"
+
+namespace lsml::core {
+namespace {
+
+/// A nonblocking pipe pair that closes itself.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() {
+    EXPECT_EQ(::pipe(fds), 0);
+    for (const int fd : fds) {
+      ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    }
+  }
+  ~Pipe() {
+    for (const int fd : fds) {
+      if (fd >= 0) {
+        ::close(fd);
+      }
+    }
+  }
+  [[nodiscard]] int read_end() const { return fds[0]; }
+  [[nodiscard]] int write_end() const { return fds[1]; }
+};
+
+TEST(EventLoop, DispatchesReadReadinessAndStops) {
+  EventLoop loop;
+  Pipe pipe;
+  std::string seen;
+  loop.add(pipe.read_end(), EventLoop::kRead, [&](std::uint32_t ready) {
+    EXPECT_TRUE((ready & EventLoop::kRead) != 0);
+    char buf[16];
+    const ssize_t n = ::read(pipe.read_end(), buf, sizeof buf);
+    ASSERT_GT(n, 0);
+    seen.append(buf, static_cast<std::size_t>(n));
+    loop.stop();
+  });
+  ASSERT_EQ(::write(pipe.write_end(), "hi", 2), 2);
+  loop.run();  // returns once the callback called stop()
+  EXPECT_EQ(seen, "hi");
+}
+
+TEST(EventLoop, PostRunsTasksOnTheLoopThread) {
+  EventLoop loop;
+  std::atomic<int> ran{0};
+  std::thread runner([&] { loop.run(); });
+  std::thread::id loop_tid;
+  loop.post([&] {
+    loop_tid = std::this_thread::get_id();
+    ran.fetch_add(1);
+  });
+  for (int i = 0; i < 100; ++i) {
+    loop.post([&] { ran.fetch_add(1); });
+  }
+  loop.post([&] { loop.stop(); });
+  runner.join();
+  EXPECT_EQ(ran.load(), 101);
+  EXPECT_NE(loop_tid, std::this_thread::get_id());
+}
+
+TEST(EventLoop, SetInterestGatesWriteReadiness) {
+  EventLoop loop;
+  Pipe pipe;
+  std::atomic<int> write_events{0};
+  // A fresh pipe's write end is always writable; with only kRead interest
+  // the callback must never fire for writes.
+  loop.add(pipe.write_end(), EventLoop::kRead, [&](std::uint32_t ready) {
+    if ((ready & EventLoop::kWrite) != 0) {
+      write_events.fetch_add(1);
+      loop.stop();
+    }
+  });
+  loop.post([&] {
+    // Still no write interest: nothing should be pending yet.
+    EXPECT_EQ(write_events.load(), 0);
+    loop.set_interest(pipe.write_end(), EventLoop::kWrite);
+  });
+  loop.run();
+  EXPECT_EQ(write_events.load(), 1);
+}
+
+TEST(EventLoop, CallbackMayRemoveItsOwnFd) {
+  EventLoop loop;
+  Pipe pipe;
+  std::atomic<int> fired{0};
+  loop.add(pipe.read_end(), EventLoop::kRead, [&](std::uint32_t) {
+    fired.fetch_add(1);
+    char buf[16];
+    while (::read(pipe.read_end(), buf, sizeof buf) > 0) {
+    }
+    loop.remove(pipe.read_end());  // self-removal must not crash the loop
+  });
+  ASSERT_EQ(::write(pipe.write_end(), "x", 1), 1);
+  std::thread runner([&] { loop.run(); });
+  // Give the event a chance to dispatch, then write again: the removed fd
+  // must stay silent.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(::write(pipe.write_end(), "y", 1), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  loop.post([&] { loop.stop(); });
+  runner.join();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(EventLoop, TasksPostedWithStopStillRun) {
+  EventLoop loop;
+  std::atomic<bool> ran{false};
+  std::thread runner([&] { loop.run(); });
+  loop.post([&] {
+    loop.stop();
+    loop.post([&] { ran.store(true); });  // posted after stop, same batch
+  });
+  runner.join();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(EventLoop, ReportsErrorReadinessOnClosedPeer) {
+  EventLoop loop;
+  Pipe pipe;
+  std::atomic<std::uint32_t> last_ready{0};
+  loop.add(pipe.write_end(), 0, [&](std::uint32_t ready) {
+    last_ready.store(ready);
+    loop.stop();
+  });
+  ::close(pipe.fds[0]);  // reader gone -> EPIPE surfaces as kError
+  pipe.fds[0] = -1;
+  loop.run();
+  EXPECT_TRUE((last_ready.load() & EventLoop::kError) != 0);
+}
+
+}  // namespace
+}  // namespace lsml::core

@@ -330,6 +330,54 @@ TEST(ServiceTest, EvalRowCapIsEnforced) {
   request.set("inputs", std::move(inputs));
   EXPECT_NE(handle(service, request).at("error").as_string().find("row cap"),
             std::string::npos);
+
+  // The cap sums over "batches" too: 2 + 2 rows against a cap of 3.
+  Json batched = make_request("eval");
+  batched.set("model", learned.at("model").as_string());
+  Json batches = Json::array();
+  for (int b = 0; b < 2; ++b) {
+    Json batch = Json::array();
+    batch.push_back(Json("11"));
+    batch.push_back(Json("00"));
+    batches.push_back(std::move(batch));
+  }
+  batched.set("batches", std::move(batches));
+  EXPECT_NE(handle(service, batched).at("error").as_string().find("row cap"),
+            std::string::npos);
+}
+
+TEST(ServiceTest, BatchesValidation) {
+  Service service;
+  const Json learned = handle(
+      service,
+      learn_request(pla_for(2, [](std::uint32_t r) { return r != 0; })));
+  const std::string id = learned.at("model").as_string();
+
+  // 'inputs' and 'batches' are mutually exclusive.
+  Json both = make_request("eval");
+  both.set("model", id);
+  Json inputs = Json::array();
+  inputs.push_back(Json("11"));
+  both.set("inputs", std::move(inputs));
+  Json batches = Json::array();
+  Json batch = Json::array();
+  batch.push_back(Json("11"));
+  batches.push_back(std::move(batch));
+  both.set("batches", std::move(batches));
+  EXPECT_NE(handle(service, both).at("error").as_string().find("exactly one"),
+            std::string::npos);
+
+  Json empty = make_request("eval");
+  empty.set("model", id);
+  empty.set("batches", Json::array());
+  EXPECT_FALSE(handle(service, empty).at("ok").as_bool());
+
+  Json empty_batch = make_request("eval");
+  empty_batch.set("model", id);
+  Json holds_empty = Json::array();
+  holds_empty.push_back(Json::array());
+  empty_batch.set("batches", std::move(holds_empty));
+  EXPECT_FALSE(handle(service, empty_batch).at("ok").as_bool());
 }
 
 // ====================================================== Service: happy path
@@ -356,6 +404,147 @@ TEST(ServiceTest, LearnThenEvalMatchesTheFunction) {
   ASSERT_TRUE(evaled.at("ok").as_bool());
   EXPECT_EQ(evaled.at("rows").as_int(), 4);
   EXPECT_EQ(evaled.at("outputs").at(0).as_string(), "0111");
+}
+
+TEST(ServiceTest, BatchedEvalRunsOneSweepAndMatchesPerBatchEvals) {
+  Service service;
+  const Json learned = handle(
+      service,
+      learn_request(pla_for(3, [](std::uint32_t r) { return r % 3 == 1; })));
+  ASSERT_TRUE(learned.at("ok").as_bool());
+  const std::string id = learned.at("model").as_string();
+
+  const std::vector<std::vector<const char*>> batch_rows = {
+      {"000", "100", "010"},
+      {"110", "001"},
+      {"101", "011", "111", "000"},
+  };
+  // Per-batch baseline: one plain eval per batch.
+  std::vector<std::string> baseline_outputs;
+  for (const auto& rows : batch_rows) {
+    Json request = make_request("eval");
+    request.set("model", id);
+    Json inputs = Json::array();
+    for (const char* row : rows) {
+      inputs.push_back(Json(row));
+    }
+    request.set("inputs", std::move(inputs));
+    const Json response = handle(service, request);
+    ASSERT_TRUE(response.at("ok").as_bool());
+    baseline_outputs.push_back(response.at("outputs").at(0).as_string());
+  }
+
+  const std::uint64_t sweeps_before = service.stats().eval_sweeps.load();
+  Json request = make_request("eval");
+  request.set("model", id);
+  Json batches = Json::array();
+  for (const auto& rows : batch_rows) {
+    Json batch = Json::array();
+    for (const char* row : rows) {
+      batch.push_back(Json(row));
+    }
+    batches.push_back(std::move(batch));
+  }
+  request.set("batches", std::move(batches));
+  const Json response = handle(service, request);
+  ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+  EXPECT_EQ(response.at("rows").as_int(), 9);
+  ASSERT_EQ(response.at("batches").size(), batch_rows.size());
+  for (std::size_t b = 0; b < batch_rows.size(); ++b) {
+    const Json& entry = response.at("batches").at(b);
+    EXPECT_EQ(entry.at("rows").as_int(),
+              static_cast<std::int64_t>(batch_rows[b].size()));
+    // Each batch's slice of the shared sweep is byte-identical to its own
+    // standalone eval — the batching determinism contract.
+    EXPECT_EQ(entry.at("outputs").at(0).as_string(), baseline_outputs[b]);
+  }
+  // N batches, ONE sweep.
+  EXPECT_EQ(service.stats().eval_sweeps.load(), sweeps_before + 1);
+}
+
+TEST(ServiceTest, ConcurrentSameModelEvalsCoalesceIntoFewerSweeps) {
+  Service service;
+  const Json learned = handle(
+      service,
+      learn_request(pla_for(4, [](std::uint32_t r) { return r % 5 == 2; })));
+  ASSERT_TRUE(learned.at("ok").as_bool());
+
+  // A wide eval (32k rows) so each sweep leaves a real window for other
+  // requests to pile onto the flight.
+  constexpr std::size_t kRows = 32768;
+  Json request = make_request("eval");
+  request.set("model", learned.at("model").as_string());
+  Json inputs = Json::array();
+  core::Rng rng(3);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    std::string row(4, '0');
+    for (auto& c : row) {
+      c = (rng.next() & 1u) != 0 ? '1' : '0';
+    }
+    inputs.push_back(Json(std::move(row)));
+  }
+  request.set("inputs", std::move(inputs));
+  const std::string line = request.dump();
+  const std::string baseline = service.handle_line(line);
+
+  // Coalescing depends on real overlap, so storm in rounds (with a start
+  // barrier each round) until a shared sweep is observed; each round
+  // re-checks the byte-identity contract unconditionally.
+  constexpr int kThreads = 16;
+  constexpr int kIters = 4;
+  constexpr int kMaxRounds = 10;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    std::vector<std::vector<std::string>> responses(kThreads);
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        ready.fetch_add(1);
+        while (ready.load() < kThreads) {
+        }
+        for (int i = 0; i < kIters; ++i) {
+          responses[t].push_back(service.handle_line(line));
+        }
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    // Coalescing must never change a byte of any response...
+    for (int t = 0; t < kThreads; ++t) {
+      for (const std::string& response : responses[t]) {
+        ASSERT_EQ(response, baseline) << "round " << round;
+      }
+    }
+    if (service.stats().eval_sweeps.load() < service.stats().evals.load()) {
+      break;
+    }
+  }
+  // ...only how many sweeps served them: the storm rode shared sweeps.
+  const std::uint64_t evals = service.stats().evals.load();
+  const std::uint64_t sweeps = service.stats().eval_sweeps.load();
+  EXPECT_LT(sweeps, evals);
+  EXPECT_GE(service.stats().eval_coalesced.load(), evals - sweeps);
+}
+
+TEST(ServiceTest, CoalescingOffRunsOneSweepPerEval) {
+  ServiceOptions options;
+  options.coalesce_evals = false;
+  Service service(options);
+  const Json learned = handle(
+      service,
+      learn_request(pla_for(2, [](std::uint32_t r) { return r == 1; })));
+  Json request = make_request("eval");
+  request.set("model", learned.at("model").as_string());
+  Json inputs = Json::array();
+  inputs.push_back(Json("10"));
+  request.set("inputs", std::move(inputs));
+  const std::string line = request.dump();
+  const std::string first = service.handle_line(line);
+  EXPECT_EQ(service.handle_line(line), first);
+  EXPECT_EQ(service.stats().eval_sweeps.load(), 2u);
+  EXPECT_EQ(service.stats().eval_coalesced.load(), 0u);
 }
 
 TEST(ServiceTest, SynthOptimizesAndStaysEquivalent) {
@@ -467,6 +656,50 @@ TEST(ServiceTest, LruEvictsOldestModel) {
   // ...while the two recent ones still serve.
   request.set("model", ids[2]);
   EXPECT_TRUE(handle(service, request).at("ok").as_bool());
+}
+
+TEST(ServiceTest, ShardedStoreKeepsGlobalLruOrder) {
+  // Entries land in different shards by id hash, but eviction must still
+  // follow the GLOBAL access order — exactly what a single-map LRU did.
+  ServiceOptions options;
+  options.model_capacity = 4;
+  options.store_shards = 4;
+  Service service(options);
+  std::vector<std::string> ids;
+  for (std::uint32_t k = 0; k < 6; ++k) {
+    const Json learned = handle(
+        service, learn_request(pla_for(
+                     3, [k](std::uint32_t r) { return (r % 7) == k; })));
+    ASSERT_TRUE(learned.at("ok").as_bool());
+    ids.push_back(learned.at("model").as_string());
+  }
+  EXPECT_EQ(service.models_cached(), 4u);
+  EXPECT_EQ(service.stats().model_evictions.load(), 2u);
+  Json request = make_request("eval");
+  Json inputs = Json::array();
+  inputs.push_back(Json("000"));
+  request.set("inputs", std::move(inputs));
+  // The two oldest are gone, the four recent ones serve.
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    request.set("model", ids[k]);
+    EXPECT_EQ(handle(service, request).at("ok").as_bool(), k >= 2) << k;
+  }
+  EXPECT_GT(service.models_cached_bytes(), 0u);
+}
+
+TEST(ServiceTest, StoreByteBudgetEvicts) {
+  ServiceOptions options;
+  options.model_capacity = 64;
+  options.model_store_bytes = 1;  // nothing fits: every put evicts
+  Service service(options);
+  const std::string pla =
+      pla_for(3, [](std::uint32_t r) { return r % 2 == 1; });
+  ASSERT_TRUE(handle(service, learn_request(pla)).at("ok").as_bool());
+  EXPECT_EQ(service.models_cached(), 0u);
+  EXPECT_GE(service.stats().model_evictions.load(), 1u);
+  // With no memory entry and no disk level, the same learn refits.
+  ASSERT_TRUE(handle(service, learn_request(pla)).at("ok").as_bool());
+  EXPECT_EQ(service.stats().learns.load(), 2u);
 }
 
 TEST(ServiceTest, DiskCacheServesAcrossServiceInstances) {
@@ -686,6 +919,153 @@ TEST(ServerTest, ClientDisconnectsDoNotKillTheDaemon) {
   EXPECT_TRUE(client.request(make_request("ping")).at("ok").as_bool());
 }
 
+TEST(ServerTest, RequestsDrippedOneByteAtATimeAreFramedCorrectly) {
+  // Regression for the raw-byte path: the transport must frame lines
+  // incrementally no matter how the bytes arrive — including one byte per
+  // segment across two pipelined requests.
+  Server server(test_server_options());
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  Json first = make_request("ping");
+  first.set("id", std::int64_t{1});
+  Json second = make_request("ping");
+  second.set("id", std::int64_t{2});
+  const std::string bytes = first.dump() + "\n" + second.dump() + "\n";
+  for (const char c : bytes) {
+    client.send_raw(std::string(1, c));
+  }
+  std::string line;
+  ASSERT_TRUE(client.recv_line(&line));
+  EXPECT_EQ(Json::parse(line).at("id").as_int(), 1);
+  ASSERT_TRUE(client.recv_line(&line));
+  EXPECT_EQ(Json::parse(line).at("id").as_int(), 2);
+}
+
+TEST(ServerTest, HalfOpenPeerStillReceivesOwedResponses) {
+  // A peer that half-closes AFTER a complete request is owed its response:
+  // shutdown(SHUT_WR) ends requests, not the connection.
+  Server server(test_server_options());
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  Json request = make_request("ping");
+  request.set("sleep_ms", std::int64_t{100});  // half-close races the work
+  client.send_line(request.dump());
+  client.shutdown_write();
+  std::string line;
+  ASSERT_TRUE(client.recv_line(&line));
+  EXPECT_TRUE(Json::parse(line).at("ok").as_bool());
+  EXPECT_FALSE(client.recv_line(&line));  // then an orderly EOF
+}
+
+TEST(ServerTest, OversizedLineMidPipelineAnswersEarlierRequestsFirst) {
+  // One segment carrying a valid request AND the start of a poison line:
+  // the framed request is answered, then the reject, then the close.
+  ServerOptions options = test_server_options();
+  options.max_request_bytes = 256;
+  Server server(options);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  client.send_raw(make_request("ping").dump() + "\n" +
+                  std::string(4096, 'x'));  // no terminator, already > cap
+  std::string line;
+  ASSERT_TRUE(client.recv_line(&line));
+  EXPECT_TRUE(Json::parse(line).at("ok").as_bool());
+  ASSERT_TRUE(client.recv_line(&line));
+  EXPECT_NE(line.find("max-request-bytes"), std::string::npos);
+  EXPECT_FALSE(client.recv_line(&line));  // connection closed
+  EXPECT_EQ(server.stats().oversized_rejects.load(), 1u);
+}
+
+TEST(ServerTest, SlowReaderTriggersBackpressureAndLosesNothing) {
+  ServerOptions options = test_server_options();
+  options.write_high_water_bytes = 4096;
+  options.send_buffer_bytes = 16384;  // fixed, so ~100 KB responses jam
+  Server server(options);
+  server.start();
+
+  // Learn a tiny model, then request wide evals (~100k-char outputs) on a
+  // connection whose receive window is clamped to 4 KB and whose reader
+  // does not read for a while: responses pile up server-side, cross the
+  // high-water mark, and pause the read side — without dropping a byte.
+  Client setup;
+  setup.connect("127.0.0.1", server.port());
+  const Json learned = Json::parse(setup.roundtrip(
+      learn_request(pla_for(2, [](std::uint32_t r) { return r != 0; }))
+          .dump()));
+  ASSERT_TRUE(learned.at("ok").as_bool());
+
+  Json eval = make_request("eval");
+  eval.set("model", learned.at("model").as_string());
+  Json inputs = Json::array();
+  for (int i = 0; i < 100000; ++i) {
+    inputs.push_back(Json(i % 2 != 0 ? "11" : "00"));
+  }
+  eval.set("inputs", std::move(inputs));
+  const std::string line = eval.dump();
+  const std::string expected = setup.roundtrip(line);
+
+  constexpr int kRequests = 6;
+  Client slow;
+  slow.connect("127.0.0.1", server.port(), 4096);
+  std::thread writer([&] {
+    for (int i = 0; i < kRequests; ++i) {
+      slow.send_line(line);
+    }
+  });
+  // Let responses pile into the paused connection before draining them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  for (int i = 0; i < kRequests; ++i) {
+    std::string response;
+    ASSERT_TRUE(slow.recv_line(&response)) << i;
+    EXPECT_EQ(response, expected) << i;
+  }
+  writer.join();
+  EXPECT_GE(server.stats().backpressure_pauses.load(), 1u);
+}
+
+TEST(ServerTest, ConnectionCapRejectsTheExtraClient) {
+  ServerOptions options = test_server_options();
+  options.max_connections = 2;
+  Server server(options);
+  server.start();
+
+  Client a;
+  Client b;
+  a.connect("127.0.0.1", server.port());
+  b.connect("127.0.0.1", server.port());
+  // Both slots land before the cap check sees the third connection.
+  EXPECT_TRUE(a.request(make_request("ping")).at("ok").as_bool());
+  EXPECT_TRUE(b.request(make_request("ping")).at("ok").as_bool());
+
+  Client extra;
+  extra.connect("127.0.0.1", server.port());
+  std::string line;
+  ASSERT_TRUE(extra.recv_line(&line));
+  EXPECT_NE(line.find("connection limit"), std::string::npos);
+  EXPECT_FALSE(extra.recv_line(&line));  // closed right after
+  EXPECT_EQ(server.stats().over_connection_cap.load(), 1u);
+
+  // Freeing a slot readmits new clients (once the loop sees the close).
+  b.close();
+  bool admitted = false;
+  for (int attempt = 0; attempt < 200 && !admitted; ++attempt) {
+    try {
+      Client again;
+      again.connect("127.0.0.1", server.port());
+      admitted = again.request(make_request("ping")).at("ok").as_bool();
+    } catch (const std::exception&) {
+      // Rejected connections may RST before the error line arrives.
+    }
+    if (!admitted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(admitted);
+}
+
 TEST(ServerTest, DeadlineExpiresWhileQueuedBehindABusyWorker) {
   ServerOptions options = test_server_options();
   options.num_threads = 1;  // one worker: the sleeper blocks the queue
@@ -744,9 +1124,10 @@ TEST(ServerTest, PipelinedRequestsAreStampedWhenFramedNotWhenServed) {
   EXPECT_EQ(server.service().stats().learns.load(), 0u);
 }
 
-// The acceptance-criteria test: many concurrent clients replaying a fixed
-// request set get byte-identical responses to a serial replay. Runs under
-// TSan in CI, so it is also the concurrency torture test.
+// The acceptance-criteria test: 256 concurrent clients replaying a fixed
+// request set get byte-identical responses to a serial replay — across the
+// event loop, the eval coalescer, and the sharded store. Runs under TSan
+// in CI, so it is also the concurrency torture test.
 TEST(ServerTest, ConcurrentClientsAreBitIdenticalToSerial) {
   // A request mix that exercises every stateful path: learns (shared model
   // store), evals (reads), synth (process-wide memo), cec (SAT).
@@ -799,7 +1180,7 @@ TEST(ServerTest, ConcurrentClientsAreBitIdenticalToSerial) {
     baseline.push_back(client.roundtrip(request_set.back()));
   }
 
-  constexpr int kClients = 64;
+  constexpr int kClients = 256;
   std::vector<std::vector<std::string>> responses(kClients);
   std::vector<std::string> failures(kClients);
   std::vector<std::thread> clients;
