@@ -5,12 +5,19 @@
 // word arena — in minterm-evals/s over a deterministic random-cone pool.
 //
 //   bench_aig_core [--json out.json] [--check baseline.json]
-//                  [--max-regress 0.25]
+//                  [--max-regress 0.25] [--kernel scalar|avx2|avx512|neon]
 //
 // --json writes the machine-readable snapshot (BENCH_aig_core.json is the
 // committed baseline). --check re-reads such a snapshot and exits 1 when
 // the current engine simulation throughput or construction rate regressed
 // more than --max-regress (fraction) below it — the nightly perf gate.
+//
+// Every simulation case is measured once per available simd backend (the
+// per-kernel columns; the active auto-dispatched backend is starred and is
+// what the aggregate/gate use). --kernel pins the whole run to one
+// backend. Cases at 1024+ rows also measure SimEngine::run_parallel on a
+// 4-thread pool (the "par4" column) — informational on small hosts, the
+// headline on wide ones.
 
 #include <chrono>
 #include <cstdio>
@@ -26,6 +33,8 @@
 #include "core/bits.hpp"
 #include "core/config.hpp"
 #include "core/rng.hpp"
+#include "core/simd.hpp"
+#include "core/thread_pool.hpp"
 #include "server/json.hpp"
 
 namespace {
@@ -94,8 +103,10 @@ volatile std::uint64_t g_sink = 0;  // defeats dead-code elimination
 }  // namespace
 
 int main(int argc, char** argv) {
+  namespace simd = lsml::core::simd;
   std::string json_path;
   std::string check_path;
+  std::string kernel_arg;
   double max_regress = 0.25;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -105,17 +116,44 @@ int main(int argc, char** argv) {
       check_path = argv[++i];
     } else if (arg == "--max-regress" && i + 1 < argc) {
       max_regress = std::atof(argv[++i]);
+    } else if (arg == "--kernel" && i + 1 < argc) {
+      kernel_arg = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_aig_core [--json out.json] "
-                   "[--check baseline.json] [--max-regress frac]\n");
+                   "[--check baseline.json] [--max-regress frac] "
+                   "[--kernel scalar|avx2|avx512|neon]\n");
       return 2;
     }
   }
+  if (!kernel_arg.empty()) {
+    simd::Backend pinned;
+    if (!simd::backend_from_string(kernel_arg, &pinned) ||
+        simd::ops_for(pinned) == nullptr) {
+      std::fprintf(stderr, "bench_aig_core: kernel '%s' unknown or not "
+                           "available on this host; available:",
+                   kernel_arg.c_str());
+      for (simd::Backend b : simd::available_backends()) {
+        std::fprintf(stderr, " %s", simd::to_string(b));
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    simd::force_backend(pinned);
+  }
+  const simd::Backend active = simd::active_backend();
+  // Per-kernel columns cover every backend this host can run — unless the
+  // run is pinned, in which case only the pinned backend is timed.
+  const std::vector<simd::Backend> kernels =
+      kernel_arg.empty() ? simd::available_backends()
+                         : std::vector<simd::Backend>{active};
 
   const core::ScaleConfig cfg = core::scale_from_env();
   std::printf("== aig core: construction + packed simulation ==\n");
-  std::printf("scale=%s (LSML_SCALE=smoke|fast|full)\n\n", cfg.name().c_str());
+  std::printf("scale=%s (LSML_SCALE=smoke|fast|full)\n", cfg.name().c_str());
+  std::printf("simd kernel: %s%s (LSML_SIMD or --kernel to pin)\n\n",
+              simd::to_string(active),
+              kernel_arg.empty() ? " via auto-dispatch" : ", pinned");
 
   // Deterministic pool: sizes chosen so smoke stays CI-cheap.
   const bool smoke = cfg.scale == core::Scale::kSmoke;
@@ -180,13 +218,34 @@ int main(int argc, char** argv) {
               build_rate, lookup_rate, fold_saved);
 
   // --------------------------------------------------------- simulation
-  std::printf("%8s %6s | %12s %12s | %7s\n", "ands", "rows", "seed Mme/s",
-              "engine Mme/s", "speedup");
+  // run_parallel is only worth timing on wide sweeps; 4 threads matches
+  // the acceptance criterion ("par4"). On narrow hosts the column still
+  // prints — the speedup is informational, never gated.
+  constexpr std::size_t kParallelThreads = 4;
+  constexpr std::size_t kParallelMinRows = 1024;
+  core::ThreadPool par_pool(kParallelThreads);
+
+  std::printf("%8s %6s | %12s |", "ands", "rows", "seed Mme/s");
+  for (simd::Backend b : kernels) {
+    std::string label = simd::to_string(b);
+    if (b == active) {
+      label += '*';
+    }
+    std::printf(" %10s", label.c_str());
+  }
+  std::printf(" | %10s | %7s\n", "par4 Mme/s", "speedup");
+
   server::Json cases = server::Json::array();
   double seed_minterms = 0.0;
   double seed_s = 0.0;
   double engine_minterms = 0.0;
   double engine_s = 0.0;
+  std::vector<double> kernel_minterms(kernels.size(), 0.0);
+  std::vector<double> kernel_s(kernels.size(), 0.0);
+  double par_minterms = 0.0;
+  double par_s = 0.0;
+  double par_base_minterms = 0.0;  // active-backend serial, same cases
+  double par_base_s = 0.0;
   for (const aig::Aig& g : pool) {
     for (const std::size_t rows : row_counts) {
       const auto patterns = make_patterns(g.num_pis(), rows, 77);
@@ -194,42 +253,95 @@ int main(int argc, char** argv) {
       for (const auto& p : patterns) {
         ptrs.push_back(&p);
       }
+      const double minterms = static_cast<double>(g.num_ands()) * rows;
       const auto [seed_reps, ss] = timed_reps([&] {
         const auto sim = seed_simulate_nodes(g, ptrs);
         g_sink = g_sink + sim.back().word(0);
       });
-      aig::SimEngine engine(g);
-      const auto [engine_reps, es] = timed_reps([&] {
-        engine.run(ptrs);
-        g_sink = g_sink + engine.row(g.num_nodes() - 1)[0];
-      });
-      const double minterms = static_cast<double>(g.num_ands()) * rows;
       const double seed_rate = minterms * seed_reps / ss;
-      const double engine_rate = minterms * engine_reps / es;
       seed_minterms += minterms * seed_reps;
       seed_s += ss;
-      engine_minterms += minterms * engine_reps;
-      engine_s += es;
-      std::printf("%8u %6zu | %12.1f %12.1f | %6.2fx\n", g.num_ands(), rows,
-                  seed_rate / 1e6, engine_rate / 1e6,
-                  engine_rate / seed_rate);
+      std::printf("%8u %6zu | %12.1f |", g.num_ands(), rows,
+                  seed_rate / 1e6);
+
+      aig::SimEngine engine(g);
+      double active_rate = 0.0;
+      double active_reps = 0.0;
+      double active_s = 0.0;
+      server::Json kernel_rates = server::Json::object();
+      for (std::size_t k = 0; k < kernels.size(); ++k) {
+        simd::force_backend(kernels[k]);
+        const auto [engine_reps, es] = timed_reps([&] {
+          engine.run(ptrs);
+          g_sink = g_sink + engine.row(g.num_nodes() - 1)[0];
+        });
+        const double rate = minterms * engine_reps / es;
+        kernel_minterms[k] += minterms * engine_reps;
+        kernel_s[k] += es;
+        kernel_rates.set(simd::to_string(kernels[k]), rate);
+        if (kernels[k] == active) {
+          active_rate = rate;
+          active_reps = static_cast<double>(engine_reps);
+          active_s = es;
+          engine_minterms += minterms * engine_reps;
+          engine_s += es;
+        }
+        std::printf(" %10.1f", rate / 1e6);
+      }
+
+      double par_rate = 0.0;
+      if (rows >= kParallelMinRows) {
+        simd::force_backend(active);
+        const auto [par_reps, ps] = timed_reps([&] {
+          engine.run_parallel(ptrs, par_pool);
+          g_sink = g_sink + engine.row(g.num_nodes() - 1)[0];
+        });
+        par_rate = minterms * par_reps / ps;
+        par_minterms += minterms * par_reps;
+        par_s += ps;
+        par_base_minterms += minterms * active_reps;
+        par_base_s += active_s;
+        std::printf(" | %10.1f", par_rate / 1e6);
+      } else {
+        std::printf(" | %10s", "-");
+      }
+      std::printf(" | %6.2fx\n", active_rate / seed_rate);
+
       server::Json c = server::Json::object();
       c.set("ands", g.num_ands());
       c.set("rows", static_cast<std::int64_t>(rows));
       c.set("seed_minterm_evals_per_s", seed_rate);
-      c.set("engine_minterm_evals_per_s", engine_rate);
+      c.set("engine_minterm_evals_per_s", active_rate);
+      c.set("kernels", std::move(kernel_rates));
+      if (par_rate > 0.0) {
+        c.set("parallel_minterm_evals_per_s", par_rate);
+      }
       cases.push_back(std::move(c));
     }
+  }
+  if (kernel_arg.empty()) {
+    simd::clear_forced_backend();
   }
   const double seed_agg = seed_minterms / seed_s;
   const double engine_agg = engine_minterms / engine_s;
   const double speedup = engine_agg / seed_agg;
   std::printf("\naig-core-bench: simulation seed=%.0f engine=%.0f "
-              "speedup=%.2f\n",
-              seed_agg, engine_agg, speedup);
+              "speedup=%.2f kernel=%s\n",
+              seed_agg, engine_agg, speedup, simd::to_string(active));
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    std::printf("aig-core-bench: kernel %s engine=%.0f\n",
+                simd::to_string(kernels[k]),
+                kernel_minterms[k] / kernel_s[k]);
+  }
+  if (par_s > 0.0) {
+    std::printf("aig-core-bench: parallel threads=%zu engine=%.0f "
+                "speedup_vs_serial=%.2f\n",
+                kParallelThreads, par_minterms / par_s,
+                (par_minterms / par_s) / (par_base_minterms / par_base_s));
+  }
 
   server::Json out = server::Json::object();
-  out.set("schema", "lsml-bench-aig-core-v1");
+  out.set("schema", "lsml-bench-aig-core-v2");
   out.set("scale", cfg.name());
   server::Json construction = server::Json::object();
   construction.set("nodes_per_s", build_rate);
@@ -241,6 +353,21 @@ int main(int argc, char** argv) {
   simulation.set("seed_minterm_evals_per_s", seed_agg);
   simulation.set("engine_minterm_evals_per_s", engine_agg);
   simulation.set("speedup", speedup);
+  simulation.set("kernel", simd::to_string(active));
+  server::Json kernel_aggs = server::Json::object();
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    kernel_aggs.set(simd::to_string(kernels[k]),
+                    kernel_minterms[k] / kernel_s[k]);
+  }
+  simulation.set("kernels", std::move(kernel_aggs));
+  if (par_s > 0.0) {
+    server::Json par = server::Json::object();
+    par.set("threads", static_cast<std::int64_t>(kParallelThreads));
+    par.set("minterm_evals_per_s", par_minterms / par_s);
+    par.set("speedup_vs_serial",
+            (par_minterms / par_s) / (par_base_minterms / par_base_s));
+    simulation.set("parallel", std::move(par));
+  }
   out.set("simulation", std::move(simulation));
 
   if (!json_path.empty()) {

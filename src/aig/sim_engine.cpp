@@ -1,14 +1,29 @@
 #include "aig/sim_engine.hpp"
 
-#include <bit>
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
 #include "aig/aig.hpp"
+#include "core/thread_pool.hpp"
 
 namespace lsml::aig {
 
-void SimEngine::run(const std::vector<const core::BitVec*>& pi_values) {
+namespace {
+
+// Column-block sizing for sweep_columns: aim one block's arena slice at
+// roughly half an L2 (fanin rows stay resident across the whole gate
+// pass), but never narrower than one AVX-512 vector.
+constexpr std::size_t kBlockTargetWords = (512 * 1024) / 8;
+constexpr std::size_t kMinBlockWords = 8;
+
+// run_parallel: a worker's column slice must be at least this wide for the
+// fork to beat the serial sweep (8 words = 512 rows per slice).
+constexpr std::size_t kMinParallelWords = 8;
+
+}  // namespace
+
+bool SimEngine::prepare(const std::vector<const core::BitVec*>& pi_values) {
   const Aig& g = *g_;
   const std::uint32_t num_pis = g.num_pis();
   if (pi_values.size() < num_pis) {
@@ -19,8 +34,10 @@ void SimEngine::run(const std::vector<const core::BitVec*>& pi_values) {
   const std::size_t num_nodes = g.num_nodes();
   arena_.resize(num_nodes * wpr_);
   if (wpr_ == 0) {
-    return;
+    return false;
   }
+  const std::size_t rem = rows_ & 63;
+  tail_mask_ = rem == 0 ? ~0ULL : ((1ULL << rem) - 1);
   std::uint64_t* const base = arena_.data();
   // Constant-false row.
   std::memset(base, 0, wpr_ * sizeof(std::uint64_t));
@@ -32,60 +49,125 @@ void SimEngine::run(const std::vector<const core::BitVec*>& pi_values) {
     std::memcpy(base + (static_cast<std::size_t>(i) + 1) * wpr_,
                 column.words(), wpr_ * sizeof(std::uint64_t));
   }
-  const std::size_t wpr = wpr_;
-  const std::size_t rem = rows_ & 63;
-  const std::uint64_t tail_mask = rem == 0 ? ~0ULL : ((1ULL << rem) - 1);
-  for (std::uint32_t v = num_pis + 1; v < num_nodes; ++v) {
-    const Lit f0 = g.fanin0(v);
-    const Lit f1 = g.fanin1(v);
-    const std::uint64_t* __restrict a =
-        base + static_cast<std::size_t>(lit_var(f0)) * wpr;
-    const std::uint64_t* __restrict b =
-        base + static_cast<std::size_t>(lit_var(f1)) * wpr;
-    std::uint64_t* __restrict dst = base + static_cast<std::size_t>(v) * wpr;
-    const std::uint64_t ca = lit_compl(f0) ? ~0ULL : 0ULL;
-    const std::uint64_t cb = lit_compl(f1) ? ~0ULL : 0ULL;
-    std::size_t w = 0;
-    for (; w + 4 <= wpr; w += 4) {
-      dst[w + 0] = (a[w + 0] ^ ca) & (b[w + 0] ^ cb);
-      dst[w + 1] = (a[w + 1] ^ ca) & (b[w + 1] ^ cb);
-      dst[w + 2] = (a[w + 2] ^ ca) & (b[w + 2] ^ cb);
-      dst[w + 3] = (a[w + 3] ^ ca) & (b[w + 3] ^ cb);
-    }
-    for (; w < wpr; ++w) {
-      dst[w] = (a[w] ^ ca) & (b[w] ^ cb);
-    }
-    // Complemented edges set bits past rows() in the last word; re-mask so
-    // every row keeps the BitVec tail-zero invariant.
-    dst[wpr - 1] &= tail_mask;
+  if (sched_graph_ != g_ || sched_nodes_ != g.num_nodes()) {
+    rebuild_schedule();
   }
+  return true;
+}
+
+void SimEngine::rebuild_schedule() {
+  const Aig& g = *g_;
+  const std::uint32_t num_nodes = g.num_nodes();
+  const std::uint32_t first_and = g.num_pis() + 1;
+  const std::size_t num_ands = num_nodes - first_and;
+  gates_.clear();
+  gates_.resize(num_ands);
+  if (num_ands != 0) {
+    // Counting sort into level-major order, stable by var within a level:
+    // a topological order (fanin levels are strictly smaller) in which
+    // adjacent gates are independent, so the kernel's stores never feed
+    // the very next gate's loads.
+    const std::vector<std::uint32_t> levels = g.levels();
+    std::uint32_t max_level = 0;
+    for (std::uint32_t v = first_and; v < num_nodes; ++v) {
+      max_level = std::max(max_level, levels[v]);
+    }
+    std::vector<std::uint32_t> cursor(max_level + 2, 0);
+    for (std::uint32_t v = first_and; v < num_nodes; ++v) {
+      ++cursor[levels[v] + 1];
+    }
+    for (std::size_t l = 1; l < cursor.size(); ++l) {
+      cursor[l] += cursor[l - 1];
+    }
+    for (std::uint32_t v = first_and; v < num_nodes; ++v) {
+      gates_[cursor[levels[v]]++] = {v, g.fanin0(v), g.fanin1(v)};
+    }
+  }
+  sched_graph_ = g_;
+  sched_nodes_ = num_nodes;
+}
+
+void SimEngine::sweep_columns(std::size_t w0, std::size_t w1) {
+  if (gates_.empty() || w0 >= w1) {
+    return;
+  }
+  const core::simd::Ops& kernels = core::simd::ops();
+  std::uint64_t* const base = arena_.data();
+  const std::size_t num_rows = g_->num_nodes();
+  std::size_t block_w =
+      kBlockTargetWords / std::max<std::size_t>(num_rows, 1);
+  block_w = std::max(block_w, kMinBlockWords);
+  for (std::size_t w = w0; w < w1; w += block_w) {
+    kernels.sweep(base, wpr_, gates_.data(), gates_.size(), w,
+                  std::min(w1, w + block_w), tail_mask_);
+  }
+}
+
+void SimEngine::run(const std::vector<const core::BitVec*>& pi_values) {
+  if (!prepare(pi_values)) {
+    return;
+  }
+  sweep_columns(0, wpr_);
+}
+
+void SimEngine::run_parallel(
+    const std::vector<const core::BitVec*>& pi_values,
+    core::ThreadPool& pool) {
+  if (!prepare(pi_values)) {
+    return;
+  }
+  const std::size_t chunks =
+      std::min(pool.num_threads(), wpr_ / kMinParallelWords);
+  if (chunks <= 1 || gates_.empty()) {
+    sweep_columns(0, wpr_);
+    return;
+  }
+  // Chunk c owns word columns [c*wpr/chunks, (c+1)*wpr/chunks): a disjoint
+  // partition, so workers never touch the same word and the arena is
+  // bit-identical to the serial sweep — no merge, no ordering sensitivity.
+  const std::size_t wpr = wpr_;
+  pool.parallel_for(chunks, [this, wpr, chunks](std::size_t c) {
+    sweep_columns(c * wpr / chunks, (c + 1) * wpr / chunks);
+  });
 }
 
 core::BitVec SimEngine::extract(Lit l) const {
-  core::BitVec out(rows_);
-  if (wpr_ == 0) {
-    return out;
-  }
-  const std::uint64_t* src = row(lit_var(l));
-  if (lit_compl(l)) {
-    for (std::size_t w = 0; w < wpr_; ++w) {
-      out.words()[w] = ~src[w];
-    }
-    out.mask_tail();
-  } else {
-    std::memcpy(out.words(), src, wpr_ * sizeof(std::uint64_t));
-  }
+  core::BitVec out;
+  extract_into(l, &out);
   return out;
 }
 
-std::vector<core::BitVec> SimEngine::outputs() const {
-  const std::vector<Lit>& outs = g_->outputs();
-  std::vector<core::BitVec> result;
-  result.reserve(outs.size());
-  for (Lit l : outs) {
-    result.push_back(extract(l));
+void SimEngine::extract_into(Lit l, core::BitVec* out) const {
+  if (out->size() != rows_) {
+    out->reset(rows_);
   }
+  if (wpr_ == 0) {
+    return;
+  }
+  const std::uint64_t* src = row(lit_var(l));
+  std::uint64_t* dst = out->words();
+  if (lit_compl(l)) {
+    for (std::size_t w = 0; w < wpr_; ++w) {
+      dst[w] = ~src[w];
+    }
+    out->mask_tail();
+  } else {
+    std::memcpy(dst, src, wpr_ * sizeof(std::uint64_t));
+  }
+}
+
+std::vector<core::BitVec> SimEngine::outputs() const {
+  std::vector<core::BitVec> result;
+  outputs_into(&result);
   return result;
+}
+
+void SimEngine::outputs_into(std::vector<core::BitVec>* out) const {
+  const std::vector<Lit>& outs = g_->outputs();
+  out->resize(outs.size());
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    extract_into(outs[i], &(*out)[i]);
+  }
 }
 
 std::vector<core::BitVec> SimEngine::node_values() const {
@@ -99,12 +181,7 @@ std::vector<core::BitVec> SimEngine::node_values() const {
 }
 
 std::size_t SimEngine::count_ones(std::uint32_t var) const {
-  const std::uint64_t* src = row(var);
-  std::size_t total = 0;
-  for (std::size_t w = 0; w < wpr_; ++w) {
-    total += static_cast<std::size_t>(std::popcount(src[w]));
-  }
-  return total;
+  return core::simd::ops().popcount(row(var), wpr_);
 }
 
 std::size_t SimEngine::count_equal(Lit l, const core::BitVec& ref) const {
@@ -112,18 +189,24 @@ std::size_t SimEngine::count_equal(Lit l, const core::BitVec& ref) const {
     throw std::invalid_argument("SimEngine::count_equal: row count mismatch");
   }
   const std::uint64_t* src = row(lit_var(l));
-  const std::uint64_t flip = lit_compl(l) ? ~0ULL : 0ULL;
-  std::size_t diff = 0;
-  for (std::size_t w = 0; w < wpr_; ++w) {
-    diff += static_cast<std::size_t>(
-        std::popcount((src[w] ^ flip) ^ ref.word(w)));
-  }
-  // The flip sets the tail bits of the last word; those positions do not
-  // exist, so discount them instead of re-masking the stream.
-  if (lit_compl(l) && (rows_ & 63) != 0) {
-    diff -= 64 - (rows_ & 63);
+  std::size_t diff = core::simd::ops().popcount_xor(src, ref.words(), wpr_);
+  if (lit_compl(l)) {
+    // Complementing flips every word bit, tail included; those positions
+    // do not exist, so discount them instead of re-masking the stream.
+    diff = wpr_ * 64 - diff;
+    if ((rows_ & 63) != 0) {
+      diff -= 64 - (rows_ & 63);
+    }
   }
   return rows_ - diff;
+}
+
+void SimEngine::count_equal_many(const Lit* lits, std::size_t n,
+                                 const core::BitVec& ref,
+                                 std::size_t* out) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = count_equal(lits[i], ref);
+  }
 }
 
 }  // namespace lsml::aig

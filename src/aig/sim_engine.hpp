@@ -5,23 +5,36 @@
 // signatures, serve eval, approximation scoring, oracle labeling —
 // bottoms out in "simulate this AIG over N rows, 64 rows per word".
 // SimEngine owns that loop once: one flat word arena of
-// num_nodes x words_per_row 64-bit words, swept in topological order
-// with no per-call allocation (the arena is reused across run() calls),
-// and an inner loop processed in unrolled 4-wide word blocks the
-// compiler auto-vectorizes to AVX2/NEON.
+// num_nodes x words_per_row 64-bit words, driven by the explicit SIMD
+// kernels in core/simd.hpp (AVX2/AVX-512/NEON with a scalar fallback,
+// selected at runtime) instead of relying on auto-vectorization.
+//
+// The sweep itself is levelized: on first run after bind() the engine
+// precomputes a gate schedule in topo-level-major order, so consecutive
+// kernel calls within a level are independent (no store-to-load
+// dependency between adjacent gates — the narrow-row case is latency
+// bound without this). Wide arenas are processed in L2-sized word-column
+// blocks, and run_parallel() partitions word columns across a
+// core::ThreadPool: workers write disjoint words, so the result is
+// bit-identical to run() by construction, with no merge step.
 //
 // Invariant: after run(), every node row honors the BitVec tail-zero
 // contract (bits past rows() in the last word are zero), so popcount
 // reductions and word-wise compares over rows never need masking.
 //
 // Determinism: results are a pure function of (graph, input rows) —
-// bit-identical to Aig::eval_row per row and to the historical
-// Aig::simulate output extraction, which is now a thin wrapper here.
+// bit-identical to Aig::eval_row per row, across every simd backend, and
+// between run() and run_parallel() at any thread count.
 
 #include <cstdint>
 #include <vector>
 
 #include "core/bits.hpp"
+#include "core/simd.hpp"
+
+namespace lsml::core {
+class ThreadPool;
+}  // namespace lsml::core
 
 namespace lsml::aig {
 
@@ -30,18 +43,36 @@ using Lit = std::uint32_t;
 
 class SimEngine {
  public:
+  /// An unbound engine; bind() before the first run(). Exists so scratch
+  /// engines (e.g. thread_locals on the serve path) can outlive any graph.
+  SimEngine() = default;
+
   /// Binds to `g`; the graph must outlive the engine (or be rebound).
   explicit SimEngine(const Aig& g) : g_(&g) {}
 
   /// Rebinds to a graph (e.g. after the caller rebuilt it); keeps the
-  /// arena allocation when the new size fits.
-  void bind(const Aig& g) { g_ = &g; }
+  /// arena allocation when the new size fits. Invalidates the levelized
+  /// schedule — also required when the *bound* graph itself grew (fraig
+  /// appends nodes between sweeps), which run() detects on its own.
+  void bind(const Aig& g) {
+    g_ = &g;
+    sched_graph_ = nullptr;
+  }
   [[nodiscard]] const Aig& graph() const { return *g_; }
 
   /// Sweeps the whole graph over the rows in `pi_values` (one BitVec per
   /// PI, all the same size). Extra trailing entries are ignored, matching
   /// the historical Aig::simulate contract.
   void run(const std::vector<const core::BitVec*>& pi_values);
+
+  /// run(), with the sweep's word columns partitioned across `pool`'s
+  /// workers. Bit-identical to run() at any thread count (disjoint column
+  /// writes, no merging). Narrow batches fall back to the serial sweep;
+  /// parallelism pays off from roughly 1024 rows and a few hundred gates.
+  /// Must not be called from a worker thread of `pool` itself
+  /// (ThreadPool::parallel_for blocks the caller without executing tasks).
+  void run_parallel(const std::vector<const core::BitVec*>& pi_values,
+                    core::ThreadPool& pool);
 
   /// Rows in the last run() batch.
   [[nodiscard]] std::size_t rows() const { return rows_; }
@@ -56,8 +87,17 @@ class SimEngine {
   /// Values of literal `l` as a tail-masked BitVec (complement applied).
   [[nodiscard]] core::BitVec extract(Lit l) const;
 
+  /// extract() into a caller-owned BitVec, reusing its word buffer when
+  /// the capacity fits — the serve eval path calls this per output per
+  /// request, where a fresh allocation each time shows up.
+  void extract_into(Lit l, core::BitVec* out) const;
+
   /// One BitVec per graph output — exactly Aig::simulate's result.
   [[nodiscard]] std::vector<core::BitVec> outputs() const;
+
+  /// outputs() into a caller-owned vector (resized to the output count),
+  /// reusing each element's buffer via extract_into.
+  void outputs_into(std::vector<core::BitVec>* out) const;
 
   /// Per-node values indexed by var — Aig::simulate_nodes's result, with
   /// every row tail-masked.
@@ -70,11 +110,34 @@ class SimEngine {
   /// rows()). The accuracy kernel: no output BitVec is materialized.
   [[nodiscard]] std::size_t count_equal(Lit l, const core::BitVec& ref) const;
 
+  /// count_equal for a batch of candidate literals against one reference —
+  /// one pass over the arena per literal, no per-literal setup. This is
+  /// the "score every candidate of one sweep" fusion the learners use.
+  void count_equal_many(const Lit* lits, std::size_t n,
+                        const core::BitVec& ref, std::size_t* out) const;
+
  private:
-  const Aig* g_;
+  /// Shared run() prologue: validates inputs, sizes the arena, seeds the
+  /// constant + PI rows, and (re)builds the levelized schedule when stale.
+  /// Returns false when there is nothing to sweep (zero rows).
+  bool prepare(const std::vector<const core::BitVec*>& pi_values);
+  void rebuild_schedule();
+  /// Sweeps word columns [w0, w1) of every scheduled gate, tiling to
+  /// L2-sized blocks of the arena.
+  void sweep_columns(std::size_t w0, std::size_t w1);
+
+  const Aig* g_ = nullptr;
   std::size_t rows_ = 0;
   std::size_t wpr_ = 0;
+  std::uint64_t tail_mask_ = ~0ULL;
   std::vector<std::uint64_t> arena_;
+
+  // Levelized schedule: all AND gates in topo-level-major order (stable by
+  // var within a level). Valid for (sched_graph_, sched_nodes_); fraig
+  // grows the bound graph in place, so node count is part of the key.
+  std::vector<core::simd::SweepGate> gates_;
+  const Aig* sched_graph_ = nullptr;
+  std::uint32_t sched_nodes_ = 0;
 };
 
 }  // namespace lsml::aig

@@ -113,6 +113,7 @@ constexpr const char* kUsage =
     "      --max-connections N  concurrent-connection cap (0 = off) [0]\n"
     "      --models N           in-memory LRU model slots [64]\n"
     "      --shards N           model-store shard count   [8]\n"
+    "      --sim-threads N      eval sweep pool, 0 = serial sweeps [0]\n"
     "      --model-store-bytes N  in-memory store byte budget (0 = off)\n"
     "      --cache DIR          on-disk model store       [.lsml-serve-cache]\n"
     "      --no-cache           disable the on-disk model store\n"
@@ -714,6 +715,12 @@ int cmd_serve(const std::vector<std::string>& args) {
         return usage_error("--shards must be in [1, 4096]");
       }
       options.service.store_shards = static_cast<std::size_t>(u);
+    } else if (args[i] == "--sim-threads") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &u) || u > 4096) {
+        return usage_error(
+            "--sim-threads must be in [0, 4096] (0 = serial sweeps)");
+      }
+      options.service.sim_threads = static_cast<std::size_t>(u);
     } else if (args[i] == "--model-store-bytes") {
       if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
         return usage_error(

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/simd.hpp"
+
 namespace lsml::core {
 
 double Rng::gaussian() {
@@ -33,39 +35,26 @@ BitVec::BitVec(std::size_t n, bool value) : size_(n), words_((n + 63) / 64) {
 }
 
 std::size_t BitVec::count() const {
-  std::size_t total = 0;
-  for (std::uint64_t w : words_) {
-    total += static_cast<std::size_t>(std::popcount(w));
-  }
-  return total;
+  return simd::ops().popcount(words_.data(), words_.size());
 }
 
 std::size_t BitVec::count_equal(const BitVec& other) const {
   assert(size_ == other.size_);
-  std::size_t diff = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    diff += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
-  }
-  return size_ - diff;
+  return size_ -
+         simd::ops().popcount_xor(words_.data(), other.words_.data(),
+                                  words_.size());
 }
 
 std::size_t BitVec::count_and(const BitVec& other) const {
   assert(size_ == other.size_);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
-  }
-  return total;
+  return simd::ops().popcount_and(words_.data(), other.words_.data(),
+                                  words_.size());
 }
 
 std::size_t BitVec::count_andnot(const BitVec& other) const {
   assert(size_ == other.size_);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total +=
-        static_cast<std::size_t>(std::popcount(words_[i] & ~other.words_[i]));
-  }
-  return total;
+  return simd::ops().popcount_andnot(words_.data(), other.words_.data(),
+                                     words_.size());
 }
 
 std::size_t BitVec::count_and2(const BitVec& a, const BitVec& b) const {
@@ -141,6 +130,11 @@ BitVec BitVec::operator~() const {
   BitVec r = *this;
   r.flip();
   return r;
+}
+
+void BitVec::reset(std::size_t n) {
+  size_ = n;
+  words_.assign((n + 63) / 64, 0);
 }
 
 void BitVec::fill(bool v) {

@@ -85,6 +85,9 @@ class BitVec {
   bool operator==(const BitVec& o) const = default;
 
   void fill(bool v);
+  /// Resizes to `n` bits, all zero, reusing the word buffer's capacity —
+  /// the scratch-reuse primitive behind SimEngine::extract_into.
+  void reset(std::size_t n);
   /// Fills with i.i.d. Bernoulli(p) bits.
   void randomize(Rng& rng, double p = 0.5);
 

@@ -1,0 +1,144 @@
+// AVX-512 backend. Compiled with -mavx512f -mavx512bw -mavx512vl via
+// per-source COMPILE_OPTIONS; absent (nullptr) when the compiler cannot.
+// 512-bit main lanes with a 256-bit remainder path (VL), so mid-width
+// rows like wpr=4 still vectorize instead of falling to scalar.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd.hpp"
+#include "simd_internal.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+namespace lsml::core::simd {
+
+namespace {
+
+#include "simd_kernels.inc"
+
+inline __m512i and2_vec512(__m512i a, __m512i b, __m512i ca, __m512i cb) {
+  return _mm512_and_si512(_mm512_xor_si512(a, ca), _mm512_xor_si512(b, cb));
+}
+
+inline __m256i and2_vec256(__m256i a, __m256i b, __m256i ca, __m256i cb) {
+  return _mm256_and_si256(_mm256_xor_si256(a, ca), _mm256_xor_si256(b, cb));
+}
+
+inline __m512i load512(const std::uint64_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+inline void store512(std::uint64_t* p, __m512i v) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+}
+
+inline __m256i load256(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store256(std::uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+void and2_avx512(std::uint64_t* dst, const std::uint64_t* a,
+                 const std::uint64_t* b, std::uint64_t ca, std::uint64_t cb,
+                 std::size_t n) {
+  const __m512i vca = _mm512_set1_epi64(static_cast<long long>(ca));
+  const __m512i vcb = _mm512_set1_epi64(static_cast<long long>(cb));
+  std::size_t w = 0;
+  for (; w + 8 <= n; w += 8)
+    store512(dst + w, and2_vec512(load512(a + w), load512(b + w), vca, vcb));
+  if (w < n) {
+    // Masked epilogue: AVX-512 writes exactly the n-w remaining words.
+    const __mmask8 m = static_cast<__mmask8>((1u << (n - w)) - 1u);
+    const __m512i va = _mm512_maskz_loadu_epi64(m, a + w);
+    const __m512i vb = _mm512_maskz_loadu_epi64(m, b + w);
+    _mm512_mask_storeu_epi64(dst + w, m, and2_vec512(va, vb, vca, vcb));
+  }
+}
+
+void sweep_avx512(std::uint64_t* base, std::size_t wpr,
+                  const SweepGate* gates, std::size_t count, std::size_t w0,
+                  std::size_t w1, std::uint64_t tail_mask) {
+  const std::size_t n = w1 - w0;
+  if (n < 4) {
+    sweep_generic(base, wpr, gates, count, w0, w1, tail_mask);
+    return;
+  }
+  const bool masks_tail = w1 == wpr;
+  if (n < 8) {
+    // 4..7 words: 256-bit op plus an overlapped 256-bit remainder.
+    for (std::size_t i = 0; i < count; ++i) {
+      const SweepGate g = gates[i];
+      const std::uint64_t* a =
+          base + static_cast<std::size_t>(g.a >> 1) * wpr + w0;
+      const std::uint64_t* b =
+          base + static_cast<std::size_t>(g.b >> 1) * wpr + w0;
+      std::uint64_t* dst = base + static_cast<std::size_t>(g.dst) * wpr + w0;
+      const __m256i vca =
+          _mm256_set1_epi64x(-static_cast<long long>(g.a & 1u));
+      const __m256i vcb =
+          _mm256_set1_epi64x(-static_cast<long long>(g.b & 1u));
+      store256(dst, and2_vec256(load256(a), load256(b), vca, vcb));
+      if (n > 4) {
+        const std::size_t w = n - 4;
+        store256(dst + w,
+                 and2_vec256(load256(a + w), load256(b + w), vca, vcb));
+      }
+      if (masks_tail) dst[n - 1] &= tail_mask;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const SweepGate g = gates[i];
+    const std::uint64_t* a =
+        base + static_cast<std::size_t>(g.a >> 1) * wpr + w0;
+    const std::uint64_t* b =
+        base + static_cast<std::size_t>(g.b >> 1) * wpr + w0;
+    std::uint64_t* dst = base + static_cast<std::size_t>(g.dst) * wpr + w0;
+    const __m512i vca = _mm512_set1_epi64(-static_cast<long long>(g.a & 1u));
+    const __m512i vcb = _mm512_set1_epi64(-static_cast<long long>(g.b & 1u));
+    std::size_t w = 0;
+    for (; w + 8 <= n; w += 8)
+      store512(dst + w,
+               and2_vec512(load512(a + w), load512(b + w), vca, vcb));
+    if (w < n) {
+      // Overlapped 512-bit remainder ending exactly at n (n >= 8 here);
+      // rewrites already-computed words with identical values, and fanin
+      // rows are always distinct from dst.
+      w = n - 8;
+      store512(dst + w,
+               and2_vec512(load512(a + w), load512(b + w), vca, vcb));
+    }
+    if (masks_tail) dst[n - 1] &= tail_mask;
+  }
+}
+
+// Generic reduction bodies under the avx512 flags: hardware POPCNT, same
+// as the avx2 TU (no VPOPCNTDQ dependency — not checked at dispatch).
+const Ops kAvx512 = {Backend::kAvx512,
+                     "avx512",
+                     &and2_avx512,
+                     &sweep_avx512,
+                     &popcount_generic,
+                     &popcount_xor_generic,
+                     &popcount_and_generic,
+                     &popcount_andnot_generic};
+
+}  // namespace
+
+const Ops* avx512_ops() { return &kAvx512; }
+
+}  // namespace lsml::core::simd
+
+#else  // !(__AVX512F__ && __AVX512VL__)
+
+namespace lsml::core::simd {
+const Ops* avx512_ops() { return nullptr; }
+}  // namespace lsml::core::simd
+
+#endif

@@ -55,6 +55,15 @@ double circuit_accuracy(const aig::Aig& circuit, const data::Dataset& ds);
 /// arena is reused across datasets (train/valid scoring shares one).
 double circuit_accuracy(aig::SimEngine& engine, const data::Dataset& ds);
 
+/// Accuracies of many candidate output literals of the bound circuit in
+/// one sweep: the graph is simulated once over `ds`, then every candidate
+/// is scored with a reduction pass over its arena row — no per-candidate
+/// simulation, no output BitVec materialized. This is the batch kernel
+/// for search layers that compare alternative outputs of one structure.
+std::vector<double> circuit_accuracies(aig::SimEngine& engine,
+                                       const data::Dataset& ds,
+                                       const std::vector<aig::Lit>& candidates);
+
 /// Runs the process-default synth::Pipeline over the raw circuit (memoized
 /// on circuit structure, so identical circuits across teams optimize once
 /// per process), then measures train/valid accuracies of the optimized

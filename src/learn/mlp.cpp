@@ -316,9 +316,10 @@ MlpStageAccuracy mlp_staged_accuracy(const data::Dataset& train,
   stages.pruned_valid = data::accuracy(net.predict(valid), valid.labels());
   stages.pruned_test = data::accuracy(net.predict(test), test.labels());
   const aig::Aig circuit = net.to_aig(train.num_inputs());
-  stages.synth_train = circuit_accuracy(circuit, train);
-  stages.synth_valid = circuit_accuracy(circuit, valid);
-  stages.synth_test = circuit_accuracy(circuit, test);
+  aig::SimEngine engine(circuit);
+  stages.synth_train = circuit_accuracy(engine, train);
+  stages.synth_valid = circuit_accuracy(engine, valid);
+  stages.synth_test = circuit_accuracy(engine, test);
   return stages;
 }
 

@@ -101,8 +101,10 @@ BenchmarkResult evaluate_on(learn::Learner& learner,
   // teams enforce their own budget, so this pass almost always no-ops;
   // bare learners entered via --learners rely on it.
   const synth::SynthOptions& synth_options = synth::default_pipeline().options;
+  bool budget_capped = false;
   if (synth_options.node_budget > 0 &&
       model.circuit.num_ands() > synth_options.node_budget) {
+    budget_capped = true;
     const synth::PassManager manager(synth_options);
     synth::SynthResult capped = manager.run(
         model.circuit, synth::Script::approx_to(synth_options.node_budget),
@@ -116,8 +118,13 @@ BenchmarkResult evaluate_on(learn::Learner& learner,
       model.verified = synth::VerifyStatus::kSkippedApprox;
     }
     model.method += "+budget";
-    model.train_acc = learn::circuit_accuracy(model.circuit, bench.train);
-    model.valid_acc = learn::circuit_accuracy(model.circuit, bench.valid);
+  }
+  // One bound engine scores every split the deliverable is measured on —
+  // the word arena and levelized schedule are built once, not per split.
+  aig::SimEngine engine(model.circuit);
+  if (budget_capped) {
+    model.train_acc = learn::circuit_accuracy(engine, bench.train);
+    model.valid_acc = learn::circuit_accuracy(engine, bench.valid);
   }
   BenchmarkResult result;
   result.benchmark_id = bench.id;
@@ -125,7 +132,7 @@ BenchmarkResult evaluate_on(learn::Learner& learner,
   result.method = model.method;
   result.train_acc = model.train_acc;
   result.valid_acc = model.valid_acc;
-  result.test_acc = learn::circuit_accuracy(model.circuit, bench.test);
+  result.test_acc = learn::circuit_accuracy(engine, bench.test);
   result.num_ands = model.circuit.num_ands();
   result.num_levels = model.circuit.num_levels();
   result.synth_trace = std::move(model.synth_trace);

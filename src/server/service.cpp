@@ -171,6 +171,9 @@ Service::Service(ServiceOptions options)
     shards_.push_back(std::make_unique<StoreShard>());
   }
   shard_mask_ = pow2 - 1;
+  if (options_.sim_threads > 0) {
+    sim_pool_ = std::make_unique<core::ThreadPool>(options_.sim_threads);
+  }
 }
 
 std::string Service::handle_line(const std::string& line) {
@@ -424,6 +427,24 @@ void Service::sweep_jobs(const StoredModel& model,
                          const std::vector<std::shared_ptr<EvalJob>>& batch) {
   const std::size_t num_pis = model.circuit.num_pis();
   stats_.eval_sweeps.fetch_add(1, std::memory_order_relaxed);
+  // Per-transport-thread scratch: the engine's word arena and the combined
+  // column/output buffers are reused across requests instead of
+  // reallocated per sweep. The engine only borrows model.circuit for the
+  // duration of this call (bind() rebinds it every time), so the
+  // thread_local outliving the model's shared_ptr is fine.
+  thread_local aig::SimEngine engine;
+  thread_local std::vector<core::BitVec> combined;
+  thread_local std::vector<core::BitVec> combined_outputs;
+  engine.bind(model.circuit);
+  const auto sweep = [this](aig::SimEngine& e,
+                            const std::vector<const core::BitVec*>& ptrs,
+                            std::size_t rows) {
+    if (sim_pool_ != nullptr && rows >= options_.sim_parallel_min_rows) {
+      e.run_parallel(ptrs, *sim_pool_);
+    } else {
+      e.run(ptrs);
+    }
+  };
   if (batch.size() == 1) {
     // One job: sweep its columns in place, no concatenation.
     EvalJob& job = *batch.front();
@@ -431,9 +452,8 @@ void Service::sweep_jobs(const StoredModel& model,
     for (std::size_t col = 0; col < num_pis; ++col) {
       ptrs[col] = &job.columns[col];
     }
-    aig::SimEngine engine(model.circuit);
-    engine.run(ptrs);
-    job.outputs = engine.outputs();
+    sweep(engine, ptrs, job.rows);
+    engine.outputs_into(&job.outputs);
     return;
   }
   // Concatenate every job's rows into combined columns, sweep once, then
@@ -444,7 +464,10 @@ void Service::sweep_jobs(const StoredModel& model,
   for (const auto& job : batch) {
     total += job->rows;
   }
-  std::vector<core::BitVec> combined(num_pis, core::BitVec(total));
+  combined.resize(num_pis);
+  for (auto& column : combined) {
+    column.reset(total);
+  }
   std::size_t offset = 0;
   for (const auto& job : batch) {
     for (std::size_t col = 0; col < num_pis; ++col) {
@@ -456,14 +479,13 @@ void Service::sweep_jobs(const StoredModel& model,
   for (std::size_t col = 0; col < num_pis; ++col) {
     ptrs[col] = &combined[col];
   }
-  aig::SimEngine engine(model.circuit);
-  engine.run(ptrs);
-  const std::vector<core::BitVec> outputs = engine.outputs();
+  sweep(engine, ptrs, total);
+  engine.outputs_into(&combined_outputs);
   offset = 0;
   for (const auto& job : batch) {
-    job->outputs.assign(outputs.size(), core::BitVec(job->rows));
-    for (std::size_t o = 0; o < outputs.size(); ++o) {
-      copy_bits(&job->outputs[o], 0, outputs[o], offset, job->rows);
+    job->outputs.assign(combined_outputs.size(), core::BitVec(job->rows));
+    for (std::size_t o = 0; o < combined_outputs.size(); ++o) {
+      copy_bits(&job->outputs[o], 0, combined_outputs[o], offset, job->rows);
     }
     offset += job->rows;
   }
