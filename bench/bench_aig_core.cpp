@@ -35,6 +35,7 @@
 #include "core/rng.hpp"
 #include "core/simd.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/registry.hpp"
 #include "server/json.hpp"
 
 namespace {
@@ -369,6 +370,27 @@ int main(int argc, char** argv) {
     simulation.set("parallel", std::move(par));
   }
   out.set("simulation", std::move(simulation));
+  {
+    // Telemetry summary of every sweep the runs above pushed through the
+    // shared SimEngine counters (side channel; not gated by --check).
+    obs::Registry& reg = obs::Registry::instance();
+    server::Json ob = server::Json::object();
+    if (const auto s = reg.histogram_snapshot("lsml_sim_sweep_us")) {
+      server::Json h = server::Json::object();
+      h.set("count", static_cast<std::int64_t>(s->count));
+      h.set("p50_us", s->quantile(0.5));
+      h.set("p99_us", s->quantile(0.99));
+      h.set("mean_us", s->mean());
+      ob.set("sweep_us", std::move(h));
+    }
+    ob.set("sweeps", static_cast<std::int64_t>(
+                         reg.counter_value("lsml_sim_sweeps_total")));
+    ob.set("rows", static_cast<std::int64_t>(
+                       reg.counter_value("lsml_sim_rows_total")));
+    ob.set("words", static_cast<std::int64_t>(
+                        reg.counter_value("lsml_sim_words_total")));
+    out.set("obs", std::move(ob));
+  }
 
   if (!json_path.empty()) {
     std::ofstream os(json_path);

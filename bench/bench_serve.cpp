@@ -56,6 +56,7 @@
 #include "core/config.hpp"
 #include "core/event_loop.hpp"
 #include "core/rng.hpp"
+#include "obs/registry.hpp"
 #include "server/client.hpp"
 #include "server/json.hpp"
 #include "server/server.hpp"
@@ -447,13 +448,48 @@ RoundResult run_round(const std::string& host, int port,
 
 // ------------------------------------------------------------- snapshots
 
+/// Histogram summary for the snapshot's `obs` block: count plus
+/// bucket-interpolated p50/p99 and the exact mean, all in microseconds.
+server::Json summarize_histogram(const obs::HistogramSnapshot& s) {
+  server::Json h = server::Json::object();
+  h.set("count", static_cast<std::int64_t>(s.count));
+  h.set("p50_us", s.quantile(0.5));
+  h.set("p99_us", s.quantile(0.99));
+  h.set("mean_us", s.mean());
+  return h;
+}
+
 void write_snapshot(const std::string& path, const Options& options,
-                    const std::vector<RoundResult>& results) {
+                    const std::vector<RoundResult>& results,
+                    bool in_process) {
   server::Json root = server::Json::object();
   root.set("bench", "serve");
   root.set("mode", options.mode);
   root.set("rows", static_cast<std::int64_t>(options.rows));
   root.set("duration_s", options.duration_s);
+  if (in_process) {
+    // Server-side telemetry is only visible when the server lives in this
+    // process; under --connect the registry belongs to the remote daemon.
+    obs::Registry& reg = obs::Registry::instance();
+    server::Json ob = server::Json::object();
+    if (const auto s = reg.histogram_snapshot("lsml_server_queue_wait_us")) {
+      ob.set("queue_wait_us", summarize_histogram(*s));
+    }
+    if (const auto s =
+            reg.histogram_snapshot("lsml_server_op_us{op=\"eval\"}")) {
+      ob.set("eval_us", summarize_histogram(*s));
+    }
+    if (const auto s = reg.histogram_snapshot("lsml_sim_sweep_us")) {
+      ob.set("sweep_us", summarize_histogram(*s));
+    }
+    ob.set("eval_coalesced",
+           static_cast<std::int64_t>(
+               reg.counter_value("lsml_server_eval_coalesced_total")));
+    ob.set("backpressure_pauses",
+           static_cast<std::int64_t>(reg.counter_value(
+               "lsml_server_backpressure_pauses_total")));
+    root.set("obs", std::move(ob));
+  }
   server::Json rows = server::Json::array();
   for (const RoundResult& r : results) {
     server::Json row = server::Json::object();
@@ -650,7 +686,7 @@ int main(int argc, char** argv) {
   }
 
   if (!options.json_path.empty()) {
-    write_snapshot(options.json_path, options, results);
+    write_snapshot(options.json_path, options, results, local != nullptr);
   }
   int violations = 0;
   if (!options.check_path.empty()) {

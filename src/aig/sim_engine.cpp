@@ -1,11 +1,13 @@
 #include "aig/sim_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
 #include "aig/aig.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/registry.hpp"
 
 namespace lsml::aig {
 
@@ -103,16 +105,67 @@ void SimEngine::sweep_columns(std::size_t w0, std::size_t w1) {
   }
 }
 
+namespace {
+
+// Process-wide simulation telemetry. Registry references are resolved once
+// and cached; the per-sweep cost is a handful of relaxed fetch_adds plus
+// two steady_clock reads for the latency histogram — side-channel only,
+// the swept bits are untouched.
+struct SimMetrics {
+  obs::Counter& sweeps;
+  obs::Counter& parallel_sweeps;
+  obs::Counter& rows;
+  obs::Counter& words;
+  obs::Counter& partitions;
+  obs::Histogram& sweep_us;
+
+  static SimMetrics& get() {
+    static SimMetrics* m = [] {
+      obs::Registry& reg = obs::Registry::instance();
+      // Info metric: which simd kernel backend dispatch resolved to (one
+      // series per backend that has actually swept in this process).
+      reg.gauge(std::string("lsml_sim_kernel_info{backend=\"") +
+                core::simd::ops().name + "\"}")
+          .set(1);
+      return new SimMetrics{reg.counter("lsml_sim_sweeps_total"),
+                            reg.counter("lsml_sim_parallel_sweeps_total"),
+                            reg.counter("lsml_sim_rows_total"),
+                            reg.counter("lsml_sim_words_total"),
+                            reg.counter("lsml_sim_partitions_total"),
+                            reg.histogram("lsml_sim_sweep_us")};
+    }();
+    return *m;
+  }
+};
+
+std::uint64_t us_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+  return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+}  // namespace
+
 void SimEngine::run(const std::vector<const core::BitVec*>& pi_values) {
+  SimMetrics& metrics = SimMetrics::get();
+  const auto start = std::chrono::steady_clock::now();
   if (!prepare(pi_values)) {
     return;
   }
   sweep_columns(0, wpr_);
+  metrics.sweeps.add(1);
+  metrics.rows.add(rows_);
+  metrics.words.add(wpr_ * gates_.size());
+  metrics.sweep_us.record(
+      us_between(start, std::chrono::steady_clock::now()));
 }
 
 void SimEngine::run_parallel(
     const std::vector<const core::BitVec*>& pi_values,
     core::ThreadPool& pool) {
+  SimMetrics& metrics = SimMetrics::get();
+  const auto start = std::chrono::steady_clock::now();
   if (!prepare(pi_values)) {
     return;
   }
@@ -120,6 +173,11 @@ void SimEngine::run_parallel(
       std::min(pool.num_threads(), wpr_ / kMinParallelWords);
   if (chunks <= 1 || gates_.empty()) {
     sweep_columns(0, wpr_);
+    metrics.sweeps.add(1);
+    metrics.rows.add(rows_);
+    metrics.words.add(wpr_ * gates_.size());
+    metrics.sweep_us.record(
+        us_between(start, std::chrono::steady_clock::now()));
     return;
   }
   // Chunk c owns word columns [c*wpr/chunks, (c+1)*wpr/chunks): a disjoint
@@ -129,6 +187,13 @@ void SimEngine::run_parallel(
   pool.parallel_for(chunks, [this, wpr, chunks](std::size_t c) {
     sweep_columns(c * wpr / chunks, (c + 1) * wpr / chunks);
   });
+  metrics.sweeps.add(1);
+  metrics.parallel_sweeps.add(1);
+  metrics.partitions.add(chunks);
+  metrics.rows.add(rows_);
+  metrics.words.add(wpr_ * gates_.size());
+  metrics.sweep_us.record(
+      us_between(start, std::chrono::steady_clock::now()));
 }
 
 core::BitVec SimEngine::extract(Lit l) const {

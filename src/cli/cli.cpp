@@ -42,6 +42,7 @@
 #include "aig/aig_io.hpp"
 #include "core/config.hpp"
 #include "learn/factory.hpp"
+#include "obs/trace.hpp"
 #include "pla/pla.hpp"
 #include "portfolio/contest.hpp"
 #include "portfolio/team.hpp"
@@ -87,6 +88,8 @@ constexpr const char* kUsage =
     "      --time-budget-ms N   soft run budget, 0 = off  [0]\n"
     "      --verify             SAT-certify every artifact's pipeline run\n"
     "                           (adds the leaderboard's verified column)\n"
+    "      --trace-out FILE     write a Chrome trace (chrome://tracing,\n"
+    "                           Perfetto) of the run's spans on exit\n"
     "  synth <in.aag>   optimize one AIGER file, print the pass trace\n"
     "                   (`-` reads the AIGER text from stdin)\n"
     "      --script S           preset name or pass script [resyn2]\n"
@@ -97,6 +100,7 @@ constexpr const char* kUsage =
     "      --seed S             approximation RNG seed\n"
     "      --out FILE           write the optimized AIGER here\n"
     "      --verify             SAT-certify the run (exit 1 if it failed)\n"
+    "      --trace-out FILE     write a Chrome trace of the pass spans\n"
     "  cec <a.aag> <b.aag>  SAT equivalence check (`-` = stdin, once)\n"
     "      --conflicts N        solver conflict budget, 0 = unlimited\n"
     "                           [100000]\n"
@@ -120,11 +124,16 @@ constexpr const char* kUsage =
     "      --opt-script S --max-gates N --opt-rounds N --verify\n"
     "                           pipeline applied to every learn request\n"
     "                           [fast, 5000, 3, off]\n"
+    "      --trace-out FILE     dump a Chrome trace of request spans on\n"
+    "                           shutdown (SIGINT/SIGTERM)\n"
     "  query            send requests to a running `lsml serve`\n"
     "      --host H --port P    server address        [127.0.0.1:7333]\n"
     "      --deadline-ms N      attach a per-request deadline\n"
-    "      what: ping | stats\n"
+    "      what: ping | stats | metrics\n"
     "            - (default)    read raw JSON request lines from stdin\n"
+    "            metrics prints the server's Prometheus text exposition\n"
+    "            stats --watch SEC [--count N] polls and prints\n"
+    "                  per-interval rates (req/s, evictions/s, ...)\n"
     "            learn <train.pla> [--learner NAME] [--valid FILE]\n"
     "                  [--seed S]\n"
     "            eval <model-id> <bits> [<bits>...]\n"
@@ -139,6 +148,24 @@ constexpr const char* kUsage =
 int usage_error(const std::string& message) {
   std::fprintf(stderr, "lsml: %s\n\n%s", message.c_str(), kUsage);
   return kExitUsage;
+}
+
+// Shared by run/synth/serve --trace-out. Spans are a side channel, so a
+// trace that cannot be written is a warning, never a changed exit code.
+void export_trace(const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  if (obs::Tracer::export_to_file(path)) {
+    std::fprintf(stderr,
+                 "lsml: wrote %zu span(s) (%llu dropped) to %s\n",
+                 obs::Tracer::recorded(),
+                 static_cast<unsigned long long>(obs::Tracer::dropped()),
+                 path.c_str());
+  } else {
+    std::fprintf(stderr, "lsml: could not write trace to %s\n",
+                 path.c_str());
+  }
 }
 
 bool parse_u64(const std::string& text, std::uint64_t* out) {
@@ -297,6 +324,7 @@ int cmd_run(const std::vector<std::string>& args) {
   std::vector<std::string> learners;
   core::Scale scale = core::Scale::kFast;
   std::string opt_script = "fast";
+  std::string trace_out;
   std::uint64_t max_gates = 5000;
   int opt_rounds = 3;
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -377,6 +405,10 @@ int cmd_run(const std::vector<std::string>& args) {
       options.time_budget_ms = static_cast<std::int64_t>(u);
     } else if (args[i] == "--verify") {
       options.pipeline.options.verify_equivalence = true;
+    } else if (args[i] == "--trace-out") {
+      if (!flag_value(args, &i, &trace_out)) {
+        return kExitUsage;
+      }
     } else if (args[i] == "-v") {
       options.verbosity = 1;
     } else if (args[i] == "-vv") {
@@ -424,8 +456,12 @@ int cmd_run(const std::vector<std::string>& args) {
     return usage_error("nothing to run: --teams and --learners both empty");
   }
 
+  if (!trace_out.empty()) {
+    obs::Tracer::enable();
+  }
   const suite::RunnerReport report =
       suite::run_suite_dir(suite_dir, entries, options);
+  export_trace(trace_out);
   std::printf("%s", portfolio::format_leaderboard(report.runs).c_str());
   std::printf(
       "\n%zu benchmarks x %zu entries: %d task(s) from cache, %d computed "
@@ -484,6 +520,7 @@ int cmd_synth(const std::vector<std::string>& args) {
   const std::string in_path = args[0];
   std::string script_text = "resyn2";
   std::string out_path;
+  std::string trace_out;
   std::uint64_t max_gates = 5000;
   int rounds = 1;
   synth::SynthOptions synth_options;
@@ -520,6 +557,10 @@ int cmd_synth(const std::vector<std::string>& args) {
       synth_options.time_budget_ms = static_cast<std::int64_t>(u);
     } else if (args[i] == "--verify") {
       synth_options.verify_equivalence = true;
+    } else if (args[i] == "--trace-out") {
+      if (!flag_value(args, &i, &trace_out)) {
+        return kExitUsage;
+      }
     } else if (args[i] == "-v" || args[i] == "-vv") {
       // The trace is always printed; nothing further to say.
     } else {
@@ -537,8 +578,12 @@ int cmd_synth(const std::vector<std::string>& args) {
 
   const aig::Aig in =
       in_path == "-" ? aig::read_aag(std::cin) : aig::read_aag_file(in_path);
+  if (!trace_out.empty()) {
+    obs::Tracer::enable();
+  }
   const synth::PassManager manager(synth_options);
   const synth::SynthResult result = manager.run(in, script);
+  export_trace(trace_out);
 
   std::printf("%s: %u inputs, %u AND gates, %u levels\n", in_path.c_str(),
               in.num_pis(), in.num_ands(), in.num_levels());
@@ -667,6 +712,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   options.service.cache_dir = ".lsml-serve-cache";
   bool stdio = false;
   std::string opt_script = "fast";
+  std::string trace_out;
   std::uint64_t max_gates = 5000;
   int opt_rounds = 3;
   bool verify = false;
@@ -750,6 +796,10 @@ int cmd_serve(const std::vector<std::string>& args) {
       }
     } else if (args[i] == "--verify") {
       verify = true;
+    } else if (args[i] == "--trace-out") {
+      if (!flag_value(args, &i, &trace_out)) {
+        return kExitUsage;
+      }
     } else if (args[i] == "-v") {
       options.verbosity = 1;
     } else if (args[i] == "-vv") {
@@ -773,12 +823,17 @@ int cmd_serve(const std::vector<std::string>& args) {
   pipeline.options.verify_equivalence = verify;
   synth::set_default_pipeline(pipeline);
 
+  if (!trace_out.empty()) {
+    obs::Tracer::enable();
+  }
+
   if (stdio) {
     server::Service service(options.service);
     const std::uint64_t answered = service.serve_stream(
         std::cin, std::cout, options.max_request_bytes);
     std::fprintf(stderr, "lsml serve: stdin closed after %llu request(s)\n",
                  static_cast<unsigned long long>(answered));
+    export_trace(trace_out);
     return kExitOk;
   }
 
@@ -805,6 +860,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
   server.stop();
+  export_trace(trace_out);
 
   const server::ServiceStats& stats = server.service().stats();
   std::printf("lsml serve: stopped after %llu request(s) on %llu "
@@ -830,6 +886,8 @@ int cmd_query(const std::vector<std::string>& args) {
   std::uint64_t conflicts = 0;
   bool have_conflicts = false;
   bool verify = false;
+  std::int64_t watch_sec = 0;
+  std::uint64_t watch_count = 0;
   std::vector<std::string> positional;
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::string value;
@@ -872,6 +930,17 @@ int cmd_query(const std::vector<std::string>& args) {
       have_conflicts = true;
     } else if (args[i] == "--verify") {
       verify = true;
+    } else if (args[i] == "--watch") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &u) || u == 0 ||
+          u > 3600) {
+        return usage_error("--watch must be in [1, 3600] seconds");
+      }
+      watch_sec = static_cast<std::int64_t>(u);
+    } else if (args[i] == "--count") {
+      if (!flag_value(args, &i, &value) || !parse_u64(value, &watch_count) ||
+          watch_count == 0) {
+        return usage_error("--count must be a positive integer");
+      }
     } else if (args[i] == "-" || args[i][0] != '-') {
       positional.push_back(args[i]);
     } else {
@@ -879,6 +948,55 @@ int cmd_query(const std::vector<std::string>& args) {
     }
   }
   const std::string what = positional.empty() ? "-" : positional[0];
+
+  if (watch_sec > 0 || (watch_count > 0 && what == "stats")) {
+    if (what != "stats") {
+      return usage_error("--watch only applies to `query stats`");
+    }
+    if (watch_sec == 0) {
+      return usage_error("--count needs --watch SEC");
+    }
+    server::Client client;
+    try {
+      client.connect(host, port);
+      server::Json request = server::Json::object();
+      request.set("type", "stats");
+      const std::string request_line = request.dump();
+      const auto sample = [&client, &request_line] {
+        return server::Json::parse(client.roundtrip(request_line));
+      };
+      server::Json prev = sample();
+      auto prev_time = std::chrono::steady_clock::now();
+      std::printf("%10s %10s %10s %10s %10s %12s %10s %8s\n", "req/s",
+                  "err/s", "learn/s", "eval/s", "sweep/s", "rows/s",
+                  "evict/s", "models");
+      std::fflush(stdout);
+      for (std::uint64_t tick = 0; watch_count == 0 || tick < watch_count;
+           ++tick) {
+        std::this_thread::sleep_for(std::chrono::seconds(watch_sec));
+        const server::Json cur = sample();
+        const auto now = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(now - prev_time).count();
+        const auto rate = [&cur, &prev, secs](const char* key) {
+          return (cur.at(key).as_double() - prev.at(key).as_double()) /
+                 (secs > 0.0 ? secs : 1.0);
+        };
+        std::printf(
+            "%10.1f %10.1f %10.1f %10.1f %10.1f %12.1f %10.1f %8lld\n",
+            rate("requests"), rate("errors"), rate("learns"), rate("evals"),
+            rate("eval_sweeps"), rate("eval_rows"), rate("model_evictions"),
+            static_cast<long long>(cur.at("models_cached").as_int()));
+        std::fflush(stdout);
+        prev = cur;
+        prev_time = now;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "lsml: %s\n", e.what());
+      return kExitRuntime;
+    }
+    return kExitOk;
+  }
 
   // Build the request list before connecting, so usage errors never need
   // a live server.
@@ -912,7 +1030,7 @@ int cmd_query(const std::vector<std::string>& args) {
         }
         request_lines.push_back(line);
       }
-    } else if (what == "ping" || what == "stats") {
+    } else if (what == "ping" || what == "stats" || what == "metrics") {
       server::Json request = server::Json::object();
       request.set("type", what);
       request_lines.push_back(with_deadline(std::move(request)));
@@ -976,8 +1094,8 @@ int cmd_query(const std::vector<std::string>& args) {
       request_lines.push_back(with_deadline(std::move(request)));
     } else {
       return usage_error("unknown query '" + what +
-                         "' (expected ping, stats, learn, eval, synth, cec, "
-                         "or - for raw JSON lines)");
+                         "' (expected ping, stats, metrics, learn, eval, "
+                         "synth, cec, or - for raw JSON lines)");
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lsml: %s\n", e.what());
@@ -994,13 +1112,22 @@ int cmd_query(const std::vector<std::string>& args) {
     client.connect(host, port);
     for (const std::string& line : request_lines) {
       const std::string response = client.roundtrip(line);
-      std::printf("%s\n", response.c_str());
       try {
         const server::Json parsed = server::Json::parse(response);
-        if (!parsed.is_object() || !parsed.at("ok").as_bool()) {
+        const bool ok = parsed.is_object() && parsed.at("ok").as_bool();
+        if (!ok) {
           all_ok = false;
         }
+        // `metrics` is a Prometheus text exposition wrapped in JSON for
+        // the wire; unwrap it so the output pipes straight into
+        // promtool/grep.
+        if (ok && what == "metrics" && parsed.has("text")) {
+          std::printf("%s", parsed.at("text").as_string().c_str());
+        } else {
+          std::printf("%s\n", response.c_str());
+        }
       } catch (const std::exception&) {
+        std::printf("%s\n", response.c_str());
         all_ok = false;
       }
     }

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/registry.hpp"
+
 namespace lsml::core {
 
 namespace {
@@ -152,8 +154,13 @@ void EventLoop::run_posted_tasks() {
 
 void EventLoop::run() {
   loop_thread_.store(std::this_thread::get_id());
+  // Loop-iteration telemetry: one owned process counter shared by every
+  // EventLoop (registry references are stable for the process lifetime).
+  static obs::Counter& iterations =
+      obs::Registry::instance().counter("lsml_event_loop_iterations_total");
   epoll_event events[128];
   while (!stop_requested_.load(std::memory_order_acquire)) {
+    iterations.add(1);
     const int n = ::epoll_wait(epoll_fd_, events,
                                static_cast<int>(std::size(events)), -1);
     if (n < 0) {

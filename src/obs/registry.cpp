@@ -1,0 +1,320 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace lsml::obs {
+
+std::size_t Counter::slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t s =
+      next.fetch_add(1, std::memory_order_relaxed) % kCells;
+  return s;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cum);
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target) {
+      if (i == 0) {
+        return 0.0;
+      }
+      // Linear interpolation inside [2^(i-1), 2^i).
+      const double lower = static_cast<double>(std::uint64_t{1} << (i - 1));
+      const double width = lower;
+      const double frac =
+          (target - before) / static_cast<double>(buckets[i]);
+      return lower + frac * width;
+    }
+  }
+  return static_cast<double>(histogram_bucket_le(kHistogramBuckets - 1));
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot s;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();  // never destroyed: outlive statics
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+Registry::Registration& Registry::Registration::operator=(
+    Registration&& other) noexcept {
+  if (this != &other) {
+    release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void Registry::Registration::release() noexcept {
+  if (registry_ != nullptr) {
+    registry_->unregister(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+Registry::Registration Registry::register_counter(const std::string& name,
+                                                  const Counter* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  ext_counters_[name].push_back({id, c});
+  return Registration(this, id);
+}
+
+Registry::Registration Registry::register_histogram(const std::string& name,
+                                                    const Histogram* h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  ext_histograms_[name].push_back({id, h});
+  return Registration(this, id);
+}
+
+Registry::Registration Registry::register_gauge_fn(
+    const std::string& name, std::function<std::int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  ext_gauges_[name].push_back({id, std::move(fn)});
+  return Registration(this, id);
+}
+
+void Registry::unregister(std::uint64_t id) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto erase_id = [id](auto& by_name) {
+    for (auto it = by_name.begin(); it != by_name.end();) {
+      auto& vec = it->second;
+      vec.erase(std::remove_if(vec.begin(), vec.end(),
+                               [id](const auto& e) { return e.id == id; }),
+                vec.end());
+      it = vec.empty() ? by_name.erase(it) : std::next(it);
+    }
+  };
+  erase_id(ext_counters_);
+  erase_id(ext_histograms_);
+  erase_id(ext_gauges_);
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    total += it->second->load();
+  }
+  if (const auto it = ext_counters_.find(name); it != ext_counters_.end()) {
+    for (const auto& e : it->second) {
+      total += e.c->load();
+    }
+  }
+  return total;
+}
+
+std::optional<HistogramSnapshot> Registry::histogram_snapshot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<HistogramSnapshot> out;
+  if (const auto it = histograms_.find(name); it != histograms_.end()) {
+    out = it->second->snapshot();
+  }
+  if (const auto it = ext_histograms_.find(name);
+      it != ext_histograms_.end()) {
+    for (const auto& e : it->second) {
+      if (!out) {
+        out = e.h->snapshot();
+      } else {
+        out->merge(e.h->snapshot());
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// "lsml_server_op_us{op=\"eval\"}" -> {"lsml_server_op_us", "op=\"eval\""}
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return {name, ""};
+  }
+  std::string labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') {
+    labels.pop_back();
+  }
+  return {name.substr(0, brace), labels};
+}
+
+std::string with_labels(const std::string& base, const std::string& labels) {
+  return labels.empty() ? base : base + "{" + labels + "}";
+}
+
+void emit_histogram(std::ostringstream& os, const std::string& base,
+                    const std::string& labels, const HistogramSnapshot& s) {
+  // Cumulative buckets, trailing empty buckets elided before +Inf.
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (s.buckets[i] != 0) {
+      last = i;
+    }
+  }
+  std::uint64_t cum = 0;
+  char bound[32];
+  for (std::size_t i = 0; i <= last; ++i) {
+    cum += s.buckets[i];
+    std::snprintf(bound, sizeof(bound), "%" PRIu64, histogram_bucket_le(i));
+    const std::string le = "le=\"" + std::string(bound) + "\"";
+    os << base << "_bucket{"
+       << (labels.empty() ? le : labels + "," + le) << "} " << cum << "\n";
+  }
+  const std::string inf = "le=\"+Inf\"";
+  os << base << "_bucket{" << (labels.empty() ? inf : labels + "," + inf)
+     << "} " << s.count << "\n";
+  os << with_labels(base + "_sum", labels) << " " << s.sum << "\n";
+  os << with_labels(base + "_count", labels) << " " << s.count << "\n";
+}
+
+}  // namespace
+
+std::string Registry::expose_prometheus() const {
+  // Collapse same-named entries (owned + external aliases) by summation,
+  // then group series into families (name up to the label block) so each
+  // family gets exactly one # TYPE line. std::map keeps everything sorted,
+  // so the output is deterministic for a given set of live metrics.
+  std::map<std::string, std::uint64_t> counter_series;
+  std::map<std::string, std::int64_t> gauge_series;
+  std::map<std::string, HistogramSnapshot> histogram_series;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      counter_series[name] += c->load();
+    }
+    for (const auto& [name, vec] : ext_counters_) {
+      for (const auto& e : vec) {
+        counter_series[name] += e.c->load();
+      }
+    }
+    for (const auto& [name, g] : gauges_) {
+      gauge_series[name] += g->load();
+    }
+    for (const auto& [name, vec] : ext_gauges_) {
+      for (const auto& e : vec) {
+        gauge_series[name] += e.fn();
+      }
+    }
+    for (const auto& [name, h] : histograms_) {
+      histogram_series[name].merge(h->snapshot());
+    }
+    for (const auto& [name, vec] : ext_histograms_) {
+      for (const auto& e : vec) {
+        histogram_series[name].merge(e.h->snapshot());
+      }
+    }
+  }
+
+  struct Family {
+    const char* type = nullptr;
+    std::vector<std::string> lines;  // pre-rendered series lines
+  };
+  std::map<std::string, Family> families;
+
+  for (const auto& [name, value] : counter_series) {
+    const auto [base, labels] = split_labels(name);
+    Family& f = families[base];
+    f.type = "counter";
+    std::ostringstream line;
+    line << with_labels(base, labels) << " " << value << "\n";
+    f.lines.push_back(line.str());
+  }
+  for (const auto& [name, value] : gauge_series) {
+    const auto [base, labels] = split_labels(name);
+    Family& f = families[base];
+    f.type = "gauge";
+    std::ostringstream line;
+    line << with_labels(base, labels) << " " << value << "\n";
+    f.lines.push_back(line.str());
+  }
+  for (const auto& [name, snap] : histogram_series) {
+    const auto [base, labels] = split_labels(name);
+    Family& f = families[base];
+    f.type = "histogram";
+    std::ostringstream block;
+    emit_histogram(block, base, labels, snap);
+    f.lines.push_back(block.str());
+  }
+
+  std::ostringstream os;
+  for (const auto& [base, family] : families) {
+    os << "# TYPE " << base << " " << family.type << "\n";
+    for (const std::string& line : family.lines) {
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lsml::obs

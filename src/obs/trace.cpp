@@ -1,0 +1,216 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+namespace lsml::obs {
+
+namespace {
+
+struct Ring {
+  Ring(std::size_t cap, std::uint32_t tid_) : capacity(cap), tid(tid_) {
+    events.reserve(cap);
+  }
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::size_t capacity;
+  std::size_t next = 0;  // overwrite cursor once the ring is full
+  std::uint32_t tid;
+};
+
+struct Global {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> dropped{0};
+  // Epoch as steady_clock nanoseconds so record() can read it without the
+  // mutex; generation invalidates thread-cached rings after enable/reset.
+  std::atomic<std::int64_t> epoch_ns{0};
+  std::atomic<std::uint64_t> generation{0};
+  std::mutex mu;  // guards rings, capacity, next_tid
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::size_t capacity = Tracer::kDefaultRingCapacity;
+  std::uint32_t next_tid = 1;
+};
+
+Global& g() {
+  static Global* instance = new Global();  // outlive thread-local teardown
+  return *instance;
+}
+
+struct ThreadRing {
+  std::shared_ptr<Ring> ring;
+  std::uint64_t generation = 0;
+};
+thread_local ThreadRing t_ring;
+
+Ring* this_thread_ring() {
+  Global& gl = g();
+  const std::uint64_t gen = gl.generation.load(std::memory_order_acquire);
+  if (t_ring.ring != nullptr && t_ring.generation == gen) {
+    return t_ring.ring.get();
+  }
+  std::lock_guard<std::mutex> lock(gl.mu);
+  auto ring = std::make_shared<Ring>(gl.capacity, gl.next_tid++);
+  gl.rings.push_back(ring);
+  t_ring.ring = std::move(ring);
+  t_ring.generation = gen;
+  return t_ring.ring.get();
+}
+
+std::int64_t to_ns(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* intern_name(const std::string& name) {
+  // std::unordered_set is node-based, so element addresses are stable;
+  // never destroyed so interned pointers outlive every static consumer.
+  static std::mutex* mu = new std::mutex();
+  static std::unordered_set<std::string>* names =
+      new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lock(*mu);
+  return names->insert(name).first->c_str();
+}
+
+bool Tracer::enabled() noexcept {
+  return g().enabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::enable(std::size_t ring_capacity) {
+  Global& gl = g();
+  {
+    std::lock_guard<std::mutex> lock(gl.mu);
+    gl.capacity = ring_capacity == 0 ? 1 : ring_capacity;
+    gl.rings.clear();
+    gl.next_tid = 1;
+  }
+  gl.epoch_ns.store(to_ns(std::chrono::steady_clock::now()),
+                    std::memory_order_relaxed);
+  gl.dropped.store(0, std::memory_order_relaxed);
+  // Release pairs with the acquire in this_thread_ring: a thread that sees
+  // the new generation also sees the cleared ring list.
+  gl.generation.fetch_add(1, std::memory_order_release);
+  gl.enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() noexcept {
+  g().enabled.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::reset() {
+  Global& gl = g();
+  {
+    std::lock_guard<std::mutex> lock(gl.mu);
+    gl.rings.clear();
+    gl.next_tid = 1;
+  }
+  gl.dropped.store(0, std::memory_order_relaxed);
+  gl.generation.fetch_add(1, std::memory_order_release);
+}
+
+void Tracer::record(const char* name, const char* cat,
+                    std::chrono::steady_clock::time_point begin,
+                    std::chrono::steady_clock::time_point end) noexcept {
+  Global& gl = g();
+  if (!gl.enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const std::int64_t epoch = gl.epoch_ns.load(std::memory_order_relaxed);
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.start_ns = to_ns(begin) - epoch;
+  e.dur_ns = to_ns(end) - to_ns(begin);
+  Ring* ring = this_thread_ring();
+  std::lock_guard<std::mutex> lock(ring->mu);
+  e.tid = ring->tid;
+  if (ring->events.size() < ring->capacity) {
+    ring->events.push_back(e);
+  } else {
+    ring->events[ring->next] = e;
+    ring->next = (ring->next + 1) % ring->capacity;
+    gl.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Tracer::dropped() noexcept {
+  return g().dropped.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+std::vector<TraceEvent> collect_events() {
+  Global& gl = g();
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(gl.mu);
+    rings = gl.rings;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    // Oldest first: [next, end) then [0, next) once wrapped.
+    if (ring->events.size() == ring->capacity && ring->next != 0) {
+      out.insert(out.end(), ring->events.begin() + ring->next,
+                 ring->events.end());
+      out.insert(out.end(), ring->events.begin(),
+                 ring->events.begin() + ring->next);
+    } else {
+      out.insert(out.end(), ring->events.begin(), ring->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) {
+                return a.tid < b.tid;
+              }
+              if (a.start_ns != b.start_ns) {
+                return a.start_ns < b.start_ns;
+              }
+              return a.dur_ns > b.dur_ns;  // parents before children
+            });
+  return out;
+}
+
+}  // namespace
+
+std::size_t Tracer::recorded() { return collect_events().size(); }
+
+void Tracer::export_chrome_trace(std::ostream& os) {
+  const std::vector<TraceEvent> events = collect_events();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    // Chrome trace-event timestamps are microseconds (doubles).
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                  "\"dur\":%.3f,",
+                  i == 0 ? "\n" : ",\n", e.tid,
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    os << buf << "\"cat\":\"" << e.cat << "\",\"name\":\"" << e.name
+       << "\"}";
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::export_to_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  export_chrome_trace(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace lsml::obs

@@ -1,0 +1,84 @@
+#pragma once
+// obs: scoped spans -> per-thread ring buffers -> Chrome trace-event JSON.
+//
+// Tracing is off by default and costs one relaxed atomic load per
+// ScopedSpan when disabled. When enabled (serve/run/synth `--trace-out`),
+// each thread records completed spans into its own fixed-capacity ring
+// (oldest entries are overwritten and counted as dropped), and
+// export_chrome_trace() merges the rings into a chrome://tracing /
+// Perfetto loadable JSON file of "X" (complete) events. Span names and
+// categories must be string literals (or otherwise outlive the tracer) —
+// the rings store the pointers, not copies.
+//
+// Determinism contract: spans never feed back into any response or
+// artifact; the tracer only observes.
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace lsml::obs {
+
+struct TraceEvent {
+  const char* name;
+  const char* cat;
+  std::int64_t start_ns;  // relative to the enable() epoch
+  std::int64_t dur_ns;
+  std::uint32_t tid;      // small per-thread id, assigned at first record
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1u << 15;
+
+  static bool enabled() noexcept;
+  static void enable(std::size_t ring_capacity = kDefaultRingCapacity);
+  static void disable() noexcept;
+  // Drop all recorded spans and the dropped count; keeps enabled state.
+  static void reset();
+
+  static void record(const char* name, const char* cat,
+                     std::chrono::steady_clock::time_point begin,
+                     std::chrono::steady_clock::time_point end) noexcept;
+
+  static std::uint64_t dropped() noexcept;
+  static std::size_t recorded();
+
+  // Events sorted by (tid, start) for byte-deterministic output given the
+  // same recorded spans.
+  static void export_chrome_trace(std::ostream& os);
+  static bool export_to_file(const std::string& path);
+};
+
+// Stable process-lifetime copy of `name` for use as a span name (the
+// rings store pointers). Interned: equal strings return the same pointer.
+// For dynamic names (synth pass spellings, task labels); literals don't
+// need it.
+const char* intern_name(const std::string& name);
+
+// RAII span: captures the start time at construction when tracing is
+// enabled, records on destruction. A disabled span does no clock reads.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat) noexcept
+      : name_(Tracer::enabled() ? name : nullptr), cat_(cat) {
+    if (name_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      Tracer::record(name_, cat_, start_, std::chrono::steady_clock::now());
+    }
+  }
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace lsml::obs

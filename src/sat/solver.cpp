@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace lsml::sat {
 
 namespace {
@@ -316,8 +319,54 @@ Var Solver::heap_pop() {
   return top;
 }
 
+namespace {
+
+// Per-solve deltas into the process registry (stats_ is cumulative per
+// Solver instance); recorded at scope exit so every return path counts.
+struct SatMetrics {
+  obs::Counter& solves;
+  obs::Counter& conflicts;
+  obs::Counter& propagations;
+  obs::Counter& decisions;
+  obs::Counter& restarts;
+
+  static SatMetrics& get() {
+    static SatMetrics* m = [] {
+      obs::Registry& reg = obs::Registry::instance();
+      return new SatMetrics{reg.counter("lsml_sat_solves_total"),
+                            reg.counter("lsml_sat_conflicts_total"),
+                            reg.counter("lsml_sat_propagations_total"),
+                            reg.counter("lsml_sat_decisions_total"),
+                            reg.counter("lsml_sat_restarts_total")};
+    }();
+    return *m;
+  }
+};
+
+class SolveScope {
+ public:
+  explicit SolveScope(const SolverStats& stats)
+      : stats_(stats), at_entry_(stats), span_("solve", "sat") {}
+  ~SolveScope() {
+    SatMetrics& m = SatMetrics::get();
+    m.solves.add(1);
+    m.conflicts.add(stats_.conflicts - at_entry_.conflicts);
+    m.propagations.add(stats_.propagations - at_entry_.propagations);
+    m.decisions.add(stats_.decisions - at_entry_.decisions);
+    m.restarts.add(stats_.restarts - at_entry_.restarts);
+  }
+
+ private:
+  const SolverStats& stats_;
+  SolverStats at_entry_;
+  obs::ScopedSpan span_;
+};
+
+}  // namespace
+
 Status Solver::solve(const std::vector<Lit>& assumptions,
                      const Budget& budget) {
+  const SolveScope telemetry(stats_);
   cancel_until(0);
   if (!ok_) {
     return Status::kUnsat;

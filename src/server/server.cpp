@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace lsml::server {
 
 namespace {
@@ -45,7 +47,17 @@ std::string oversized_error_line(std::size_t max_bytes) {
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), service_(options_.service) {}
+    : options_(std::move(options)), service_(options_.service) {
+  obs::Registry& reg = obs::Registry::instance();
+  const auto alias = [&](const char* name, const obs::Counter& c) {
+    metric_regs_.push_back(reg.register_counter(name, &c));
+  };
+  alias("lsml_server_connections_total", stats_.connections);
+  alias("lsml_server_over_connection_cap_total", stats_.over_connection_cap);
+  alias("lsml_server_oversized_rejects_total", stats_.oversized_rejects);
+  alias("lsml_server_io_errors_total", stats_.io_errors);
+  alias("lsml_server_backpressure_pauses_total", stats_.backpressure_pauses);
+}
 
 Server::~Server() { stop(); }
 
@@ -433,6 +445,10 @@ void Server::queue_response_bytes(Conn& conn, std::string bytes) {
 void Server::handle_writable(Conn& conn) { flush(conn); }
 
 void Server::flush(Conn& conn) {
+  // Span only when there are bytes to move (flush is also called to
+  // re-evaluate interest with an empty buffer).
+  obs::ScopedSpan write_span(
+      conn.write_off < conn.write_buf.size() ? "write" : nullptr, "server");
   bool fatal = false;
   while (conn.write_off < conn.write_buf.size()) {
     const ssize_t n =

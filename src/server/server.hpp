@@ -48,6 +48,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "core/event_loop.hpp"
 #include "core/thread_pool.hpp"
@@ -80,14 +81,16 @@ struct ServerOptions {
 };
 
 /// Transport-level counters (request-level ones live in ServiceStats).
+/// Fields are obs::Counter and aliased into the process obs::Registry as
+/// lsml_server_*_total, so the `metrics` op sees the same cells.
 struct ServerStats {
-  std::atomic<std::uint64_t> connections{0};
-  std::atomic<std::uint64_t> over_connection_cap{0};
-  std::atomic<std::uint64_t> oversized_rejects{0};
-  std::atomic<std::uint64_t> io_errors{0};
+  obs::Counter connections;
+  obs::Counter over_connection_cap;
+  obs::Counter oversized_rejects;
+  obs::Counter io_errors;
   /// Times a connection crossed the write high-water mark and had its
   /// read side paused (the backpressure path).
-  std::atomic<std::uint64_t> backpressure_pauses{0};
+  obs::Counter backpressure_pauses;
 };
 
 class Server {
@@ -164,6 +167,8 @@ class Server {
   ServerOptions options_;
   Service service_;
   ServerStats stats_;
+  /// Registry aliases for stats_; destroyed before stats_ (declared after).
+  std::vector<obs::Registry::Registration> metric_regs_;
   std::unique_ptr<core::ThreadPool> pool_;
   std::unique_ptr<core::EventLoop> loop_;
 

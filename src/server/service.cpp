@@ -16,6 +16,7 @@
 #include "core/rng.hpp"
 #include "learn/factory.hpp"
 #include "learn/learner.hpp"
+#include "obs/trace.hpp"
 #include "pla/pla.hpp"
 #include "portfolio/contest.hpp"
 #include "sat/cec.hpp"
@@ -24,6 +25,20 @@
 namespace lsml::server {
 
 namespace {
+
+/// Op order of Service::op_us_; dispatch() indexes both by the same value.
+/// The names double as span names and as the `op` label of
+/// lsml_server_op_us, so they must stay protocol-exact.
+constexpr const char* kOpNames[Service::kNumOps] = {
+    "learn", "eval", "synth", "cec", "ping", "stats", "metrics"};
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point start,
+                       std::chrono::steady_clock::time_point end) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count();
+  return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
 
 /// A request that cannot be served as asked; becomes an ok:false response.
 class RequestError : public std::runtime_error {
@@ -174,6 +189,43 @@ Service::Service(ServiceOptions options)
   if (options_.sim_threads > 0) {
     sim_pool_ = std::make_unique<core::ThreadPool>(options_.sim_threads);
   }
+  register_metrics();
+}
+
+void Service::register_metrics() {
+  obs::Registry& reg = obs::Registry::instance();
+  const auto alias = [&](const char* name, const obs::Counter& c) {
+    metric_regs_.push_back(reg.register_counter(name, &c));
+  };
+  alias("lsml_server_requests_total", stats_.requests);
+  alias("lsml_server_errors_total", stats_.errors);
+  alias("lsml_server_learns_total", stats_.learns);
+  alias("lsml_server_model_memory_hits_total", stats_.model_memory_hits);
+  alias("lsml_server_model_disk_hits_total", stats_.model_disk_hits);
+  alias("lsml_server_model_inflight_joins_total",
+        stats_.model_inflight_joins);
+  alias("lsml_server_model_evictions_total", stats_.model_evictions);
+  alias("lsml_server_evals_total", stats_.evals);
+  alias("lsml_server_eval_sweeps_total", stats_.eval_sweeps);
+  alias("lsml_server_eval_coalesced_total", stats_.eval_coalesced);
+  alias("lsml_server_eval_rows_total", stats_.eval_rows);
+  alias("lsml_server_synths_total", stats_.synths);
+  alias("lsml_server_cecs_total", stats_.cecs);
+  alias("lsml_server_pings_total", stats_.pings);
+  alias("lsml_server_deadline_expired_total", stats_.deadline_expired);
+  metric_regs_.push_back(
+      reg.register_histogram("lsml_server_queue_wait_us", &queue_wait_us_));
+  for (std::size_t op = 0; op < kNumOps; ++op) {
+    metric_regs_.push_back(reg.register_histogram(
+        std::string("lsml_server_op_us{op=\"") + kOpNames[op] + "\"}",
+        &op_us_[op]));
+  }
+  metric_regs_.push_back(reg.register_gauge_fn(
+      "lsml_server_models_cached",
+      [this] { return static_cast<std::int64_t>(models_cached()); }));
+  metric_regs_.push_back(reg.register_gauge_fn(
+      "lsml_server_models_cached_bytes",
+      [this] { return static_cast<std::int64_t>(models_cached_bytes()); }));
 }
 
 std::string Service::handle_line(const std::string& line) {
@@ -184,9 +236,20 @@ std::string Service::handle_line(
     const std::string& line,
     std::chrono::steady_clock::time_point received_at) {
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  // Queue wait: transport frame time -> this worker picking the line up.
+  const auto picked_up = std::chrono::steady_clock::now();
+  if (picked_up >= received_at) {
+    queue_wait_us_.record(us_since(received_at, picked_up));
+    if (obs::Tracer::enabled()) {
+      obs::Tracer::record("queue_wait", "server", received_at, picked_up);
+    }
+  }
   Json request;
   try {
-    request = Json::parse(line);
+    {
+      obs::ScopedSpan parse_span("parse", "server");
+      request = Json::parse(line);
+    }
     if (!request.is_object()) {
       throw RequestError("request must be a JSON object");
     }
@@ -195,6 +258,7 @@ std::string Service::handle_line(
     deadline.budget_ms =
         optional_int(request, "deadline_ms", 0, 0, 24LL * 3600 * 1000);
     Json response = dispatch(request, deadline);
+    obs::ScopedSpan serialize_span("serialize", "server");
     return response.dump();
   } catch (const DeadlineExpired& e) {
     stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
@@ -213,26 +277,42 @@ std::string Service::handle_line(
 
 Json Service::dispatch(const Json& request, const Deadline& deadline) {
   const std::string type = required_string(request, "type");
-  if (type == "learn") {
-    return handle_learn(request, deadline);
+  std::size_t op = kNumOps;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    if (type == kOpNames[i]) {
+      op = i;
+      break;
+    }
   }
-  if (type == "eval") {
-    return handle_eval(request);
+  if (op == kNumOps) {
+    throw RequestError(
+        "unknown request type '" + type +
+        "' (expected learn, eval, synth, cec, ping, stats, or metrics)");
   }
-  if (type == "synth") {
-    return handle_synth(request, deadline);
-  }
-  if (type == "cec") {
-    return handle_cec(request, deadline);
-  }
-  if (type == "ping") {
-    return handle_ping(request, deadline);
-  }
-  if (type == "stats") {
-    return handle_stats();
-  }
-  throw RequestError("unknown request type '" + type +
-                     "' (expected learn, eval, synth, cec, ping, or stats)");
+  // The per-request span and latency histogram wrap the whole handler;
+  // nested spans (sweep, synth passes, SAT solving) land inside it.
+  obs::ScopedSpan op_span(kOpNames[op], "server");
+  const auto start = std::chrono::steady_clock::now();
+  Json response = [&]() -> Json {
+    switch (op) {
+      case 0:
+        return handle_learn(request, deadline);
+      case 1:
+        return handle_eval(request);
+      case 2:
+        return handle_synth(request, deadline);
+      case 3:
+        return handle_cec(request, deadline);
+      case 4:
+        return handle_ping(request, deadline);
+      case 5:
+        return handle_stats();
+      default:
+        return handle_metrics(request);
+    }
+  }();
+  op_us_[op].record(us_since(start, std::chrono::steady_clock::now()));
+  return response;
 }
 
 // ----------------------------------------------------------------- learn
@@ -427,6 +507,7 @@ void Service::sweep_jobs(const StoredModel& model,
                          const std::vector<std::shared_ptr<EvalJob>>& batch) {
   const std::size_t num_pis = model.circuit.num_pis();
   stats_.eval_sweeps.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedSpan sweep_span("sweep", "sim");
   // Per-transport-thread scratch: the engine's word arena and the combined
   // column/output buffers are reused across requests instead of
   // reallocated per sweep. The engine only borrows model.circuit for the
@@ -776,8 +857,8 @@ Json Service::handle_ping(const Json& request, const Deadline& deadline) {
 
 Json Service::handle_stats() {
   Json r = response_base(Json(), "stats", true);
-  const auto get = [](const std::atomic<std::uint64_t>& c) {
-    return static_cast<std::int64_t>(c.load(std::memory_order_relaxed));
+  const auto get = [](const obs::Counter& c) {
+    return static_cast<std::int64_t>(c.load());
   };
   r.set("requests", get(stats_.requests));
   r.set("errors", get(stats_.errors));
@@ -801,6 +882,17 @@ Json Service::handle_stats() {
   r.set("synth_memo_hits",
         static_cast<std::int64_t>(synth::PassManager::memo_hits()));
   r.set("pipeline", pipeline_.script.str());
+  return r;
+}
+
+Json Service::handle_metrics(const Json& request) {
+  // Prometheus text exposition of the whole process registry: this
+  // Service's aliased counters/histograms plus the sim/synth/sat/suite
+  // subsystem families. Like `stats`, intentionally non-deterministic and
+  // excluded from the replay contract.
+  Json r = response_base(request, "metrics", true);
+  r.set("content_type", "text/plain; version=0.0.4");
+  r.set("text", obs::Registry::instance().expose_prometheus());
   return r;
 }
 

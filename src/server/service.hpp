@@ -50,6 +50,7 @@
 // constructing a Service: the constructor snapshots it for model-id
 // fingerprints, and learners read it concurrently afterwards.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -66,6 +67,7 @@
 #include "aig/aig.hpp"
 #include "core/bits.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/registry.hpp"
 #include "server/json.hpp"
 #include "suite/result_cache.hpp"
 #include "synth/pass_manager.hpp"
@@ -117,28 +119,32 @@ struct Deadline {
 };
 
 /// Monotonic counters; every field is updated atomically and readable at
-/// any time (the `stats` request serializes them).
+/// any time (the `stats` request serializes them). The fields are
+/// obs::Counter (a striped drop-in for std::atomic<std::uint64_t>), and
+/// every Service registers them into the process obs::Registry under
+/// lsml_server_* names for the `metrics` op — the same cells back both
+/// views, so `stats` and `metrics` can never disagree.
 struct ServiceStats {
-  std::atomic<std::uint64_t> requests{0};
-  std::atomic<std::uint64_t> errors{0};  ///< ok:false responses
-  std::atomic<std::uint64_t> learns{0};  ///< learn requests that refit
-  std::atomic<std::uint64_t> model_memory_hits{0};
-  std::atomic<std::uint64_t> model_disk_hits{0};
+  obs::Counter requests;
+  obs::Counter errors;  ///< ok:false responses
+  obs::Counter learns;  ///< learn requests that refit
+  obs::Counter model_memory_hits;
+  obs::Counter model_disk_hits;
   /// Requests that waited on a concurrent identical learn instead of
   /// refitting (single-flight).
-  std::atomic<std::uint64_t> model_inflight_joins{0};
-  std::atomic<std::uint64_t> model_evictions{0};
-  std::atomic<std::uint64_t> evals{0};
+  obs::Counter model_inflight_joins;
+  obs::Counter model_evictions;
+  obs::Counter evals;
   /// SimEngine sweeps actually run for eval requests; under a same-model
   /// storm this stays well below `evals` (the coalescing headline).
-  std::atomic<std::uint64_t> eval_sweeps{0};
+  obs::Counter eval_sweeps;
   /// Eval requests whose rows rode another request's sweep.
-  std::atomic<std::uint64_t> eval_coalesced{0};
-  std::atomic<std::uint64_t> eval_rows{0};
-  std::atomic<std::uint64_t> synths{0};
-  std::atomic<std::uint64_t> cecs{0};
-  std::atomic<std::uint64_t> pings{0};
-  std::atomic<std::uint64_t> deadline_expired{0};
+  obs::Counter eval_coalesced;
+  obs::Counter eval_rows;
+  obs::Counter synths;
+  obs::Counter cecs;
+  obs::Counter pings;
+  obs::Counter deadline_expired;
 };
 
 /// A learned circuit as the store keeps it (immutable once published).
@@ -153,6 +159,10 @@ struct StoredModel {
 
 class Service {
  public:
+  /// Request ops with per-op latency histograms; order matches the
+  /// kOpNames table in service.cpp.
+  static constexpr std::size_t kNumOps = 7;
+
   explicit Service(ServiceOptions options = {});
 
   /// Handles one request line; never throws. The returned response line
@@ -221,6 +231,10 @@ class Service {
   Json handle_cec(const Json& request, const Deadline& deadline);
   Json handle_ping(const Json& request, const Deadline& deadline);
   Json handle_stats();
+  Json handle_metrics(const Json& request);
+  /// Registers stats_ and the latency histograms into the process
+  /// obs::Registry (constructor helper).
+  void register_metrics();
 
   /// Runs `job` through the per-model coalescer (or directly when
   /// coalescing is off); on return job->outputs is filled.
@@ -269,6 +283,15 @@ class Service {
   std::atomic<std::uint64_t> store_clock_{0};
   std::atomic<std::size_t> store_entries_{0};
   std::atomic<std::size_t> store_bytes_{0};
+
+  /// Telemetry side-channel: queue-wait and per-op latency histograms.
+  obs::Histogram queue_wait_us_;
+  std::array<obs::Histogram, kNumOps> op_us_;
+  /// Registry aliases for stats_ and the histograms above. Must stay the
+  /// LAST members: destruction runs in reverse declaration order, so the
+  /// registrations (which point into this object) leave the registry
+  /// before anything they reference is torn down.
+  std::vector<obs::Registry::Registration> metric_regs_;
 };
 
 /// "m-<hex16>" spelling of a model content hash (and its inverse; false

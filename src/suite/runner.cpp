@@ -12,6 +12,8 @@
 #include "aig/aig_io.hpp"
 #include "core/bits.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "suite/manifest.hpp"
 
 namespace fs = std::filesystem;
@@ -244,10 +246,18 @@ RunnerReport run_contest_on(const std::vector<portfolio::ContestEntry>& entries,
   }
   report.cache_misses = static_cast<int>(pending.size());
 
+  // Per-task telemetry: a span per contest task plus a wall-time
+  // histogram. Side-channel only — leaderboard artifacts deliberately
+  // exclude wall times, so these never touch an artifact byte.
+  obs::Registry& obs_reg = obs::Registry::instance();
+  obs::Counter& task_counter = obs_reg.counter("lsml_suite_tasks_total");
+  obs::Histogram& task_us = obs_reg.histogram("lsml_suite_task_us");
   const auto run_task = [&](std::size_t t) {
     const PendingTask& task = pending[t];
     const portfolio::ContestEntry& entry = entries[task.entry];
     const oracle::Benchmark& bench = suite[task.bench];
+    obs::ScopedSpan task_span("task", "suite");
+    const auto task_start = std::chrono::steady_clock::now();
     const std::unique_ptr<learn::Learner> learner = entry.factory.make();
     core::Rng rng = portfolio::contest_rng(options.seed, entry.team, bench.id);
     aig::Aig circuit{0};
@@ -267,6 +277,12 @@ RunnerReport run_contest_on(const std::vector<portfolio::ContestEntry>& entries,
                    bench.name.c_str());
     }
     report.runs[task.entry].results[task.bench] = std::move(result);
+    task_counter.add(1);
+    const auto task_end = std::chrono::steady_clock::now();
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        task_end - task_start)
+                        .count();
+    task_us.record(us > 0 ? static_cast<std::uint64_t>(us) : 0);
   };
   core::ThreadPool::run_indexed(pending.size(), options.num_threads,
                                 run_task);

@@ -9,6 +9,8 @@
 #include "aig/aig_approx.hpp"
 #include "aig/aig_opt.hpp"
 #include "core/bits.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sat/cec.hpp"
 #include "sat/fraig.hpp"
 
@@ -18,8 +20,34 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-std::atomic<std::uint64_t> g_runs_executed{0};
-std::atomic<std::uint64_t> g_memo_hits{0};
+// Process-wide counters live in the obs::Registry so `lsml query metrics`
+// and PassManager::runs_executed()/memo_hits() read the same cells.
+obs::Counter& runs_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("lsml_synth_runs_total");
+  return c;
+}
+
+obs::Counter& memo_hits_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("lsml_synth_memo_hits_total");
+  return c;
+}
+
+/// Per-pass wall-time and AND-reduction histograms, keyed by pass
+/// spelling. A registry lookup per pass execution is noise next to the
+/// pass itself (rewrites run for milliseconds).
+void record_pass_metrics(const std::string& name, double ms,
+                         std::uint32_t ands_before,
+                         std::uint32_t ands_after) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.histogram("lsml_synth_pass_us{pass=\"" + name + "\"}")
+      .record(static_cast<std::uint64_t>(ms * 1000.0));
+  const std::uint64_t saved =
+      ands_before > ands_after ? ands_before - ands_after : 0;
+  reg.histogram("lsml_synth_pass_and_delta{pass=\"" + name + "\"}")
+      .record(saved);
+}
 
 /// Memo of deterministic runs. Bounded defensively: past the cap new
 /// results are simply not remembered (correctness never depends on it).
@@ -110,7 +138,7 @@ double SynthResult::total_ms() const { return trace_total_ms(trace); }
 
 SynthResult PassManager::run(const aig::Aig& in, const Script& script,
                              core::Rng* rng) const {
-  g_runs_executed.fetch_add(1, std::memory_order_relaxed);
+  runs_counter().add(1);
   const Clock::time_point start = Clock::now();
   const auto out_of_time = [&] {
     if (options_.time_budget_ms <= 0) {
@@ -132,12 +160,17 @@ SynthResult PassManager::run(const aig::Aig& in, const Script& script,
     stats.pass = name;
     stats.ands_before = from.num_ands();
     stats.levels_before = from.num_levels();
+    // Span names must outlive the tracer's rings; pass spellings are
+    // dynamic, so intern them (only when tracing is actually on).
+    obs::ScopedSpan span(
+        obs::Tracer::enabled() ? obs::intern_name(name) : nullptr, "synth");
     const Clock::time_point t0 = Clock::now();
     aig::Aig to = fn();
     stats.ms =
         std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
     stats.ands_after = to.num_ands();
     stats.levels_after = to.num_levels();
+    record_pass_metrics(name, stats.ms, stats.ands_before, stats.ands_after);
     result.trace.push_back(std::move(stats));
     return to;
   };
@@ -321,7 +354,7 @@ SynthResult PassManager::run_cached(const aig::Aig& in,
     std::lock_guard<std::mutex> lock(memo_mutex());
     const auto it = memo_table().find(key);
     if (it != memo_table().end()) {
-      g_memo_hits.fetch_add(1, std::memory_order_relaxed);
+      memo_hits_counter().add(1);
       return it->second;
     }
   }
@@ -335,17 +368,13 @@ SynthResult PassManager::run_cached(const aig::Aig& in,
   return result;
 }
 
-std::uint64_t PassManager::runs_executed() {
-  return g_runs_executed.load(std::memory_order_relaxed);
-}
+std::uint64_t PassManager::runs_executed() { return runs_counter().load(); }
 
-std::uint64_t PassManager::memo_hits() {
-  return g_memo_hits.load(std::memory_order_relaxed);
-}
+std::uint64_t PassManager::memo_hits() { return memo_hits_counter().load(); }
 
 void PassManager::reset_counters() {
-  g_runs_executed.store(0, std::memory_order_relaxed);
-  g_memo_hits.store(0, std::memory_order_relaxed);
+  runs_counter().reset();
+  memo_hits_counter().reset();
 }
 
 void PassManager::clear_memo() {

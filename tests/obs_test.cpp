@@ -1,0 +1,329 @@
+// obs tests: histogram bucket boundaries and merge associativity, striped
+// counter / histogram writes under concurrency (the TSan job builds this
+// binary), registry aliasing and Prometheus exposition, span nesting and
+// ring wraparound in the tracer.
+//
+// The registry is a process singleton shared by every test in this binary,
+// so each test uses metric names under its own `test_obs_` prefix.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "server/json.hpp"
+
+namespace lsml::obs {
+namespace {
+
+// ------------------------------------------------------------- histogram
+
+TEST(ObsHistogram, BucketBoundariesArePowersOfTwo) {
+  // Bucket 0 holds exactly the value 0.
+  EXPECT_EQ(histogram_bucket_index(0), 0u);
+  EXPECT_EQ(histogram_bucket_le(0), 0u);
+  // Bucket i holds [2^(i-1), 2^i): both edges land where the docs say.
+  for (std::size_t i = 1; i < kHistogramBuckets - 1; ++i) {
+    const std::uint64_t lo = std::uint64_t{1} << (i - 1);
+    const std::uint64_t hi = (std::uint64_t{1} << i) - 1;
+    EXPECT_EQ(histogram_bucket_index(lo), i) << "lo of bucket " << i;
+    EXPECT_EQ(histogram_bucket_index(hi), i) << "hi of bucket " << i;
+    EXPECT_EQ(histogram_bucket_le(i), hi);
+  }
+  // Every value is <= the inclusive bound of its bucket.
+  for (const std::uint64_t v : {1ull, 2ull, 3ull, 100ull, 4096ull}) {
+    EXPECT_LE(v, histogram_bucket_le(histogram_bucket_index(v)));
+  }
+  // Values past the covered range saturate into the last bucket.
+  EXPECT_EQ(histogram_bucket_index(UINT64_MAX), kHistogramBuckets - 1);
+}
+
+TEST(ObsHistogram, RecordFillsCountSumAndBuckets) {
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(5);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 11u);
+  EXPECT_EQ(s.buckets[0], 1u);                          // 0
+  EXPECT_EQ(s.buckets[1], 1u);                          // 1
+  EXPECT_EQ(s.buckets[histogram_bucket_index(5)], 2u);  // both 5s
+}
+
+TEST(ObsHistogram, MergeIsAssociativeAndCommutative) {
+  Histogram ha;
+  Histogram hb;
+  Histogram hc;
+  for (std::uint64_t v = 0; v < 50; ++v) {
+    ha.record(v * 3);
+    hb.record(v * 7 + 1);
+    hc.record(v * v);
+  }
+  const HistogramSnapshot a = ha.snapshot();
+  const HistogramSnapshot b = hb.snapshot();
+  const HistogramSnapshot c = hc.snapshot();
+
+  HistogramSnapshot ab_c = a;  // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  HistogramSnapshot bc = b;  // a + (b + c)
+  bc.merge(c);
+  HistogramSnapshot a_bc = a;
+  a_bc.merge(bc);
+  HistogramSnapshot cba = c;  // commuted order
+  cba.merge(b);
+  cba.merge(a);
+
+  EXPECT_EQ(ab_c.count, a_bc.count);
+  EXPECT_EQ(ab_c.sum, a_bc.sum);
+  EXPECT_EQ(ab_c.buckets, a_bc.buckets);
+  EXPECT_EQ(ab_c.count, cba.count);
+  EXPECT_EQ(ab_c.sum, cba.sum);
+  EXPECT_EQ(ab_c.buckets, cba.buckets);
+}
+
+TEST(ObsHistogram, QuantilesAreBoundedAndMonotone) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.record(10);  // bucket [8, 15]
+  }
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_GE(s.quantile(0.5), 8.0);
+  EXPECT_LE(s.quantile(0.5), 16.0);
+  EXPECT_LE(s.quantile(0.1), s.quantile(0.9));
+  EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0.0);
+}
+
+// ----------------------------------------------------------- concurrency
+
+TEST(ObsCounter, StripedAddsNeverLoseIncrements) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAdds = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAdds; ++i) {
+        c.add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.load(), kThreads * kAdds);
+  c.reset();
+  EXPECT_EQ(c.load(), 0u);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsAndSnapshotsAreClean) {
+  // Writers record while a reader snapshots mid-flight: the final totals
+  // must be exact and every intermediate snapshot internally bounded.
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kRecords = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kRecords; ++i) {
+        h.record(i & 1023);
+      }
+    });
+  }
+  threads.emplace_back([&h] {
+    for (int i = 0; i < 100; ++i) {
+      const HistogramSnapshot s = h.snapshot();
+      EXPECT_LE(s.count, kThreads * kRecords);
+    }
+  });
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.snapshot().count, kThreads * kRecords);
+}
+
+TEST(ObsRegistry, ConcurrentGetOrCreateReturnsOneInstance) {
+  Registry& reg = Registry::instance();
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      Counter& c = reg.counter("test_obs_race_total");
+      c.add(1);
+      seen[t] = &c;
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+  EXPECT_EQ(reg.counter_value("test_obs_race_total"), 8u);
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(ObsRegistry, RegistrationAliasesMergeAndUnregister) {
+  Registry& reg = Registry::instance();
+  reg.counter("test_obs_alias_total").add(5);
+  Counter external;
+  external.add(7);
+  {
+    const Registry::Registration r =
+        reg.register_counter("test_obs_alias_total", &external);
+    EXPECT_EQ(reg.counter_value("test_obs_alias_total"), 12u);
+    EXPECT_NE(reg.expose_prometheus().find("test_obs_alias_total 12"),
+              std::string::npos);
+  }
+  // The alias left with its Registration; the owned counter remains.
+  EXPECT_EQ(reg.counter_value("test_obs_alias_total"), 5u);
+}
+
+TEST(ObsRegistry, ExposesHistogramWithLabelsAndCumulativeBuckets) {
+  Registry& reg = Registry::instance();
+  Histogram& h = reg.histogram("test_obs_lat_us{op=\"a\"}");
+  h.record(0);
+  h.record(1);
+  h.record(3);
+  const std::string text = reg.expose_prometheus();
+  EXPECT_NE(text.find("# TYPE test_obs_lat_us histogram"), std::string::npos);
+  // Cumulative: le="0" sees 1 sample, le="1" two, le="3" all three.
+  EXPECT_NE(text.find("test_obs_lat_us_bucket{op=\"a\",le=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_lat_us_bucket{op=\"a\",le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_lat_us_bucket{op=\"a\",le=\"3\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_lat_us_bucket{op=\"a\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_lat_us_sum{op=\"a\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("test_obs_lat_us_count{op=\"a\"} 3"),
+            std::string::npos);
+  // One # TYPE line per family, no matter how many labeled series exist.
+  reg.histogram("test_obs_lat_us{op=\"b\"}").record(2);
+  const std::string two = reg.expose_prometheus();
+  std::size_t type_lines = 0;
+  for (std::size_t pos = two.find("# TYPE test_obs_lat_us histogram");
+       pos != std::string::npos;
+       pos = two.find("# TYPE test_obs_lat_us histogram", pos + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+TEST(ObsRegistry, GaugeFnSampledAtExposition) {
+  Registry& reg = Registry::instance();
+  std::int64_t depth = 3;
+  const Registry::Registration r =
+      reg.register_gauge_fn("test_obs_depth", [&depth] { return depth; });
+  EXPECT_NE(reg.expose_prometheus().find("test_obs_depth 3"),
+            std::string::npos);
+  depth = 9;
+  EXPECT_NE(reg.expose_prometheus().find("test_obs_depth 9"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------- tracer
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Tracer::disable();
+    Tracer::reset();
+  }
+};
+
+TEST_F(TracerTest, DisabledSpansRecordNothing) {
+  Tracer::disable();
+  Tracer::reset();
+  { ScopedSpan span("never", "test"); }
+  EXPECT_EQ(Tracer::recorded(), 0u);
+}
+
+TEST_F(TracerTest, NestedSpansStayContainedInExport) {
+  Tracer::enable(64);
+  {
+    ScopedSpan outer("outer", "test");
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    { ScopedSpan inner("inner", "test"); }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  EXPECT_EQ(Tracer::recorded(), 2u);
+
+  std::ostringstream os;
+  Tracer::export_chrome_trace(os);
+  const server::Json root = server::Json::parse(os.str());
+  const server::Json& events = root.at("traceEvents");
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted parents-first within a thread, so [0] is the outer span.
+  const server::Json& outer = events.at(0);
+  const server::Json& inner = events.at(1);
+  EXPECT_EQ(outer.at("name").as_string(), "outer");
+  EXPECT_EQ(inner.at("name").as_string(), "inner");
+  EXPECT_EQ(outer.at("ph").as_string(), "X");
+  const double slack = 0.002;  // export rounds timestamps to 1ns
+  EXPECT_GE(inner.at("ts").as_double() + slack, outer.at("ts").as_double());
+  EXPECT_LE(inner.at("ts").as_double() + inner.at("dur").as_double(),
+            outer.at("ts").as_double() + outer.at("dur").as_double() + slack);
+}
+
+TEST_F(TracerTest, RingWrapsAroundKeepingNewestSpans) {
+  Tracer::enable(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) {
+    Tracer::record("span", "test", t0 + std::chrono::microseconds(i),
+                   t0 + std::chrono::microseconds(i + 1));
+  }
+  EXPECT_EQ(Tracer::recorded(), 4u);
+  EXPECT_EQ(Tracer::dropped(), 6u);
+  // enable() starts a fresh capture: old rings and the drop count clear.
+  Tracer::enable(4);
+  EXPECT_EQ(Tracer::recorded(), 0u);
+  EXPECT_EQ(Tracer::dropped(), 0u);
+}
+
+TEST_F(TracerTest, ManyThreadsRecordWithoutLosingSpansBelowCapacity) {
+  Tracer::enable(1024);
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        ScopedSpan span("work", "test");
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Per-thread rings: no cross-thread eviction below per-ring capacity.
+  EXPECT_EQ(Tracer::recorded(), static_cast<std::size_t>(kThreads * kSpans));
+  EXPECT_EQ(Tracer::dropped(), 0u);
+}
+
+TEST_F(TracerTest, InternedNamesAreStableAndDeduplicated) {
+  const std::string spelling = "rw -k 6";
+  const char* a = intern_name(spelling);
+  const char* b = intern_name(std::string("rw -k 6"));
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "rw -k 6");
+}
+
+}  // namespace
+}  // namespace lsml::obs

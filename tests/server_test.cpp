@@ -22,6 +22,7 @@
 #include "aig/aig_io.hpp"
 #include "aig/aig_random.hpp"
 #include "core/rng.hpp"
+#include "obs/trace.hpp"
 #include "sat/cec.hpp"
 #include "server/client.hpp"
 #include "server/json.hpp"
@@ -824,6 +825,92 @@ TEST(ServiceTest, ServeStreamEnforcesRequestCap) {
   std::ostringstream out;
   service.serve_stream(in, out, 256);
   EXPECT_NE(out.str().find("max-request-bytes"), std::string::npos);
+}
+
+// ================================================================ telemetry
+
+TEST(ServiceTest, MetricsOpExposesPrometheusFamilies) {
+  Service service;
+  const std::string pla =
+      pla_for(3, [](std::uint32_t r) { return (r & 1) != 0; });
+  ASSERT_TRUE(handle(service, learn_request(pla)).at("ok").as_bool());
+  const Json response = handle(service, make_request("metrics"));
+  ASSERT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("content_type").as_string(),
+            "text/plain; version=0.0.4");
+  const std::string text = response.at("text").as_string();
+  // Families from the server, synth, and per-op histogram layers; the
+  // learn above guarantees each is non-trivial.
+  EXPECT_NE(text.find("# TYPE lsml_server_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lsml_server_op_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("lsml_server_op_us_count{op=\"learn\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lsml_synth_runs_total"), std::string::npos);
+  EXPECT_NE(text.find("lsml_server_models_cached 1"), std::string::npos);
+}
+
+TEST(ServiceTest, StatsAndMetricsReadTheSameCells) {
+  // Satellite contract: `stats` fields are aliases over the registry, so
+  // the two ops can never disagree on a quiesced service.
+  Service service;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(handle(service, make_request("ping")).at("ok").as_bool());
+  }
+  const Json stats = handle(service, make_request("stats"));
+  const std::string text =
+      handle(service, make_request("metrics")).at("text").as_string();
+  // stats itself bumped `requests` after its own snapshot, so read the
+  // metrics text for the final value and compare pings exactly.
+  EXPECT_EQ(stats.at("pings").as_int(), 3);
+  EXPECT_NE(text.find("lsml_server_pings_total 3"), std::string::npos);
+}
+
+TEST(ServiceTest, ResponsesAreBitIdenticalWithTracingOnOrOff) {
+  // The determinism contract: telemetry is a side channel, so the same
+  // request stream yields byte-identical responses with the tracer off,
+  // on, and re-enabled mid-stream.
+  const std::string pla =
+      pla_for(4, [](std::uint32_t r) { return (r * 5 + 1) % 3 == 0; });
+  aig::ConeOptions cone;
+  cone.num_inputs = 6;
+  cone.num_ands = 40;
+  core::Rng rng(7);
+  const aig::Aig circuit = aig::random_cone(cone, rng);
+  const auto transcript = [&](bool tracing) {
+    if (tracing) {
+      obs::Tracer::enable();
+    } else {
+      obs::Tracer::disable();
+    }
+    Service service;
+    std::vector<std::string> lines;
+    lines.push_back(service.handle_line(learn_request(pla).dump()));
+    const Json learned = Json::parse(lines.back());
+    Json eval = make_request("eval");
+    eval.set("model", learned.at("model").as_string());
+    Json inputs = Json::array();
+    inputs.push_back(Json("0110"));
+    inputs.push_back(Json("1011"));
+    eval.set("inputs", std::move(inputs));
+    lines.push_back(service.handle_line(eval.dump()));
+    Json synth = make_request("synth");
+    synth.set("aag", aag_text(circuit));
+    lines.push_back(service.handle_line(synth.dump()));
+    Json cec = make_request("cec");
+    cec.set("a", aag_text(or2_circuit()));
+    cec.set("b", aag_text(and2_circuit()));
+    lines.push_back(service.handle_line(cec.dump()));
+    return lines;
+  };
+  const std::vector<std::string> off = transcript(false);
+  const std::vector<std::string> on = transcript(true);
+  obs::Tracer::disable();
+  obs::Tracer::reset();
+  const std::vector<std::string> off_again = transcript(false);
+  EXPECT_EQ(off, on);
+  EXPECT_EQ(off, off_again);
 }
 
 // ================================================================ TCP daemon
