@@ -55,6 +55,7 @@
 #include "suite/manifest.hpp"
 #include "suite/runner.hpp"
 #include "synth/pass_manager.hpp"
+#include "synth/script_search.hpp"
 
 namespace lsml::cli {
 namespace {
@@ -79,10 +80,12 @@ constexpr const char* kUsage =
     "      --threads N          workers (0 = hardware)    [0]\n"
     "      --seed S             contest seed              [2020]\n"
     "      --scale smoke|fast|full  team grid sizes       [fast]\n"
-    "      --opt-script S       preset name or pass script [fast]\n"
+    "      --opt-script S       preset, pass script, or auto  [fast]\n"
     "                           (presets: fast, resyn2, resyn2fs,\n"
     "                            compress2max; script syntax e.g.\n"
-    "                            \"b;rw;b;rw -k 6\" or \"b;rw;fs -c 500\")\n"
+    "                            \"b;rw;b;rw -k 6\" or \"b;rw;fs -c 500\";\n"
+    "                            auto = learned per-circuit script search,\n"
+    "                            experience kept in the result cache)\n"
     "      --max-gates N        AND-gate cap on artifacts [5000, 0 = off]\n"
     "      --opt-rounds N       script repetitions        [3]\n"
     "      --time-budget-ms N   soft run budget, 0 = off  [0]\n"
@@ -92,12 +95,15 @@ constexpr const char* kUsage =
     "                           Perfetto) of the run's spans on exit\n"
     "  synth <in.aag>   optimize one AIGER file, print the pass trace\n"
     "                   (`-` reads the AIGER text from stdin)\n"
-    "      --script S           preset name or pass script [resyn2]\n"
-    "                           (presets include resyn2fs = resyn2 + SAT\n"
-    "                            sweeping; pass `fs -c N` bounds conflicts)\n"
+    "      --script S           preset, pass script, or auto [resyn2]\n"
+    "                           (--opt-script is an alias; presets include\n"
+    "                            resyn2fs = resyn2 + SAT sweeping; auto\n"
+    "                            searches per circuit, learns across runs)\n"
     "      --max-gates N        AND-gate cap              [5000, 0 = off]\n"
     "      --rounds N           script repetitions        [1]\n"
-    "      --seed S             approximation RNG seed\n"
+    "      --seed S             approximation + auto-search RNG seed\n"
+    "      --cache DIR          auto-search experience    [.lsml-cache]\n"
+    "      --no-cache           search cold, remember nothing\n"
     "      --out FILE           write the optimized AIGER here\n"
     "      --verify             SAT-certify the run (exit 1 if it failed)\n"
     "      --trace-out FILE     write a Chrome trace of the pass spans\n"
@@ -122,7 +128,8 @@ constexpr const char* kUsage =
     "      --cache DIR          on-disk model store       [.lsml-serve-cache]\n"
     "      --no-cache           disable the on-disk model store\n"
     "      --opt-script S --max-gates N --opt-rounds N --verify\n"
-    "                           pipeline applied to every learn request\n"
+    "                           optimization request applied to every learn\n"
+    "                           request (auto = per-circuit script search)\n"
     "                           [fast, 5000, 3, off]\n"
     "      --trace-out FILE     dump a Chrome trace of request spans on\n"
     "                           shutdown (SIGINT/SIGTERM)\n"
@@ -216,6 +223,77 @@ bool flag_value(const std::vector<std::string>& args, std::size_t* i,
   *value = args[++*i];
   return true;
 }
+
+/// One parser for the optimization-request flags every optimization
+/// surface shares (`run`, `synth`, `serve`): --opt-script/--script S
+/// (preset, pass syntax, or "auto"), --max-gates N, --opt-rounds/--rounds
+/// N, --verify. A command seeds the request with its own defaults, lets
+/// try_flag() consume what it recognizes inside its option loop, and calls
+/// finish() once — which validates the script and reports any failure in
+/// the one shared usage-error format. Command-specific semantics (seeds,
+/// time budgets, experience directories) are applied by the caller through
+/// request().
+class OptRequestFlags {
+ public:
+  enum class Status { kNotMine, kConsumed, kBad };
+
+  OptRequestFlags(const char* default_script, int default_rounds) {
+    request_.script = default_script;
+    request_.options.max_rounds = default_rounds;
+  }
+
+  Status try_flag(const std::vector<std::string>& args, std::size_t* i) {
+    std::string value;
+    if (args[*i] == "--opt-script" || args[*i] == "--script") {
+      return flag_value(args, i, &request_.script) ? Status::kConsumed
+                                                   : Status::kBad;
+    }
+    if (args[*i] == "--max-gates") {
+      std::uint64_t gates = 0;
+      if (!flag_value(args, i, &value) || !parse_u64(value, &gates) ||
+          gates > 0xffffffffULL) {
+        usage_error("--max-gates must be in [0, 2^32) (0 = uncapped)");
+        return Status::kBad;
+      }
+      request_.options.node_budget = static_cast<std::uint32_t>(gates);
+      return Status::kConsumed;
+    }
+    if (args[*i] == "--opt-rounds" || args[*i] == "--rounds") {
+      const std::string flag = args[*i];
+      int rounds = 0;
+      if (!flag_value(args, i, &value) || !parse_int(value, &rounds) ||
+          rounds < 1) {
+        usage_error(flag + " must be >= 1");
+        return Status::kBad;
+      }
+      request_.options.max_rounds = rounds;
+      return Status::kConsumed;
+    }
+    if (args[*i] == "--verify") {
+      request_.options.verify_equivalence = true;
+      return Status::kConsumed;
+    }
+    return Status::kNotMine;
+  }
+
+  /// Validates the accumulated script text; prints the shared usage error
+  /// and returns false when it is neither "auto", a preset, nor valid pass
+  /// syntax.
+  bool finish() {
+    try {
+      request_.validate();
+      return true;
+    } catch (const std::invalid_argument& e) {
+      usage_error(e.what());
+      return false;
+    }
+  }
+
+  [[nodiscard]] synth::OptRequest& request() { return request_; }
+
+ private:
+  synth::OptRequest request_;
+};
 
 /// Whole file as a string; `-` reads stdin to EOF.
 std::string read_text_file(const std::string& path) {
@@ -323,13 +401,19 @@ int cmd_run(const std::vector<std::string>& args) {
   std::vector<int> teams = portfolio::all_team_numbers();
   std::vector<std::string> learners;
   core::Scale scale = core::Scale::kFast;
-  std::string opt_script = "fast";
+  OptRequestFlags opt_flags("fast", 3);
   std::string trace_out;
-  std::uint64_t max_gates = 5000;
-  int opt_rounds = 3;
   for (std::size_t i = 1; i < args.size(); ++i) {
     std::string value;
     std::uint64_t u = 0;
+    switch (opt_flags.try_flag(args, &i)) {
+      case OptRequestFlags::Status::kConsumed:
+        continue;
+      case OptRequestFlags::Status::kBad:
+        return kExitUsage;
+      case OptRequestFlags::Status::kNotMine:
+        break;
+    }
     if (args[i] == "--teams") {
       if (!flag_value(args, &i, &value)) {
         return kExitUsage;
@@ -384,27 +468,11 @@ int cmd_run(const std::vector<std::string>& args) {
       } else {
         return usage_error("bad scale '" + value + "'");
       }
-    } else if (args[i] == "--opt-script") {
-      if (!flag_value(args, &i, &opt_script)) {
-        return kExitUsage;
-      }
-    } else if (args[i] == "--max-gates") {
-      if (!flag_value(args, &i, &value) || !parse_u64(value, &max_gates) ||
-          max_gates > 0xffffffffULL) {
-        return usage_error("--max-gates must be in [0, 2^32) (0 = uncapped)");
-      }
-    } else if (args[i] == "--opt-rounds") {
-      if (!flag_value(args, &i, &value) || !parse_int(value, &opt_rounds) ||
-          opt_rounds < 1) {
-        return usage_error("--opt-rounds must be >= 1");
-      }
     } else if (args[i] == "--time-budget-ms") {
       if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
         return kExitUsage;
       }
       options.time_budget_ms = static_cast<std::int64_t>(u);
-    } else if (args[i] == "--verify") {
-      options.pipeline.options.verify_equivalence = true;
     } else if (args[i] == "--trace-out") {
       if (!flag_value(args, &i, &trace_out)) {
         return kExitUsage;
@@ -417,22 +485,20 @@ int cmd_run(const std::vector<std::string>& args) {
       return usage_error("unknown run option " + args[i]);
     }
   }
-  try {
-    options.pipeline.script = synth::Script::named_or_parse(opt_script);
-  } catch (const std::invalid_argument& e) {
-    return usage_error(e.what());  // a bad --opt-script is a bad command line
+  if (!opt_flags.finish()) {
+    return kExitUsage;  // a bad --opt-script is a bad command line
   }
-  options.pipeline.options.node_budget =
-      static_cast<std::uint32_t>(max_gates);
-  options.pipeline.options.max_rounds = opt_rounds;
+  options.opt = opt_flags.request();
+  // One --seed steers every random stream of the run: the contest RNG and
+  // (under --opt-script auto) the script search.
+  options.opt.search_seed = options.seed;
+  const std::uint32_t max_gates = options.opt.options.node_budget;
 
   portfolio::TeamOptions team_options;
   team_options.scale = scale;
   // Teams select candidates under the same cap the artifacts must honor;
   // "uncapped" lifts their selection pressure entirely.
-  team_options.node_budget = max_gates == 0
-                                 ? 0xffffffffu
-                                 : static_cast<std::uint32_t>(max_gates);
+  team_options.node_budget = max_gates == 0 ? 0xffffffffu : max_gates;
   // The scale changes team hyper-parameter grids without changing entry
   // keys, so it must participate in cache invalidation.
   options.config_salt = static_cast<std::uint64_t>(scale);
@@ -469,10 +535,10 @@ int cmd_run(const std::vector<std::string>& args) {
       report.benchmarks.size(), entries.size(), report.cache_hits,
       report.cache_misses, report.elapsed_ms);
   std::printf("opt script: %s (max-gates %u, rounds %d)\n",
-              options.pipeline.script.str().c_str(),
-              options.pipeline.options.node_budget,
-              options.pipeline.options.max_rounds);
-  if (options.pipeline.options.verify_equivalence) {
+              options.opt.script_display().c_str(),
+              options.opt.options.node_budget,
+              options.opt.options.max_rounds);
+  if (options.opt.options.verify_equivalence) {
     double verified = 0.0;
     for (const auto& run : report.runs) {
       verified += run.verified_fraction();
@@ -518,45 +584,43 @@ int cmd_synth(const std::vector<std::string>& args) {
     return usage_error("synth needs an input .aag file (or - for stdin)");
   }
   const std::string in_path = args[0];
-  std::string script_text = "resyn2";
   std::string out_path;
   std::string trace_out;
-  std::uint64_t max_gates = 5000;
-  int rounds = 1;
-  synth::SynthOptions synth_options;
+  std::string cache_dir = ".lsml-cache";
+  OptRequestFlags opt_flags("resyn2", 1);
   for (std::size_t i = 1; i < args.size(); ++i) {
     std::string value;
     std::uint64_t u = 0;
-    if (args[i] == "--script") {
-      if (!flag_value(args, &i, &script_text)) {
+    switch (opt_flags.try_flag(args, &i)) {
+      case OptRequestFlags::Status::kConsumed:
+        continue;
+      case OptRequestFlags::Status::kBad:
         return kExitUsage;
-      }
-    } else if (args[i] == "--out") {
+      case OptRequestFlags::Status::kNotMine:
+        break;
+    }
+    if (args[i] == "--out") {
       if (!flag_value(args, &i, &out_path)) {
         return kExitUsage;
-      }
-    } else if (args[i] == "--max-gates") {
-      if (!flag_value(args, &i, &value) || !parse_u64(value, &max_gates) ||
-          max_gates > 0xffffffffULL) {
-        return usage_error("--max-gates must be in [0, 2^32) (0 = uncapped)");
-      }
-    } else if (args[i] == "--rounds") {
-      if (!flag_value(args, &i, &value) || !parse_int(value, &rounds) ||
-          rounds < 1) {
-        return usage_error("--rounds must be >= 1");
       }
     } else if (args[i] == "--seed") {
       if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
         return kExitUsage;
       }
-      synth_options.approx_seed = u;
+      // One seed steers both randomized approximation and the auto search.
+      opt_flags.request().options.approx_seed = u;
+      opt_flags.request().search_seed = u;
     } else if (args[i] == "--time-budget-ms") {
       if (!flag_value(args, &i, &value) || !parse_u64(value, &u)) {
         return kExitUsage;
       }
-      synth_options.time_budget_ms = static_cast<std::int64_t>(u);
-    } else if (args[i] == "--verify") {
-      synth_options.verify_equivalence = true;
+      opt_flags.request().options.time_budget_ms = static_cast<std::int64_t>(u);
+    } else if (args[i] == "--cache") {
+      if (!flag_value(args, &i, &cache_dir)) {
+        return kExitUsage;
+      }
+    } else if (args[i] == "--no-cache") {
+      cache_dir.clear();
     } else if (args[i] == "--trace-out") {
       if (!flag_value(args, &i, &trace_out)) {
         return kExitUsage;
@@ -567,29 +631,40 @@ int cmd_synth(const std::vector<std::string>& args) {
       return usage_error("unknown synth option " + args[i]);
     }
   }
-  synth::Script script;
-  try {
-    script = synth::Script::named_or_parse(script_text);
-  } catch (const std::invalid_argument& e) {
-    return usage_error(e.what());  // a bad --script is a bad command line
+  if (!opt_flags.finish()) {
+    return kExitUsage;  // a bad --script is a bad command line
   }
-  synth_options.node_budget = static_cast<std::uint32_t>(max_gates);
-  synth_options.max_rounds = rounds;
+  synth::OptRequest request = opt_flags.request();
+  // Auto searches remember what they learn next to the run cache, so the
+  // second `lsml synth --opt-script auto` over a similar circuit answers
+  // from experience instead of searching again.
+  request.experience_dir = cache_dir;
 
   const aig::Aig in =
       in_path == "-" ? aig::read_aag(std::cin) : aig::read_aag_file(in_path);
   if (!trace_out.empty()) {
     obs::Tracer::enable();
   }
-  const synth::PassManager manager(synth_options);
-  const synth::SynthResult result = manager.run(in, script);
+  const synth::ScriptSearch optimizer(request);
+  const synth::OptOutcome outcome = optimizer.optimize(in);
+  const synth::SynthResult& result = outcome.result;
   export_trace(trace_out);
 
   std::printf("%s: %u inputs, %u AND gates, %u levels\n", in_path.c_str(),
               in.num_pis(), in.num_ands(), in.num_levels());
-  std::printf("script %s (%s), max-gates %u, rounds %d\n\n",
-              script.name.c_str(), script.str().c_str(),
-              synth_options.node_budget, rounds);
+  std::printf("script %s (%s), max-gates %u, rounds %d\n",
+              request.is_auto() ? "auto" : outcome.script.name.c_str(),
+              outcome.script.str().c_str(), request.options.node_budget,
+              request.options.max_rounds);
+  if (request.is_auto()) {
+    // The one greppable line describing how auto decided: "searched" on a
+    // cold feature bucket, "experience" when the stored script answered.
+    std::printf("auto: %s winner after %d candidate(s), experience %s\n",
+                outcome.from_policy ? "experience" : "searched",
+                outcome.candidates_evaluated,
+                cache_dir.empty() ? "off" : cache_dir.c_str());
+  }
+  std::printf("\n");
   std::printf("%-14s %9s %9s %8s %8s %9s\n", "pass", "ands", "->", "levels",
               "->", "ms");
   for (const synth::PassStats& s : result.trace) {
@@ -610,7 +685,7 @@ int cmd_synth(const std::vector<std::string>& args) {
                         static_cast<double>(in_ands),
               in.num_levels(), result.circuit.num_levels(),
               result.total_ms());
-  if (synth_options.verify_equivalence) {
+  if (request.options.verify_equivalence) {
     std::printf("verification: %s\n", synth::to_string(result.verify));
   }
   if (!out_path.empty()) {
@@ -711,14 +786,19 @@ int cmd_serve(const std::vector<std::string>& args) {
   options.port = 7333;
   options.service.cache_dir = ".lsml-serve-cache";
   bool stdio = false;
-  std::string opt_script = "fast";
+  OptRequestFlags opt_flags("fast", 3);
   std::string trace_out;
-  std::uint64_t max_gates = 5000;
-  int opt_rounds = 3;
-  bool verify = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::string value;
     std::uint64_t u = 0;
+    switch (opt_flags.try_flag(args, &i)) {
+      case OptRequestFlags::Status::kConsumed:
+        continue;
+      case OptRequestFlags::Status::kBad:
+        return kExitUsage;
+      case OptRequestFlags::Status::kNotMine:
+        break;
+    }
     if (args[i] == "--host") {
       if (!flag_value(args, &i, &options.host)) {
         return kExitUsage;
@@ -780,22 +860,6 @@ int cmd_serve(const std::vector<std::string>& args) {
       }
     } else if (args[i] == "--no-cache") {
       options.service.cache_dir.clear();
-    } else if (args[i] == "--opt-script") {
-      if (!flag_value(args, &i, &opt_script)) {
-        return kExitUsage;
-      }
-    } else if (args[i] == "--max-gates") {
-      if (!flag_value(args, &i, &value) || !parse_u64(value, &max_gates) ||
-          max_gates > 0xffffffffULL) {
-        return usage_error("--max-gates must be in [0, 2^32) (0 = uncapped)");
-      }
-    } else if (args[i] == "--opt-rounds") {
-      if (!flag_value(args, &i, &value) || !parse_int(value, &opt_rounds) ||
-          opt_rounds < 1) {
-        return usage_error("--opt-rounds must be >= 1");
-      }
-    } else if (args[i] == "--verify") {
-      verify = true;
     } else if (args[i] == "--trace-out") {
       if (!flag_value(args, &i, &trace_out)) {
         return kExitUsage;
@@ -809,19 +873,17 @@ int cmd_serve(const std::vector<std::string>& args) {
     }
   }
 
-  // The pipeline every learn request runs under. Installed process-wide
-  // before any worker exists (the documented set_default_pipeline
-  // contract); requests cannot change it, only a restart can.
-  synth::Pipeline pipeline;
-  try {
-    pipeline.script = synth::Script::named_or_parse(opt_script);
-  } catch (const std::invalid_argument& e) {
-    return usage_error(e.what());  // a bad --opt-script is a bad command line
+  // The optimization request every learn request runs under, and the
+  // default the synth op's per-request overrides start from. Installed
+  // process-wide before the Service exists (the documented
+  // set_default_opt_request contract); requests cannot change it, only a
+  // restart can. Auto experience lives next to the on-disk model store.
+  if (!opt_flags.finish()) {
+    return kExitUsage;  // a bad --opt-script is a bad command line
   }
-  pipeline.options.node_budget = static_cast<std::uint32_t>(max_gates);
-  pipeline.options.max_rounds = opt_rounds;
-  pipeline.options.verify_equivalence = verify;
-  synth::set_default_pipeline(pipeline);
+  synth::OptRequest request = opt_flags.request();
+  request.experience_dir = options.service.cache_dir;
+  synth::set_default_opt_request(request);
 
   if (!trace_out.empty()) {
     obs::Tracer::enable();
@@ -839,12 +901,13 @@ int cmd_serve(const std::vector<std::string>& args) {
 
   server::Server server(options);
   server.start();
-  std::printf("lsml serve: listening on %s:%d (%s workers, pipeline %s%s)\n",
+  std::printf("lsml serve: listening on %s:%d (%s workers, opt %s%s)\n",
               options.host.c_str(), server.port(),
               options.num_threads == 0
                   ? "hardware"
                   : std::to_string(options.num_threads).c_str(),
-              pipeline.script.str().c_str(), verify ? ", --verify" : "");
+              request.script_display().c_str(),
+              request.options.verify_equivalence ? ", --verify" : "");
   if (!options.service.cache_dir.empty()) {
     std::printf("lsml serve: model store: %s\n",
                 options.service.cache_dir.c_str());

@@ -1,8 +1,10 @@
 #include "learn/learner.hpp"
 
+#include <memory>
 #include <utility>
 
 #include "aig/sim_engine.hpp"
+#include "synth/script_search.hpp"
 
 namespace lsml::learn {
 
@@ -41,13 +43,17 @@ std::vector<double> circuit_accuracies(aig::SimEngine& engine,
 TrainedModel finish_model(aig::Aig circuit, std::string method,
                           const data::Dataset& train,
                           const data::Dataset& valid) {
-  const synth::Pipeline& pipeline = synth::default_pipeline();
-  const synth::PassManager manager(pipeline.options);
-  synth::SynthResult optimized = manager.run_cached(circuit, pipeline.script);
+  // The unified optimization entry: a fixed request is one memoized
+  // pass-manager run; an "auto" request searches (or recalls) a script for
+  // this circuit's features.
+  const std::shared_ptr<const synth::ScriptSearch> optimizer =
+      synth::default_optimizer();
+  synth::OptOutcome optimized = optimizer->optimize(circuit);
   TrainedModel m;
-  m.circuit = std::move(optimized.circuit);
-  m.synth_trace = std::move(optimized.trace);
-  m.verified = optimized.verify;
+  m.circuit = std::move(optimized.result.circuit);
+  m.synth_trace = std::move(optimized.result.trace);
+  m.verified = optimized.result.verify;
+  m.opt_script = optimized.script.str();
   m.method = std::move(method);
   // One engine, one arena: the train sweep's allocation is reused for the
   // valid sweep (the Table III accuracy pair).

@@ -8,10 +8,12 @@
 // own synthesis/quantization cost, exactly as in the contest.
 //
 // Learners lower their models to *raw* AIGs and hand them to
-// finish_model, which runs the process-default synth::Pipeline (memoized
+// finish_model, which optimizes through the process-default
+// synth::OptRequest (the installed synth::default_optimizer(); memoized
 // by circuit structure) exactly once and records the pass trace. No
 // learner calls aig::optimize directly; "how circuits get optimized" is
-// the pass manager's contract, not each learner's habit.
+// the pass manager's contract, not each learner's habit. Under an "auto"
+// request the script itself is chosen per circuit by synth::ScriptSearch.
 
 #include <memory>
 #include <string>
@@ -38,6 +40,10 @@ struct TrainedModel {
   /// pass-manager run, not the learner: a later approximation downgrades
   /// it to kSkippedApprox (and is also visible in the method suffix).
   synth::VerifyStatus verified = synth::VerifyStatus::kNotRequested;
+  /// Canonical text of the script that optimized `circuit` — the request's
+  /// own script, or the per-circuit winner when the installed request was
+  /// "auto". Feeds the leaderboard's script column.
+  std::string opt_script;
 };
 
 class Learner {
@@ -64,10 +70,11 @@ std::vector<double> circuit_accuracies(aig::SimEngine& engine,
                                        const data::Dataset& ds,
                                        const std::vector<aig::Lit>& candidates);
 
-/// Runs the process-default synth::Pipeline over the raw circuit (memoized
-/// on circuit structure, so identical circuits across teams optimize once
-/// per process), then measures train/valid accuracies of the optimized
-/// AIG. The returned model honors the pipeline's node budget.
+/// Optimizes the raw circuit through the process-default synth::OptRequest
+/// (memoized on circuit structure, so identical circuits across teams
+/// optimize once per process; an "auto" default searches per circuit),
+/// then measures train/valid accuracies of the optimized AIG. The
+/// returned model honors the request's node budget.
 TrainedModel finish_model(aig::Aig circuit, std::string method,
                           const data::Dataset& train,
                           const data::Dataset& valid);

@@ -1,0 +1,36 @@
+#include "learn/search_learner.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "synth/script_search.hpp"
+
+namespace lsml::learn {
+
+SearchLearner::SearchLearner(LearnerFactory inner, std::string name)
+    : inner_(std::move(inner)), name_(std::move(name)) {}
+
+TrainedModel SearchLearner::fit(const data::Dataset& train,
+                                const data::Dataset& valid, core::Rng& rng) {
+  const std::unique_ptr<Learner> base = inner_.make();
+  TrainedModel model = base->fit(train, valid, rng);
+  // Force an "auto" request on top of whatever the process default is:
+  // same budgets/verify/seeds, but the script is chosen per circuit. The
+  // shared optimizer snapshot keeps the outcome independent of what other
+  // teams stored mid-run.
+  const std::shared_ptr<const synth::ScriptSearch> optimizer =
+      synth::default_optimizer();
+  synth::OptRequest request = optimizer->request();
+  request.script = synth::kAutoScript;
+  synth::OptOutcome out = optimizer->optimize(model.circuit, request);
+  model.circuit = std::move(out.result.circuit);
+  for (synth::PassStats& stats : out.result.trace) {
+    model.synth_trace.push_back(std::move(stats));
+  }
+  model.verified = out.result.verify;
+  model.opt_script = out.script.str();
+  model.method += "+search";
+  return model;
+}
+
+}  // namespace lsml::learn

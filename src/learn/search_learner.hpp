@@ -1,0 +1,37 @@
+#pragma once
+// "search" contest entry: an inner learner whose finished circuit is
+// re-optimized by a per-circuit learned script.
+//
+// The inner learner runs unmodified — its fit() already optimizes through
+// the process-default synth::OptRequest like every other entry. The
+// wrapper then forces one extra "auto" optimization of the finished
+// circuit, so the team's deliverable is the synth::ScriptSearch winner for
+// that circuit's features (recalled from experience when a matching bucket
+// is stored, searched otherwise). Every pass in the search vocabulary is
+// function-preserving and the input circuit already honors the node
+// budget, so train/valid accuracies carry over from the inner model
+// unchanged; only the structural metrics move.
+
+#include <string>
+
+#include "learn/factory.hpp"
+#include "learn/learner.hpp"
+
+namespace lsml::learn {
+
+class SearchLearner : public Learner {
+ public:
+  /// `inner` supplies the base model (the registered "search" entry wraps
+  /// "dt"); `name` is the contest team key.
+  SearchLearner(LearnerFactory inner, std::string name);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  TrainedModel fit(const data::Dataset& train, const data::Dataset& valid,
+                   core::Rng& rng) override;
+
+ private:
+  LearnerFactory inner_;
+  std::string name_;
+};
+
+}  // namespace lsml::learn

@@ -9,6 +9,7 @@
 
 #include "core/thread_pool.hpp"
 #include "learn/dt.hpp"
+#include "synth/script_search.hpp"
 
 namespace lsml::portfolio {
 
@@ -100,7 +101,8 @@ BenchmarkResult evaluate_on(learn::Learner& learner,
   // the deliverable respects the default pipeline's gate cap. Portfolio
   // teams enforce their own budget, so this pass almost always no-ops;
   // bare learners entered via --learners rely on it.
-  const synth::SynthOptions& synth_options = synth::default_pipeline().options;
+  const synth::SynthOptions synth_options =
+      synth::default_opt_request().options;
   bool budget_capped = false;
   if (synth_options.node_budget > 0 &&
       model.circuit.num_ands() > synth_options.node_budget) {
@@ -137,6 +139,7 @@ BenchmarkResult evaluate_on(learn::Learner& learner,
   result.num_levels = model.circuit.num_levels();
   result.synth_trace = std::move(model.synth_trace);
   result.verified = model.verified;
+  result.opt_script = std::move(model.opt_script);
   if (circuit_out != nullptr) {
     *circuit_out = std::move(model.circuit);
   }

@@ -18,6 +18,7 @@
 #include "learn/rules.hpp"
 #include "portfolio/contest.hpp"
 #include "synth/pass_manager.hpp"
+#include "synth/script_search.hpp"
 #include "tt/truth_table.hpp"
 
 namespace lsml::portfolio {
@@ -72,7 +73,7 @@ learn::TrainedModel select_best_within_budget(
     }
     return finished;
   }
-  synth::SynthOptions options = synth::default_pipeline().options;
+  synth::SynthOptions options = synth::default_opt_request().options;
   options.node_budget = node_budget;
   options.max_rounds = 1;
   const synth::PassManager manager(options);

@@ -174,7 +174,7 @@ bool model_hash_from_id(const std::string& id, std::uint64_t* hash) {
 
 Service::Service(ServiceOptions options)
     : options_(std::move(options)),
-      pipeline_(synth::default_pipeline()),
+      optimizer_(synth::default_optimizer()),
       disk_cache_(options_.cache_dir) {
   std::size_t shards = options_.store_shards == 0 ? 1 : options_.store_shards;
   std::size_t pow2 = 1;
@@ -346,14 +346,14 @@ Json Service::handle_learn(const Json& request, const Deadline& deadline) {
 
   // Model identity: the same content-hash recipe the contest's result
   // cache uses (datasets + seed + schema version), extended by who learns
-  // and under which pipeline. Equal requests — across connections,
-  // restarts, and replays — map to equal ids.
+  // and under which optimization request. Equal requests — across
+  // connections, restarts, and replays — map to equal ids.
   const std::uint64_t valid_hash = valid.content_hash();
   std::uint64_t hash = suite::task_content_hash(
       0, seed, train.content_hash(), valid_hash, valid_hash);
   hash = core::hash_combine(
       hash, core::fnv1a(learner_name.data(), learner_name.size()));
-  hash = core::hash_combine(hash, pipeline_.fingerprint());
+  hash = core::hash_combine(hash, optimizer_->request().fingerprint());
   const std::string id = model_id_from_hash(hash);
 
   std::shared_ptr<const StoredModel> model = store_get(id);
@@ -723,8 +723,14 @@ Json Service::handle_eval(const Json& request) {
 
 Json Service::handle_synth(const Json& request, const Deadline& deadline) {
   const aig::Aig in = parse_aag_payload(required_string(request, "aag"), "aag");
-  synth::Script script;
-  const std::string script_text = [&] {
+  // Per-request overrides on top of the installed request: script (or
+  // "auto", which searches with the construction-time experience
+  // snapshot), budgets, seed, verify. The options reset to the op's own
+  // defaults first, so a request without a field gets the exact response
+  // it always got regardless of what the daemon was started with.
+  synth::OptRequest req = optimizer_->request();
+  req.options = synth::SynthOptions{};
+  req.script = [&] {
     const Json* s = optional_member(request, "script");
     if (s == nullptr) {
       return std::string("resyn2");
@@ -735,41 +741,51 @@ Json Service::handle_synth(const Json& request, const Deadline& deadline) {
     return s->as_string();
   }();
   try {
-    script = synth::Script::named_or_parse(script_text);
+    req.validate();
   } catch (const std::exception& e) {
     throw RequestError(std::string("bad 'script': ") + e.what());
   }
-  synth::SynthOptions opts;
-  opts.node_budget = static_cast<std::uint32_t>(
+  req.options.node_budget = static_cast<std::uint32_t>(
       optional_int(request, "max_gates", 5000, 0, 0xffffffffLL));
-  opts.max_rounds =
+  req.options.max_rounds =
       static_cast<int>(optional_int(request, "rounds", 1, 1, 1000));
-  opts.approx_seed = static_cast<std::uint64_t>(optional_int(
-      request, "seed", static_cast<std::int64_t>(opts.approx_seed), 0,
+  req.options.approx_seed = static_cast<std::uint64_t>(optional_int(
+      request, "seed", static_cast<std::int64_t>(req.options.approx_seed), 0,
       INT64_MAX));
-  opts.verify_equivalence = optional_bool(request, "verify", false);
+  if (optional_member(request, "seed") != nullptr) {
+    // One seed field steers both randomized approximation and the auto
+    // search stream.
+    req.search_seed = req.options.approx_seed;
+  }
+  req.options.verify_equivalence = optional_bool(request, "verify", false);
   if (deadline.active()) {
     if (deadline.expired()) {
       throw DeadlineExpired("synth started");
     }
     // Map the remaining deadline onto the pass manager's existing soft
     // time budget; such runs bypass the process memo by design.
-    opts.time_budget_ms = deadline.remaining_ms();
+    req.options.time_budget_ms = deadline.remaining_ms();
   }
-  const synth::PassManager manager(opts);
-  const synth::SynthResult result = manager.run_cached(in, script);
+  const synth::OptOutcome out = optimizer_->optimize(in, req);
 
   stats_.synths.fetch_add(1, std::memory_order_relaxed);
   Json r = response_base(request, "synth", true);
-  r.set("script", script.str());
-  r.set("ands_in", result.ands_in());
-  r.set("ands", result.circuit.num_ands());
-  r.set("levels", result.circuit.num_levels());
-  r.set("verified", synth::to_string(result.verify));
+  r.set("script", out.script.str());
+  if (req.is_auto()) {
+    // The winner's identity, only when the caller asked for search —
+    // fixed-script responses stay byte-identical to older builds.
+    char fp[17];
+    std::snprintf(fp, sizeof fp, "%016" PRIx64, out.script.fingerprint());
+    r.set("script_fp", std::string(fp));
+  }
+  r.set("ands_in", out.result.ands_in());
+  r.set("ands", out.result.circuit.num_ands());
+  r.set("levels", out.result.circuit.num_levels());
+  r.set("verified", synth::to_string(out.result.verify));
   // Wall times stay out of the trace: responses must be bit-identical
   // across replays (the ms column is observable via the CLI instead).
   Json trace = Json::array();
-  for (const synth::PassStats& pass : result.trace) {
+  for (const synth::PassStats& pass : out.result.trace) {
     Json p = Json::object();
     p.set("pass", pass.pass);
     p.set("ands_before", pass.ands_before);
@@ -779,7 +795,7 @@ Json Service::handle_synth(const Json& request, const Deadline& deadline) {
     trace.push_back(std::move(p));
   }
   r.set("trace", std::move(trace));
-  r.set("aag", aag_to_string(result.circuit));
+  r.set("aag", aag_to_string(out.result.circuit));
   return r;
 }
 
@@ -881,7 +897,7 @@ Json Service::handle_stats() {
   r.set("store_shards", static_cast<std::int64_t>(shards_.size()));
   r.set("synth_memo_hits",
         static_cast<std::int64_t>(synth::PassManager::memo_hits()));
-  r.set("pipeline", pipeline_.script.str());
+  r.set("pipeline", optimizer_->request().script_display());
   return r;
 }
 

@@ -6,13 +6,15 @@
 // response line, reusing every layer built so far —
 //
 //   learn  PLA payload -> learn::LearnerFactory -> TrainedModel, optimized
-//          through the installed synth::Pipeline (and SAT-verified when the
-//          pipeline's SynthOptions say so)
+//          through the installed synth::OptRequest (and SAT-verified when
+//          the request's SynthOptions say so)
 //   eval   model id + minterm rows -> packed-simulation outputs. One
 //          request may carry many row batches ("batches"); they all ride
 //          one SimEngine sweep. Concurrent evals against the same model
 //          coalesce into shared sweeps (see "Batching" below).
-//   synth  AIGER text + script string -> optimized AIGER + pass trace
+//   synth  AIGER text + script string -> optimized AIGER + pass trace;
+//          script "auto" runs the per-circuit synth::ScriptSearch and the
+//          response names the winner (script + script_fp)
 //   cec    two AIGER payloads -> verdict + counterexample cube
 //   ping   liveness (optional server-side sleep, for load/deadline tests)
 //   stats  service counters (the one intentionally non-deterministic reply)
@@ -27,7 +29,7 @@
 // observable as `eval_sweeps` / `eval_coalesced` in `stats`.
 //
 // Model store: learned circuits live in a sharded LRU keyed by a content
-// hash over (datasets, learner, seed, pipeline fingerprint) — the same
+// hash over (datasets, learner, seed, request fingerprint) — the same
 // Dataset::content_hash / task_content_hash machinery that keys the
 // contest's on-disk suite::ResultCache. Shards are selected by model-id
 // hash, each with its own mutex + recency list, so concurrent learns and
@@ -38,7 +40,8 @@
 // `eval` requests for already-learned models without refitting.
 //
 // Determinism contract: every response except `stats` is a pure function
-// of the request (given a fixed installed pipeline), with no wall times or
+// of the request (given a fixed installed OptRequest and experience
+// snapshot), with no wall times or
 // cache-hit markers in the body — so N concurrent clients replaying a
 // request set get byte-identical lines to a serial replay. Hit counts are
 // observable through `stats` instead.
@@ -46,9 +49,10 @@
 // Thread safety: handle_line is safe to call from any number of threads
 // (the store shards, the eval coalescer, and the counters are internally
 // synchronized; the synth memo and learner stack are already thread-safe).
-// Install the process synth::Pipeline (synth::set_default_pipeline) BEFORE
-// constructing a Service: the constructor snapshots it for model-id
-// fingerprints, and learners read it concurrently afterwards.
+// Install the process synth::OptRequest (synth::set_default_opt_request)
+// BEFORE constructing a Service: the constructor snapshots the installed
+// optimizer for model-id fingerprints and synth dispatch, and learners
+// read it concurrently afterwards.
 
 #include <array>
 #include <atomic>
@@ -71,6 +75,7 @@
 #include "server/json.hpp"
 #include "suite/result_cache.hpp"
 #include "synth/pass_manager.hpp"
+#include "synth/script_search.hpp"
 
 namespace lsml::server {
 
@@ -182,9 +187,12 @@ class Service {
 
   [[nodiscard]] const ServiceStats& stats() const { return stats_; }
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
-  /// The pipeline snapshot taken at construction (what learn requests run
-  /// under and what model ids fingerprint).
-  [[nodiscard]] const synth::Pipeline& pipeline() const { return pipeline_; }
+  /// The optimizer snapshot taken at construction (what learn requests run
+  /// under, what model ids fingerprint, and what synth "auto" searches
+  /// with).
+  [[nodiscard]] const synth::OptRequest& opt_request() const {
+    return optimizer_->request();
+  }
 
   /// In-memory model count across all shards (tests assert LRU eviction
   /// through this).
@@ -258,7 +266,7 @@ class Service {
                 const std::vector<synth::PassStats>& trace);
 
   ServiceOptions options_;
-  synth::Pipeline pipeline_;
+  std::shared_ptr<const synth::ScriptSearch> optimizer_;
   suite::ResultCache disk_cache_;
   ServiceStats stats_;
 

@@ -139,6 +139,9 @@ std::optional<CachedTask> ResultCache::load(const std::string& team_key,
       !synth::verify_status_from_string(value, &r.verified)) {
     return std::nullopt;
   }
+  if (!next_field(is, "script", &r.opt_script)) {
+    return std::nullopt;
+  }
   std::uint32_t num_passes = 0;
   if (!read_u32("synth_passes", &num_passes) || num_passes > (1u << 20)) {
     return std::nullopt;
@@ -224,6 +227,7 @@ void ResultCache::store(const std::string& team_key,
          << "num_ands " << r.num_ands << '\n'
          << "num_levels " << r.num_levels << '\n'
          << "verified " << synth::to_string(r.verified) << '\n'
+         << "script " << r.opt_script << '\n'
          << "synth_passes " << r.synth_trace.size() << '\n';
       for (const synth::PassStats& s : r.synth_trace) {
         os << "pass " << s.ands_before << ' ' << s.ands_after << ' '

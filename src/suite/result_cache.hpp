@@ -28,7 +28,11 @@ namespace lsml::suite {
 /// v3: entries carry the SAT-certification verdict (`verified` field,
 /// synth::VerifyStatus spelling) behind the leaderboard's verified
 /// column.
-inline constexpr std::uint32_t kResultCacheSchemaVersion = 3;
+/// v4: entries carry the optimization script (`script` field, canonical
+/// synth::Script text — the search winner under --opt-script auto) behind
+/// the leaderboard's script column; cache keys are salted by
+/// synth::OptRequest::fingerprint() instead of Pipeline::fingerprint().
+inline constexpr std::uint32_t kResultCacheSchemaVersion = 4;
 
 /// A completed (team, benchmark) task, as cached. The result's
 /// synth_trace (per-pass sizes and wall time) round-trips with it, so a

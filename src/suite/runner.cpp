@@ -88,7 +88,8 @@ std::string leaderboard_csv(const std::vector<portfolio::TeamRun>& runs,
   // timings are not. They live in the cache entries and `lsml synth`.
   std::ostringstream os;
   os << "team,team_key,benchmark,method,train_acc,valid_acc,test_acc,"
-        "num_ands,num_levels,raw_ands,ands_saved,synth_passes,verified\n";
+        "num_ands,num_levels,raw_ands,ands_saved,synth_passes,verified,"
+        "script\n";
   for (std::size_t e = 0; e < runs.size(); ++e) {
     for (const auto& r : runs[e].results) {
       // Team keys and benchmark names come from registry names and on-disk
@@ -100,7 +101,8 @@ std::string leaderboard_csv(const std::vector<portfolio::TeamRun>& runs,
          << r.num_ands << ',' << r.num_levels << ','
          << r.synth_ands_in() << ',' << r.synth_ands_saved() << ','
          << r.synth_trace.size() << ','
-         << synth::to_string(r.verified) << '\n';
+         << synth::to_string(r.verified) << ','
+         << csv_quote(r.opt_script) << '\n';
     }
   }
   return os.str();
@@ -121,12 +123,12 @@ std::string leaderboard_json(const std::vector<portfolio::TeamRun>& runs,
                      return runs[a].avg_test_acc() > runs[b].avg_test_acc();
                    });
   std::ostringstream os;
-  os << "{\n  \"schema\": \"lsml-leaderboard-v3\",\n  \"seed\": "
+  os << "{\n  \"schema\": \"lsml-leaderboard-v4\",\n  \"seed\": "
      << options.seed << ",\n  \"opt\": {\"script\": \""
-     << json_escape(options.pipeline.script.str()) << "\", \"node_budget\": "
-     << options.pipeline.options.node_budget << ", \"max_rounds\": "
-     << options.pipeline.options.max_rounds << ", \"verify\": "
-     << (options.pipeline.options.verify_equivalence ? "true" : "false")
+     << json_escape(options.opt.script_display()) << "\", \"node_budget\": "
+     << options.opt.options.node_budget << ", \"max_rounds\": "
+     << options.opt.options.max_rounds << ", \"verify\": "
+     << (options.opt.options.verify_equivalence ? "true" : "false")
      << "},\n  \"benchmarks\": [";
   for (std::size_t b = 0; b < benchmarks.size(); ++b) {
     os << (b == 0 ? "" : ", ") << '"' << json_escape(benchmarks[b]) << '"';
@@ -165,8 +167,13 @@ RunnerReport run_contest_on(const std::vector<portfolio::ContestEntry>& entries,
   const auto start = std::chrono::steady_clock::now();
   const ResultCache cache(options.cache_dir);
   // Every task below (and every learner inside it) optimizes through this
-  // pipeline; installed before workers spawn, restored when the run ends.
-  const synth::ScopedPipeline scoped_pipeline(options.pipeline);
+  // request; installed before workers spawn, restored when the run ends.
+  // The experience table shares the result cache's directory, so scripts
+  // an auto run learns survive to the next run; the snapshot is taken here
+  // — once, before any task — so same-run stores never change results.
+  synth::OptRequest opt = options.opt;
+  opt.experience_dir = options.cache_dir;
+  const synth::ScopedOptRequest scoped_opt(opt);
 
   std::vector<std::string> keys;
   keys.reserve(entries.size());
@@ -187,11 +194,11 @@ RunnerReport run_contest_on(const std::vector<portfolio::ContestEntry>& entries,
     report.benchmarks.push_back(bench.name);
   }
 
-  // The pipeline changes every task's circuit, so its fingerprint is part
-  // of every key: results computed under one script/budget are never
-  // served under another.
+  // The request changes every task's circuit, so its fingerprint is part
+  // of every key: results computed under one script/budget/search
+  // configuration are never served under another.
   const std::uint64_t pipeline_salt =
-      core::hash_combine(options.config_salt, options.pipeline.fingerprint());
+      core::hash_combine(options.config_salt, options.opt.fingerprint());
   std::vector<std::uint64_t> bench_hash(suite.size());
   for (std::size_t b = 0; b < suite.size(); ++b) {
     bench_hash[b] = core::hash_combine(

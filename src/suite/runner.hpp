@@ -18,7 +18,7 @@
 
 #include "portfolio/contest.hpp"
 #include "suite/result_cache.hpp"
-#include "synth/pass_manager.hpp"
+#include "synth/script_search.hpp"
 
 namespace lsml::suite {
 
@@ -36,10 +36,13 @@ struct RunnerOptions {
   int verbosity = 0;
   /// Skip AIGER/leaderboard files (tests and benches that only want runs).
   bool write_artifacts = true;
-  /// Optimization pipeline applied to every task's circuit. Installed as
-  /// the process default for the duration of the run and digested into
-  /// every cache key (a different script or budget is a different task).
-  synth::Pipeline pipeline = synth::default_pipeline();
+  /// Optimization request applied to every task's circuit (script-or-auto,
+  /// budgets, verify, search seed). Installed as the process default for
+  /// the duration of the run and digested into every cache key (a
+  /// different script, budget, or search configuration is a different
+  /// task). Its experience_dir is overridden with `cache_dir` at run time
+  /// so an auto run's learned scripts persist next to its results.
+  synth::OptRequest opt;
   /// Soft wall-clock budget for the whole run; 0 = unlimited. Same
   /// contract as portfolio::ContestOptions::time_budget_ms: all tasks run
   /// to completion, the run is only flagged in `stats`.

@@ -1,0 +1,74 @@
+#pragma once
+// LOSTIN-lite structural features of an AIG.
+//
+// A FeatureVector is the cheap, deterministic circuit description the
+// script search learns over: gate count, depth, a level histogram, fanout
+// and output-cone statistics, PI/PO counts. Nothing here simulates the
+// circuit — extraction is a handful of linear traversals — so features can
+// be computed for every optimization request without measurable cost.
+//
+// Two derived quantities matter downstream:
+//   - bucket_hash(): a coarse quantized digest. Circuits whose features
+//     land in the same bucket are treated as "the same kind of circuit" by
+//     the experience table (suite::ResultCache team key "scripts").
+//   - feature_distance(): a scale-free metric for the nearest-feature
+//     policy when no exact bucket is stored.
+// Both are pinned by tests; changing either invalidates stored experience,
+// which kFeatureSchemaVersion (mixed into every bucket hash) makes safe.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace lsml::synth {
+
+/// Mixed into every bucket hash: bump when extraction, quantization, or
+/// the serialized form changes, so stale experience entries become misses
+/// instead of mapping old features onto new buckets.
+inline constexpr std::uint32_t kFeatureSchemaVersion = 1;
+
+/// Depth octiles of the AND-gate level histogram.
+inline constexpr std::size_t kLevelHistogramBuckets = 8;
+
+struct FeatureVector {
+  std::uint32_t num_pis = 0;
+  std::uint32_t num_pos = 0;
+  std::uint32_t num_ands = 0;
+  std::uint32_t num_levels = 0;
+  /// Largest fanout over all nodes (output uses included).
+  std::uint32_t max_fanout = 0;
+  /// Largest single-output cone, in AND gates.
+  std::uint32_t max_cone = 0;
+  /// Mean fanout over AND gates.
+  double avg_fanout = 0.0;
+  /// Mean single-output cone size, in AND gates.
+  double avg_cone = 0.0;
+  /// Fraction of AND gates whose level falls in each depth octile.
+  std::array<double, kLevelHistogramBuckets> level_histogram{};
+
+  /// Coarse quantized digest: the experience-table key. Equal for
+  /// structurally similar circuits (log-bucketed sizes, quantized
+  /// histogram), stable across processes.
+  [[nodiscard]] std::uint64_t bucket_hash() const;
+  /// "fb-<hex16(bucket_hash)>": the experience entry's benchmark name.
+  [[nodiscard]] std::string bucket_name() const;
+
+  /// One-line serialization (hexfloat doubles, bit-exact round-trip).
+  [[nodiscard]] std::string str() const;
+  /// Inverse of str(); false on malformed or version-stale text.
+  static bool parse(const std::string& text, FeatureVector* out);
+};
+
+/// Extracts features with a few linear traversals. Deterministic: equal
+/// structures yield equal vectors.
+[[nodiscard]] FeatureVector extract_features(const aig::Aig& g);
+
+/// Scale-free distance for the nearest-feature policy: L2 over log-scaled
+/// sizes plus the level histogram. Symmetric, zero iff the normalized
+/// coordinates coincide.
+[[nodiscard]] double feature_distance(const FeatureVector& a,
+                                      const FeatureVector& b);
+
+}  // namespace lsml::synth

@@ -386,21 +386,8 @@ std::uint64_t Pipeline::fingerprint() const {
   return core::hash_combine(script.fingerprint(), options.fingerprint());
 }
 
-namespace {
-
-Pipeline& default_pipeline_storage() {
-  static Pipeline pipeline{Script::preset("fast"), SynthOptions{}};
-  return pipeline;
-}
-
-}  // namespace
-
-const Pipeline& default_pipeline() { return default_pipeline_storage(); }
-
-Pipeline set_default_pipeline(Pipeline pipeline) {
-  Pipeline previous = std::move(default_pipeline_storage());
-  default_pipeline_storage() = std::move(pipeline);
-  return previous;
-}
+// default_pipeline / set_default_pipeline live in script_search.cpp now:
+// they are shims over the synth::OptRequest process default, kept in one
+// translation unit so the two views can never disagree.
 
 }  // namespace lsml::synth

@@ -140,10 +140,17 @@ class PassManager {
   SynthOptions options_;
 };
 
-/// A pipeline: which script to run under which contract. The process-wide
-/// default is what learn::finish_model applies to every raw learner
-/// circuit; drivers (suite runner, CLI) install their configuration before
-/// running and restore the previous one after.
+/// A pipeline: which script to run under which contract.
+///
+/// DEPRECATED as the process-wide default: synth::OptRequest (see
+/// synth/script_search.hpp) is the unified optimization request all
+/// drivers construct now, and learn::finish_model optimizes through the
+/// installed default_optimizer(). The functions below remain as shims —
+/// set_default_pipeline forwards to set_default_opt_request, and
+/// default_pipeline() mirrors the installed request (an "auto" request
+/// mirrors as an empty script named "auto"; its options stay
+/// authoritative) — so existing learners and tests work unmodified. See
+/// the README's "Script search" section for the removal plan.
 struct Pipeline {
   Script script;
   SynthOptions options;
@@ -153,13 +160,16 @@ struct Pipeline {
 
 /// Initial default: preset "fast" under default SynthOptions (5000-AND
 /// budget, 3 rounds) — the seed's aig::optimize behavior plus the cap.
+/// DEPRECATED: read synth::default_opt_request() instead.
 [[nodiscard]] const Pipeline& default_pipeline();
 
 /// Replaces the process default and returns the previous value. Install
 /// before spawning contest workers; the default itself is not locked.
+/// DEPRECATED: call synth::set_default_opt_request instead.
 Pipeline set_default_pipeline(Pipeline pipeline);
 
-/// RAII default swap for drivers and tests.
+/// RAII default swap for drivers and tests (deprecated alongside the
+/// functions it wraps; prefer synth::ScopedOptRequest).
 class ScopedPipeline {
  public:
   explicit ScopedPipeline(Pipeline pipeline)

@@ -572,6 +572,41 @@ TEST(ServiceTest, SynthOptimizesAndStaysEquivalent) {
   EXPECT_EQ(cec.status, sat::CecStatus::kEquivalent);
 }
 
+TEST(ServiceTest, SynthAutoSearchesAndNamesTheWinner) {
+  Service service;
+  core::Rng rng(11);
+  aig::ConeOptions cone;
+  cone.num_inputs = 10;
+  cone.num_ands = 120;
+  const aig::Aig in = aig::random_cone(cone, rng);
+
+  Json request = make_request("synth");
+  request.set("aag", aag_text(in));
+  request.set("script", "auto");
+  const Json response = handle(service, request);
+  ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+  // The chosen script is a real, parseable pass list, and its fingerprint
+  // rides along so clients can key replays on the winner's identity.
+  const synth::Script winner =
+      synth::Script::parse(response.at("script").as_string());
+  EXPECT_FALSE(winner.passes.empty());
+  EXPECT_EQ(response.at("script_fp").as_string().size(), 16u);
+
+  std::istringstream optimized_text(response.at("aag").as_string());
+  const aig::Aig optimized = aig::read_aag(optimized_text);
+  const sat::CecResult cec = sat::cec(in, optimized);
+  EXPECT_EQ(cec.status, sat::CecStatus::kEquivalent);
+
+  // Auto never loses to the fixed default: same request with resyn2.
+  Json fixed = make_request("synth");
+  fixed.set("aag", aag_text(in));
+  const Json baseline = handle(service, fixed);
+  ASSERT_TRUE(baseline.at("ok").as_bool());
+  EXPECT_LE(response.at("ands").as_int(), baseline.at("ands").as_int());
+  // Fixed-script responses stay byte-compatible: no script_fp field.
+  EXPECT_FALSE(baseline.has("script_fp"));
+}
+
 TEST(ServiceTest, SynthRejectsBadScript) {
   Service service;
   Json request = make_request("synth");

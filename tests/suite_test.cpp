@@ -339,11 +339,11 @@ TEST_F(SuiteRunner, CacheKeysCoverSeedSaltAndContents) {
   EXPECT_EQ(warm(salted).cache_misses, 2) << "salt is part of the key";
 
   RunnerOptions rescripted = options;
-  rescripted.pipeline.script = synth::Script::preset("resyn2");
+  rescripted.opt.script = "resyn2";
   EXPECT_EQ(warm(rescripted).cache_misses, 2)
       << "the optimization script is part of the key";
   RunnerOptions rebudgeted = options;
-  rebudgeted.pipeline.options.node_budget = 123;
+  rebudgeted.opt.options.node_budget = 123;
   EXPECT_EQ(warm(rebudgeted).cache_misses, 2)
       << "the node budget is part of the key";
 
